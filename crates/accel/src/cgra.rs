@@ -1,0 +1,310 @@
+//! A functional, cycle-approximate CGRA tensor engine.
+//!
+//! The tensor engine is "a 2-D grid of the two types of processing
+//! elements (PEs), the regular PE and the extended PE (EPE)" (§III-C):
+//! regular PEs carry BF16/INT SIMD MAC datapaths, EPEs additionally
+//! support transcendental functions for non-linear layers. This module
+//! executes real tensor programs on a modeled grid while accounting
+//! cycles: MACs are spread across the PE array's SIMD lanes, hyperblocks
+//! pay a pipeline fill/drain cost, and non-linear element streams run on
+//! the (fewer) EPE lanes at a higher per-element cost.
+//!
+//! It is deliberately *cycle-approximate*: the repro target is scheduler
+//! and system behaviour, not RTL timing (see DESIGN.md non-goals); the
+//! back-test simulator uses the profiled [`crate::latency`] model, while
+//! this engine provides functional verification that the architecture
+//! computes the same results as the plain `lt-dnn` layers.
+
+use crate::dvfs::OperatingPoint;
+use lt_dnn::ops::Linear;
+use lt_dnn::Tensor;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Grid geometry of the tensor engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// PE rows.
+    pub rows: usize,
+    /// PE columns (the rightmost [`Self::epe_cols`] are EPEs).
+    pub cols: usize,
+    /// Columns populated with extended PEs.
+    pub epe_cols: usize,
+    /// SIMD MAC lanes per regular PE.
+    pub simd_width: usize,
+}
+
+impl GridConfig {
+    /// The LightTrader configuration: a 16x16 grid with two EPE columns
+    /// and 16-wide BF16 SIMD — 4096 MACs/cycle, i.e. 16 TFLOPS (2 ops per
+    /// MAC) near the 2.2 GHz peak clock, consistent with Table I.
+    pub fn lighttrader() -> Self {
+        GridConfig {
+            rows: 16,
+            cols: 16,
+            epe_cols: 2,
+            simd_width: 16,
+        }
+    }
+
+    /// Regular-PE MAC lanes across the grid.
+    pub fn mac_lanes(&self) -> usize {
+        self.rows * (self.cols - self.epe_cols) * self.simd_width
+    }
+
+    /// EPE lanes available for non-linear streams.
+    pub fn epe_lanes(&self) -> usize {
+        self.rows * self.epe_cols
+    }
+
+    /// Peak MACs per second at `point`.
+    pub fn peak_macs_per_sec(&self, point: OperatingPoint) -> f64 {
+        self.mac_lanes() as f64 * point.freq_ghz * 1e9
+    }
+}
+
+/// Cycle cost of one transcendental evaluation on an EPE.
+const EPE_CYCLES_PER_ELEM: u64 = 4;
+/// Pipeline fill/drain cost charged per hyperblock launch.
+const HYPERBLOCK_FILL: u64 = 32;
+
+/// The functional tensor-engine simulator.
+///
+/// # Example
+///
+/// ```
+/// use lt_accel::cgra::{CgraSim, GridConfig};
+/// use lt_dnn::ops::Linear;
+/// use lt_dnn::Tensor;
+///
+/// let mut sim = CgraSim::new(GridConfig::lighttrader());
+/// let layer = Linear::new(8, 4, 0);
+/// let x = Tensor::random(&[8], 1.0, 1);
+/// let y = sim.run_linear(&layer, &x);
+/// assert_eq!(y, layer.forward(&x)); // bit-identical to the host path
+/// assert!(sim.cycles() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CgraSim {
+    config: GridConfig,
+    cycles: u64,
+    macs: u64,
+    hyperblocks: u64,
+}
+
+impl CgraSim {
+    /// Creates an idle engine.
+    pub fn new(config: GridConfig) -> Self {
+        CgraSim {
+            config,
+            cycles: 0,
+            macs: 0,
+            hyperblocks: 0,
+        }
+    }
+
+    /// The grid configuration.
+    pub fn config(&self) -> GridConfig {
+        self.config
+    }
+
+    /// Cycles consumed since construction or the last [`Self::reset`].
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// MACs executed.
+    pub fn macs_executed(&self) -> u64 {
+        self.macs
+    }
+
+    /// Hyperblocks launched.
+    pub fn hyperblocks(&self) -> u64 {
+        self.hyperblocks
+    }
+
+    /// Clears the cycle/MAC counters.
+    pub fn reset(&mut self) {
+        self.cycles = 0;
+        self.macs = 0;
+        self.hyperblocks = 0;
+    }
+
+    /// Achieved MAC-lane utilization in `[0, 1]` so far.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / (self.cycles as f64 * self.config.mac_lanes() as f64)
+    }
+
+    /// Wall-clock equivalent of the consumed cycles at `point`.
+    pub fn elapsed(&self, point: OperatingPoint) -> Duration {
+        Duration::from_secs_f64(self.cycles as f64 / (point.freq_ghz * 1e9))
+    }
+
+    fn charge_macs(&mut self, macs: u64) {
+        self.hyperblocks += 1;
+        self.macs += macs;
+        let lanes = self.config.mac_lanes() as u64;
+        self.cycles += HYPERBLOCK_FILL + macs.div_ceil(lanes);
+    }
+
+    fn charge_epe(&mut self, elems: u64) {
+        self.hyperblocks += 1;
+        let lanes = self.config.epe_lanes() as u64;
+        self.cycles += HYPERBLOCK_FILL + (elems * EPE_CYCLES_PER_ELEM).div_ceil(lanes);
+    }
+
+    /// Matrix multiply `[m, k] x [k, n] -> [m, n]`, bit-identical to a
+    /// naive host matmul, with cycle accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape().len(), 2, "a must be rank 2");
+        assert_eq!(b.shape().len(), 2, "b must be rank 2");
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let (k2, n) = (b.shape()[0], b.shape()[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        self.charge_macs((m * n * k) as u64);
+        out
+    }
+
+    /// Runs a dense layer on the grid; numerically identical to
+    /// [`Linear::forward`].
+    pub fn run_linear(&mut self, layer: &Linear, x: &Tensor) -> Tensor {
+        let rows = if x.shape().len() == 1 {
+            1
+        } else {
+            x.shape()[0]
+        };
+        self.charge_macs(layer.macs(rows as u64));
+        // Arithmetic delegates to the reference layer so results stay
+        // bit-identical to the host path; this simulator adds timing.
+        layer.forward(x)
+    }
+
+    /// Applies a non-linear function elementwise on the EPE columns.
+    pub fn run_nonlinear(&mut self, t: &mut Tensor, f: impl Fn(f32) -> f32) {
+        self.charge_epe(t.len() as u64);
+        for v in t.data_mut() {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lighttrader_grid_peaks_at_16_tflops() {
+        let g = GridConfig::lighttrader();
+        // 16 rows x 14 regular cols x 16 SIMD = 3584 MAC lanes; at 2.2 GHz
+        // that is 3584 * 2.2e9 * 2 ops = 15.8 TFLOPS ~ Table I's 16.
+        let peak_ops = 2.0 * g.peak_macs_per_sec(OperatingPoint::at_freq(2.2));
+        assert!(
+            (peak_ops / 1e12 - 16.0).abs() < 0.35,
+            "peak = {:.2} TFLOPS",
+            peak_ops / 1e12
+        );
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let mut sim = CgraSim::new(GridConfig::lighttrader());
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = sim.matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(sim.macs_executed(), 8);
+        assert!(sim.cycles() >= HYPERBLOCK_FILL + 1);
+    }
+
+    #[test]
+    fn linear_is_bit_identical_to_host() {
+        let mut sim = CgraSim::new(GridConfig::lighttrader());
+        let layer = Linear::new(32, 16, 9);
+        let x = Tensor::random(&[32], 1.0, 10);
+        assert_eq!(sim.run_linear(&layer, &x), layer.forward(&x));
+        assert_eq!(sim.macs_executed(), 32 * 16);
+    }
+
+    #[test]
+    fn nonlinear_runs_on_epe_and_costs_more_per_element() {
+        let mut sim = CgraSim::new(GridConfig::lighttrader());
+        let mut t = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]);
+        sim.run_nonlinear(&mut t, |x| x.max(0.0));
+        assert_eq!(t.data(), &[0.0, 0.0, 1.0]);
+        let epe_cycles = sim.cycles();
+        sim.reset();
+        // The same element count as MACs would be cheaper (more lanes).
+        sim.charge_macs(3);
+        assert!(sim.cycles() <= epe_cycles);
+    }
+
+    #[test]
+    fn utilization_improves_with_problem_size() {
+        let cfg = GridConfig::lighttrader();
+        let mut small = CgraSim::new(cfg);
+        let a = Tensor::random(&[2, 2], 1.0, 0);
+        let b = Tensor::random(&[2, 2], 1.0, 1);
+        small.matmul(&a, &b);
+        let mut large = CgraSim::new(cfg);
+        let a = Tensor::random(&[64, 64], 1.0, 2);
+        let b = Tensor::random(&[64, 64], 1.0, 3);
+        large.matmul(&a, &b);
+        assert!(
+            large.utilization() > small.utilization() * 10.0,
+            "small {:.4} vs large {:.4} — the paper's batch-insensitivity \
+             story: bigger hyperblocks fill the grid",
+            small.utilization(),
+            large.utilization()
+        );
+    }
+
+    #[test]
+    fn elapsed_scales_with_frequency() {
+        let mut sim = CgraSim::new(GridConfig::lighttrader());
+        let a = Tensor::random(&[16, 16], 1.0, 0);
+        let b = Tensor::random(&[16, 16], 1.0, 1);
+        sim.matmul(&a, &b);
+        let fast = sim.elapsed(OperatingPoint::at_freq(2.0));
+        let slow = sim.elapsed(OperatingPoint::at_freq(1.0));
+        assert_eq!(slow.as_nanos(), fast.as_nanos() * 2);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut sim = CgraSim::new(GridConfig::lighttrader());
+        let a = Tensor::random(&[4, 4], 1.0, 0);
+        let b = Tensor::random(&[4, 4], 1.0, 1);
+        sim.matmul(&a, &b);
+        assert!(sim.cycles() > 0);
+        sim.reset();
+        assert_eq!(sim.cycles(), 0);
+        assert_eq!(sim.macs_executed(), 0);
+        assert_eq!(sim.utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn shape_mismatch_panics() {
+        let mut sim = CgraSim::new(GridConfig::lighttrader());
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 2]);
+        let _ = sim.matmul(&a, &b);
+    }
+}

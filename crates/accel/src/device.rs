@@ -1,0 +1,189 @@
+//! The per-chip device state machine driven by the simulator.
+
+use crate::dvfs::{DvfsTable, OperatingPoint};
+use lt_lob::Timestamp;
+use std::time::Duration;
+
+/// One AI accelerator: its DVFS point, busy window, and switch history.
+///
+/// The scheduler mutates this through [`Accelerator::set_point`] (which
+/// charges the PMIC switching delay and enforces the minimum dwell time)
+/// and [`Accelerator::start_batch`]; the discrete-event simulator reads
+/// [`Accelerator::busy_until`] to know when the chip frees up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accelerator {
+    id: usize,
+    point: OperatingPoint,
+    busy_until: Option<Timestamp>,
+    last_switch: Option<Timestamp>,
+    switches: u64,
+    batches: u64,
+}
+
+impl Accelerator {
+    /// Creates an idle accelerator at `point`.
+    pub fn new(id: usize, point: OperatingPoint) -> Self {
+        Accelerator {
+            id,
+            point,
+            busy_until: None,
+            last_switch: None,
+            switches: 0,
+            batches: 0,
+        }
+    }
+
+    /// Device id (index on the card).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The current operating point.
+    pub fn point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// When the current batch completes, if busy.
+    pub fn busy_until(&self) -> Option<Timestamp> {
+        self.busy_until
+    }
+
+    /// True when no batch is in flight at `now`.
+    pub fn is_idle(&self, now: Timestamp) -> bool {
+        match self.busy_until {
+            Some(t) => t <= now,
+            None => true,
+        }
+    }
+
+    /// Total DVFS switches performed.
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+
+    /// Total batches executed.
+    pub fn batch_count(&self) -> u64 {
+        self.batches
+    }
+
+    /// Requests a DVFS change at `now`.
+    ///
+    /// Returns the *delay before the new point is usable*: zero when the
+    /// point is unchanged; otherwise the PMIC switching delay, extended if
+    /// the minimum dwell time since the previous switch has not elapsed
+    /// (the paper's guard against rapid repeated scaling, §III-D).
+    pub fn set_point(&mut self, target: OperatingPoint, now: Timestamp) -> Duration {
+        if (target.freq_ghz - self.point.freq_ghz).abs() < 1e-12 {
+            return Duration::ZERO;
+        }
+        let dwell_wait = match self.last_switch {
+            Some(prev) if prev > now => {
+                // The previous switch has not even taken effect yet: wait
+                // for it, then a full dwell period.
+                prev.since(now) + DvfsTable::MIN_DWELL
+            }
+            Some(prev) => DvfsTable::MIN_DWELL.saturating_sub(now.since(prev)),
+            None => Duration::ZERO,
+        };
+        let delay = dwell_wait + DvfsTable::SWITCH_DELAY;
+        self.point = target;
+        self.last_switch = Some(now + delay);
+        self.switches += 1;
+        delay
+    }
+
+    /// Marks the device busy until `completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is already busy at `now`.
+    pub fn start_batch(&mut self, now: Timestamp, completion: Timestamp) {
+        assert!(
+            self.is_idle(now),
+            "accelerator {} already busy until {:?}",
+            self.id,
+            self.busy_until
+        );
+        assert!(completion >= now, "completion before start");
+        self.busy_until = Some(completion);
+        self.batches += 1;
+    }
+
+    /// Clears the busy window (called by the simulator at completion).
+    pub fn finish_batch(&mut self) {
+        self.busy_until = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn accel() -> Accelerator {
+        Accelerator::new(0, OperatingPoint::at_freq(2.0))
+    }
+
+    #[test]
+    fn starts_idle() {
+        let a = accel();
+        assert!(a.is_idle(ts(0)));
+        assert_eq!(a.busy_until(), None);
+        assert_eq!(a.switch_count(), 0);
+    }
+
+    #[test]
+    fn busy_window_lifecycle() {
+        let mut a = accel();
+        a.start_batch(ts(10), ts(110));
+        assert!(!a.is_idle(ts(50)));
+        assert!(a.is_idle(ts(110)), "idle exactly at completion");
+        a.finish_batch();
+        assert!(a.is_idle(ts(50)));
+        assert_eq!(a.batch_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already busy")]
+    fn double_start_panics() {
+        let mut a = accel();
+        a.start_batch(ts(0), ts(100));
+        a.start_batch(ts(50), ts(150));
+    }
+
+    #[test]
+    fn same_point_switch_is_free() {
+        let mut a = accel();
+        let d = a.set_point(OperatingPoint::at_freq(2.0), ts(0));
+        assert_eq!(d, Duration::ZERO);
+        assert_eq!(a.switch_count(), 0);
+    }
+
+    #[test]
+    fn switch_charges_pmic_delay() {
+        let mut a = accel();
+        let d = a.set_point(OperatingPoint::at_freq(1.5), ts(0));
+        assert_eq!(d, DvfsTable::SWITCH_DELAY);
+        assert_eq!(a.switch_count(), 1);
+        assert!((a.point().freq_ghz - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rapid_switches_pay_dwell_penalty() {
+        let mut a = accel();
+        let d1 = a.set_point(OperatingPoint::at_freq(1.5), ts(0));
+        assert_eq!(d1, DvfsTable::SWITCH_DELAY);
+        // Second switch only 20 µs later: must wait out the 50 µs dwell
+        // (measured from when the first switch became effective).
+        let d2 = a.set_point(OperatingPoint::at_freq(2.0), ts(20));
+        assert!(d2 > DvfsTable::SWITCH_DELAY, "dwell not enforced: {d2:?}");
+        // A switch after a long pause pays only the PMIC delay.
+        let mut b = accel();
+        b.set_point(OperatingPoint::at_freq(1.5), ts(0));
+        let d3 = b.set_point(OperatingPoint::at_freq(2.0), ts(1_000));
+        assert_eq!(d3, DvfsTable::SWITCH_DELAY);
+    }
+}

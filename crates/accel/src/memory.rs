@@ -1,0 +1,181 @@
+//! The memory engine: DMEM/IMEM and double-buffered load/store units.
+//!
+//! "The memory engine consists of two Load Store Units (LSUs), offering
+//! latency-hiding off-chip communication via our customized chip-to-chip
+//! (C2C) interface, and the data memory (DMEM) and the instruction
+//! memory (IMEM) that store the data and program code to allow double
+//! buffering between the computation and data transaction. DMEM
+//! primarily stores the pre-fetched weight parameters before the
+//! inference along with the activation data during the runtime, where
+//! the L2 cache can be additionally utilized through the C2C interface
+//! in case the data size exceeds the DMEM's capacity" (§III-C).
+//!
+//! This module models those mechanics: capacity planning for a network's
+//! weights + activations, and the double-buffering timeline that tells
+//! how much of a transfer hides behind compute.
+
+use crate::c2c::C2cLink;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// On-chip memory geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Data memory capacity in bytes.
+    pub dmem_bytes: usize,
+    /// Instruction memory capacity in bytes.
+    pub imem_bytes: usize,
+    /// Number of load/store units (transfers that can be in flight).
+    pub lsus: usize,
+}
+
+impl MemoryConfig {
+    /// The LightTrader accelerator's memory engine: 8 MiB DMEM, 256 KiB
+    /// IMEM, two LSUs.
+    pub fn lighttrader() -> Self {
+        MemoryConfig {
+            dmem_bytes: 8 << 20,
+            imem_bytes: 256 << 10,
+            lsus: 2,
+        }
+    }
+}
+
+/// Where a network's working set lives during inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Residency {
+    /// Weights and activations fit in DMEM: no mid-inference C2C traffic.
+    Dmem,
+    /// The working set spills: the overflow streams from the FPGA-side L2
+    /// through the C2C interface during inference.
+    L2Spill {
+        /// Bytes that must stream from L2 per inference.
+        overflow_bytes: usize,
+    },
+}
+
+/// Plans residency for a working set of `weight_bytes` + `activation_bytes`.
+pub fn plan_residency(
+    config: &MemoryConfig,
+    weight_bytes: usize,
+    activation_bytes: usize,
+) -> Residency {
+    let total = weight_bytes + activation_bytes;
+    if total <= config.dmem_bytes {
+        Residency::Dmem
+    } else {
+        Residency::L2Spill {
+            overflow_bytes: total - config.dmem_bytes,
+        }
+    }
+}
+
+/// The double-buffering timeline of one inference: given the compute time
+/// and the bytes that must move during it, how much transfer time remains
+/// exposed (not hidden behind compute)?
+///
+/// With `lsus` units, transfers proceed concurrently with compute at the
+/// link's full rate; only the portion exceeding the compute window shows
+/// up as added latency — the "latency-hiding off-chip communication" of
+/// the paper.
+pub fn exposed_transfer(
+    config: &MemoryConfig,
+    link: &C2cLink,
+    bytes_during_compute: usize,
+    compute: Duration,
+) -> Duration {
+    if bytes_during_compute == 0 {
+        return Duration::ZERO;
+    }
+    // Each LSU issues its share; fixed latency paid once per LSU batch,
+    // bandwidth shared (single physical link).
+    let per_lsu = bytes_during_compute.div_ceil(config.lsus);
+    let stream_time = link.transfer_time(per_lsu * config.lsus);
+    stream_time.saturating_sub(compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MemoryConfig {
+        MemoryConfig::lighttrader()
+    }
+
+    #[test]
+    fn lighttrader_geometry() {
+        let c = cfg();
+        assert_eq!(c.dmem_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.imem_bytes, 256 * 1024);
+        assert_eq!(c.lsus, 2);
+    }
+
+    #[test]
+    fn tiny_models_fit_in_dmem() {
+        // The tiny functional models are far below 8 MiB.
+        use lt_dnn::models::CnnSpec;
+        let spec = CnnSpec::tiny();
+        // Rough weight count: conv kernels + fc layers, 2 bytes each (BF16).
+        let weights = (spec.channels * 4 * 40
+            + 2 * spec.channels * spec.channels * 4
+            + spec.channels * 11 * spec.hidden
+            + spec.hidden * 3)
+            * 2;
+        let activations = spec.window * spec.features * 2 * 4;
+        assert!(matches!(
+            plan_residency(&cfg(), weights, activations),
+            Residency::Dmem
+        ));
+    }
+
+    #[test]
+    fn oversized_working_set_spills_to_l2() {
+        let r = plan_residency(&cfg(), 12 << 20, 1 << 20);
+        match r {
+            Residency::L2Spill { overflow_bytes } => {
+                assert_eq!(overflow_bytes, (12 << 20) + (1 << 20) - (8 << 20));
+            }
+            other => panic!("expected spill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_exactly_fits() {
+        let c = cfg();
+        assert!(matches!(
+            plan_residency(&c, c.dmem_bytes, 0),
+            Residency::Dmem
+        ));
+        assert!(matches!(
+            plan_residency(&c, c.dmem_bytes, 1),
+            Residency::L2Spill { overflow_bytes: 1 }
+        ));
+    }
+
+    #[test]
+    fn transfers_hide_behind_long_compute() {
+        let link = C2cLink::lighttrader();
+        // 100 KiB during 100 µs of compute: the link moves ~4.5 MiB in
+        // that window, so nothing is exposed.
+        let exposed = exposed_transfer(&cfg(), &link, 100 << 10, Duration::from_micros(100));
+        assert_eq!(exposed, Duration::ZERO);
+    }
+
+    #[test]
+    fn oversized_transfers_expose_the_excess() {
+        let link = C2cLink::lighttrader();
+        // 45 MB during 100 µs: stream time ~1 ms, exposing ~0.9 ms.
+        let exposed = exposed_transfer(&cfg(), &link, 45_000_000, Duration::from_micros(100));
+        assert!(exposed > Duration::from_micros(800), "{exposed:?}");
+        assert!(exposed < Duration::from_micros(1_100), "{exposed:?}");
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        let link = C2cLink::lighttrader();
+        assert_eq!(
+            exposed_transfer(&cfg(), &link, 0, Duration::ZERO),
+            Duration::ZERO
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the accelerator models.
+
+use lt_accel::dvfs::{DvfsTable, OperatingPoint};
+use lt_accel::pe::SystolicArray;
+use lt_accel::{DeviceProfile, PowerModel};
+use lt_dnn::{ModelKind, Precision, Tensor};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::VanillaCnn),
+        Just(ModelKind::TransLob),
+        Just(ModelKind::DeepLob),
+    ]
+}
+
+fn point_strategy() -> impl Strategy<Value = OperatingPoint> {
+    (8u64..=22).prop_map(|tenths| OperatingPoint::at_freq(tenths as f64 / 10.0))
+}
+
+proptest! {
+    /// Latency is monotone: more batch or less clock never goes faster.
+    #[test]
+    fn latency_monotonicity(
+        kind in kind_strategy(),
+        point in point_strategy(),
+        batch in 1u32..16,
+    ) {
+        let profile = DeviceProfile::lighttrader();
+        let t = profile.t_infer(kind, batch, point);
+        prop_assert!(profile.t_infer(kind, batch + 1, point) > t);
+        if let Some(up) = DvfsTable::full_range().step_up(point) {
+            prop_assert!(profile.t_infer(kind, batch, up) < t);
+        }
+    }
+
+    /// Power is monotone in clock and batch, and always within Table I.
+    #[test]
+    fn power_monotonicity_and_envelope(
+        kind in kind_strategy(),
+        point in point_strategy(),
+        batch in 1u32..16,
+    ) {
+        let power = PowerModel::calibrated();
+        let w = power.power_w(kind, batch, point);
+        prop_assert!(w > 0.0 && w <= 10.8, "{} W", w);
+        prop_assert!(power.power_w(kind, batch + 1, point) > w);
+        if let Some(up) = DvfsTable::full_range().step_up(point) {
+            prop_assert!(power.power_w(kind, batch, up) > w);
+        }
+    }
+
+    /// INT8 is always faster than BF16 at the same point & batch.
+    #[test]
+    fn int8_dominates_bf16(
+        kind in kind_strategy(),
+        point in point_strategy(),
+        batch in 1u32..16,
+    ) {
+        let bf16 = DeviceProfile::lighttrader();
+        let int8 = DeviceProfile::lighttrader().with_precision(Precision::Int8);
+        prop_assert!(int8.t_infer(kind, batch, point) < bf16.t_infer(kind, batch, point));
+    }
+
+    /// Full batching beats single-query PPW at every point of the
+    /// evaluation table (<= 2.0 GHz). Per-step monotonicity does NOT hold
+    /// universally — at 2.2 GHz the dynamic-power lift of a second query
+    /// can outweigh its amortization — which is exactly why Algorithm 1
+    /// searches the grid instead of assuming "bigger batch is better".
+    #[test]
+    fn batching_pays_off_on_evaluation_table(
+        kind in kind_strategy(),
+        tenths in 8u64..=20,
+    ) {
+        let point = OperatingPoint::at_freq(tenths as f64 / 10.0);
+        let profile = DeviceProfile::lighttrader();
+        prop_assert!(profile.ppw(kind, 16, point) > profile.ppw(kind, 1, point));
+    }
+
+    /// The cycle-stepped systolic array computes exact matmuls for any
+    /// shape and array geometry, and its cycle count is the closed-form
+    /// tile cost summed over tiles.
+    #[test]
+    fn systolic_matches_naive(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        m in 1usize..8,
+        k in 1usize..10,
+        n in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let array = SystolicArray::new(rows, cols);
+        let a = Tensor::random(&[m, k], 1.0, seed);
+        let b = Tensor::random(&[k, n], 1.0, seed + 1);
+        let (out, cycles) = array.matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                prop_assert!((out.at(&[i, j]) - acc).abs() < 1e-3);
+            }
+        }
+        // Closed-form cycle total over the tile grid.
+        let mut expected = 0u64;
+        let mut r0 = 0;
+        while r0 < m {
+            let tm = rows.min(m - r0);
+            let mut c0 = 0;
+            while c0 < n {
+                let tn = cols.min(n - c0);
+                expected += (k + tm + tn - 2) as u64;
+                c0 += tn;
+            }
+            r0 += tm;
+        }
+        prop_assert_eq!(cycles, expected);
+    }
+}

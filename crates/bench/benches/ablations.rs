@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the custom C2C link vs an Interlaken-style baseline (Fig. 9's 2.4x),
+//! batching (the Algorithm 1 lever), DVFS operating points, INT8 vs
+//! BF16 precision, and the WS risk guard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lighttrader::accel::c2c::{C2cLink, InterlakenLink};
+use lighttrader::accel::{DeviceProfile, DvfsTable, OperatingPoint, PowerCondition};
+use lighttrader::dnn::{ModelKind, Precision};
+use lighttrader::sched::Policy;
+use lighttrader::sim::traffic::{evaluation_trace, scheduling_deadline, EVALUATION_SEED};
+use lighttrader::sim::{run_lighttrader, BacktestConfig};
+
+/// The Fig. 9 link ablation: report both links' modeled transfer time for
+/// a batch-16 input bundle (the bench times the model itself; the 2.4x
+/// bandwidth ratio is asserted by unit tests and printed by `tables`).
+fn bench_c2c_ablation(c: &mut Criterion) {
+    let bytes = 16 * 100 * 40 * 2; // batch-16 BF16 input bundle
+    let custom = C2cLink::lighttrader();
+    let baseline = InterlakenLink::interlaken_150g();
+    println!(
+        "c2c ablation: custom {:?} vs interlaken {:?} for {bytes} bytes ({:.2}x bandwidth)",
+        custom.transfer_time(bytes),
+        baseline.transfer_time(bytes),
+        custom.payload_bits_per_sec() / baseline.payload_bits_per_sec(),
+    );
+    let mut group = c.benchmark_group("c2c_ablation");
+    group.bench_function("custom_link", |b| b.iter(|| custom.transfer_time(bytes)));
+    group.bench_function("interlaken_150g", |b| {
+        b.iter(|| baseline.transfer_time(bytes))
+    });
+    group.finish();
+}
+
+/// Batching ablation: per-query service time shrinks with batch size on
+/// the calibrated latency model — the gain Algorithm 1 exploits.
+fn bench_batching_ablation(c: &mut Criterion) {
+    let profile = DeviceProfile::lighttrader();
+    let point = OperatingPoint::at_freq(2.0);
+    for batch in [1u32, 4, 16] {
+        let t = profile.t_total(ModelKind::DeepLob, batch, point);
+        println!(
+            "batching ablation: DeepLOB batch {batch}: {:?} total, {:?} per query",
+            t,
+            t / batch
+        );
+    }
+    let mut group = c.benchmark_group("batching_ablation");
+    for batch in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| profile.t_total(ModelKind::DeepLob, batch, point))
+        });
+    }
+    group.finish();
+}
+
+/// Precision ablation: INT8's 4x throughput on the latency model.
+fn bench_precision_ablation(c: &mut Criterion) {
+    let bf16 = DeviceProfile::lighttrader();
+    let int8 = DeviceProfile::lighttrader().with_precision(Precision::Int8);
+    let point = OperatingPoint::at_freq(2.0);
+    println!(
+        "precision ablation: DeepLOB bf16 {:?} vs int8 {:?}",
+        bf16.t_infer(ModelKind::DeepLob, 1, point),
+        int8.t_infer(ModelKind::DeepLob, 1, point),
+    );
+    let mut group = c.benchmark_group("precision_ablation");
+    group.bench_function("bf16", |b| {
+        b.iter(|| bf16.t_infer(ModelKind::DeepLob, 1, point))
+    });
+    group.bench_function("int8", |b| {
+        b.iter(|| int8.t_infer(ModelKind::DeepLob, 1, point))
+    });
+    group.finish();
+}
+
+/// DVFS ablation: the PPW landscape across the operating-point table.
+fn bench_dvfs_ablation(c: &mut Criterion) {
+    let profile = DeviceProfile::lighttrader();
+    for p in DvfsTable::evaluation().points().iter().step_by(4) {
+        println!(
+            "dvfs ablation: TransLOB @ {p}: t={:?}, {:.2} W, ppw {:.0}",
+            profile.t_infer(ModelKind::TransLob, 1, *p),
+            profile.power_w(ModelKind::TransLob, 1, *p),
+            profile.ppw(ModelKind::TransLob, 1, *p),
+        );
+    }
+    c.bench_function("dvfs_ablation/ppw_table_scan", |b| {
+        b.iter(|| {
+            DvfsTable::evaluation()
+                .points()
+                .iter()
+                .map(|p| profile.ppw(ModelKind::TransLob, 1, *p))
+                .sum::<f64>()
+        })
+    });
+}
+
+/// Scheduling ablation on a real session: the full policy matrix at one
+/// interesting configuration (the bench times the simulator; the
+/// miss-rate matrix itself comes from `tables -- fig13`).
+fn bench_policy_ablation(c: &mut Criterion) {
+    let trace = evaluation_trace(2.0, EVALUATION_SEED);
+    let mut group = c.benchmark_group("policy_ablation");
+    group.sample_size(10);
+    for policy in Policy::ALL {
+        let cfg = BacktestConfig::new(ModelKind::TransLob, 4, PowerCondition::Limited)
+            .with_policy(policy)
+            .with_t_avail(scheduling_deadline());
+        let miss = run_lighttrader(&trace, &cfg).miss_rate();
+        println!(
+            "policy ablation: TransLOB x4 limited, {}: {:.1}% miss",
+            policy.label(),
+            miss * 100.0
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &cfg,
+            |b, cfg| b.iter(|| run_lighttrader(&trace, cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_c2c_ablation,
+    bench_batching_ablation,
+    bench_precision_ablation,
+    bench_dvfs_ablation,
+    bench_policy_ablation
+);
+criterion_main!(ablations);

@@ -1,0 +1,148 @@
+//! Criterion benches regenerating (miniature versions of) every measured
+//! artifact of the paper's evaluation. Each group runs the same code path
+//! as the full-length `tables` binary on a short session, so `cargo
+//! bench` both regenerates the series and times the harness itself.
+//!
+//! The printed paper-vs-measured rows come from
+//! `cargo run --release -p lt-bench --bin tables`; full-length results
+//! are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lighttrader::accel::PowerCondition;
+use lighttrader::dnn::ModelKind;
+use lighttrader::experiments;
+use lighttrader::sched::Policy;
+use lighttrader::sim::traffic::{
+    evaluation_deadline, evaluation_trace, scheduling_deadline, EVALUATION_SEED,
+};
+use lighttrader::sim::{run_lighttrader, run_single_device, BacktestConfig, SingleDeviceSystem};
+
+const SECS: f64 = 2.0;
+
+/// Table II: the analytic op counter over the paper-scale specs.
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/op_counter", |b| {
+        b.iter(|| {
+            let rows = experiments::table2();
+            assert_eq!(rows.len(), 3);
+            rows
+        })
+    });
+}
+
+/// Table III: the static clock/power plan across the full grid.
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3/static_plan_grid", |b| {
+        b.iter(|| {
+            let rows = experiments::table3();
+            assert_eq!(rows.len(), 10);
+            rows
+        })
+    });
+}
+
+/// Fig. 8: single-accelerator response rate across the M1..M5 ladder.
+fn bench_fig8(c: &mut Criterion) {
+    let trace = evaluation_trace(SECS, EVALUATION_SEED);
+    let mut group = c.benchmark_group("fig8_response_rate");
+    group.sample_size(10);
+    for (label, latency_us) in [("M1", 60.0), ("M3", 200.0), ("M5", 600.0)] {
+        let system = SingleDeviceSystem::custom(label, latency_us, 25.0);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &system, |b, sys| {
+            b.iter(|| {
+                run_single_device(
+                    &trace,
+                    sys,
+                    ModelKind::VanillaCnn,
+                    evaluation_deadline(),
+                    100,
+                    64,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 11: batch-1 back-tests of the three systems (DeepLOB column).
+fn bench_fig11(c: &mut Criterion) {
+    let trace = evaluation_trace(SECS, EVALUATION_SEED);
+    let mut group = c.benchmark_group("fig11_non_batching");
+    group.sample_size(10);
+    group.bench_function("lighttrader", |b| {
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 1, PowerCondition::Sufficient);
+        b.iter(|| run_lighttrader(&trace, &cfg))
+    });
+    group.bench_function("gpu", |b| {
+        let sys = SingleDeviceSystem::gpu();
+        b.iter(|| {
+            run_single_device(
+                &trace,
+                &sys,
+                ModelKind::DeepLob,
+                evaluation_deadline(),
+                100,
+                64,
+            )
+        })
+    });
+    group.bench_function("fpga", |b| {
+        let sys = SingleDeviceSystem::fpga();
+        b.iter(|| {
+            run_single_device(
+                &trace,
+                &sys,
+                ModelKind::DeepLob,
+                evaluation_deadline(),
+                100,
+                64,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 12: accelerator-count scaling (TransLOB, sufficient power).
+fn bench_fig12(c: &mut Criterion) {
+    let trace = evaluation_trace(SECS, EVALUATION_SEED);
+    let mut group = c.benchmark_group("fig12_scaling");
+    group.sample_size(10);
+    for n in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = BacktestConfig::new(ModelKind::TransLob, n, PowerCondition::Sufficient);
+            b.iter(|| run_lighttrader(&trace, &cfg))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 13: the four scheduling policies (Vanilla CNN x2, limited).
+fn bench_fig13(c: &mut Criterion) {
+    let trace = evaluation_trace(SECS, EVALUATION_SEED);
+    let mut group = c.benchmark_group("fig13_scheduling");
+    group.sample_size(10);
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &policy| {
+                let cfg = BacktestConfig::new(ModelKind::VanillaCnn, 2, PowerCondition::Limited)
+                    .with_policy(policy)
+                    .with_t_avail(scheduling_deadline());
+                b.iter(|| run_lighttrader(&trace, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table2,
+    bench_table3,
+    bench_fig8,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(paper);

@@ -1,0 +1,267 @@
+//! Rendering helpers shared by the `tables` binary and the Criterion
+//! benches: each function formats one paper artifact (table or figure)
+//! as paper-vs-measured text.
+
+use lighttrader::accel::PowerCondition;
+use lighttrader::dnn::ModelKind;
+use lighttrader::experiments::{self, Fig11, Fig13};
+use lighttrader::report::{percent, ratio, TextTable};
+use lighttrader::sched::Policy;
+
+/// Renders Table I (accelerator specification).
+pub fn render_table1() -> String {
+    let spec = experiments::table1();
+    let mut t = TextTable::new(vec!["field", "value", "paper (Table I)"]);
+    t.push_row(vec!["process".into(), spec.process.into(), "7 nm".into()]);
+    t.push_row(vec![
+        "package".into(),
+        format!("{:.1} mm x {:.1} mm", spec.package_mm, spec.package_mm),
+        "8.7 mm x 8.7 mm".into(),
+    ]);
+    t.push_row(vec![
+        "voltage".into(),
+        format!("{:.2}-{:.2} V", spec.voltage_range.0, spec.voltage_range.1),
+        "0.68-1.16 V".into(),
+    ]);
+    t.push_row(vec![
+        "frequency".into(),
+        format!("up to {:.1} GHz", spec.freq_range_ghz.1),
+        "up to 2.2 GHz".into(),
+    ]);
+    t.push_row(vec![
+        "power".into(),
+        format!("up to {:.1} W", spec.max_power_w),
+        "up to 10.8 W".into(),
+    ]);
+    t.push_row(vec![
+        "peak BF16 / INT8".into(),
+        format!(
+            "{:.0} TFLOPS / {:.0} TOPS",
+            spec.peak_tflops_bf16, spec.peak_tops_int8
+        ),
+        "16 TFLOPS / 64 TOPS".into(),
+    ]);
+    format!(
+        "== Table I: single AI accelerator specification ==\n{}",
+        t.render()
+    )
+}
+
+/// Renders Table II (model op counts).
+pub fn render_table2() -> String {
+    let mut t = TextTable::new(vec![
+        "model",
+        "network",
+        "computed OPs",
+        "paper OPs",
+        "error",
+    ]);
+    for row in experiments::table2() {
+        let err = (row.computed_ops as f64 - row.paper_ops as f64).abs() / row.paper_ops as f64;
+        t.push_row(vec![
+            row.kind.name().into(),
+            row.kind.network_family().into(),
+            format!("{:.1}G", row.computed_ops as f64 / 1e9),
+            format!("{:.1}G", row.paper_ops as f64 / 1e9),
+            format!("{:.3}%", err * 100.0),
+        ]);
+    }
+    format!(
+        "== Table II: HFT DNN models (analytic op counter) ==\n{}",
+        t.render()
+    )
+}
+
+/// Renders Table III (static clock & power configuration).
+pub fn render_table3() -> String {
+    let mut t = TextTable::new(vec![
+        "condition",
+        "#accels",
+        "available (W)",
+        "CNN (GHz)",
+        "TransLOB (GHz)",
+        "DeepLOB (GHz)",
+    ]);
+    for row in experiments::table3() {
+        t.push_row(vec![
+            format!("{}", row.condition),
+            row.n_accels.to_string(),
+            format!("{:.1}", row.available_w),
+            format!("{:.1}", row.freq_ghz[0]),
+            format!("{:.1}", row.freq_ghz[1]),
+            format!("{:.1}", row.freq_ghz[2]),
+        ]);
+    }
+    format!(
+        "== Table III: clock frequency & available power (paper grid reproduced) ==\n{}",
+        t.render()
+    )
+}
+
+/// Renders Fig. 8 (response rate vs model complexity).
+pub fn render_fig8(secs: f64, seed: u64) -> String {
+    let mut t = TextTable::new(vec!["model", "latency (us)", "response rate"]);
+    for row in experiments::fig8(secs, seed) {
+        t.push_row(vec![
+            row.label.into(),
+            format!("{:.0}", row.latency_us),
+            percent(row.response_rate),
+        ]);
+    }
+    format!(
+        "== Fig. 8: response rate vs model complexity (M1 simplest .. M5) ==\n{}",
+        t.render()
+    )
+}
+
+/// Renders Fig. 11 (non-batching performance) plus headline ratios.
+pub fn render_fig11(secs: f64, seed: u64) -> String {
+    let f: Fig11 = experiments::fig11(secs, seed);
+    let mut t = TextTable::new(vec![
+        "system",
+        "model",
+        "latency (us)",
+        "response",
+        "paper resp.",
+        "TFLOPS/W",
+    ]);
+    let paper_resp = |system: &str, kind: ModelKind| -> String {
+        let v = match (system, kind) {
+            ("LightTrader", ModelKind::VanillaCnn) => 0.942,
+            ("LightTrader", ModelKind::TransLob) => 0.919,
+            ("LightTrader", ModelKind::DeepLob) => 0.871,
+            _ => return "-".into(),
+        };
+        percent(v)
+    };
+    for row in &f.rows {
+        t.push_row(vec![
+            row.system.into(),
+            row.kind.name().into(),
+            format!("{:.0}", row.latency_us),
+            percent(row.response_rate),
+            paper_resp(row.system, row.kind),
+            format!("{:.4}", row.tflops_per_watt),
+        ]);
+    }
+    format!(
+        "== Fig. 11: non-batching performance ==\n{}\n\
+         speed-up vs GPU:  {} (paper 13.92x)\n\
+         speed-up vs FPGA: {} (paper 7.28x)\n\
+         TFLOPS/W vs GPU:  {} (paper 23.6x)\n\
+         TFLOPS/W vs FPGA: {} (paper 11.6x)\n",
+        t.render(),
+        ratio(f.speedup_vs_gpu),
+        ratio(f.speedup_vs_fpga),
+        ratio(f.efficiency_vs_gpu),
+        ratio(f.efficiency_vs_fpga),
+    )
+}
+
+/// Renders Fig. 12 (response rate vs accelerator count).
+pub fn render_fig12(secs: f64, seed: u64) -> String {
+    let rows = experiments::fig12(secs, seed);
+    let mut t = TextTable::new(vec!["condition", "model", "x1", "x2", "x4", "x8", "x16"]);
+    for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+        for kind in ModelKind::ALL {
+            let mut cells = vec![format!("{condition}"), kind.name().into()];
+            for n in [1usize, 2, 4, 8, 16] {
+                let r = rows
+                    .iter()
+                    .find(|r| r.condition == condition && r.kind == kind && r.n_accels == n)
+                    .expect("cell");
+                cells.push(percent(r.response_rate));
+            }
+            t.push_row(cells);
+        }
+    }
+    format!(
+        "== Fig. 12: response rate vs #accelerators (paper: suff. x8 = 99.5/98.7/95.9%) ==\n{}",
+        t.render()
+    )
+}
+
+/// Renders the tight-window Fig. 12 variant (the x16 decline regime).
+pub fn render_fig12_tight(secs: f64, seed: u64) -> String {
+    let rows = experiments::fig12_tight(secs, seed);
+    let mut t = TextTable::new(vec!["condition", "model", "x1", "x2", "x4", "x8", "x16"]);
+    for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+        for kind in ModelKind::ALL {
+            let mut cells = vec![format!("{condition}"), kind.name().into()];
+            for n in [1usize, 2, 4, 8, 16] {
+                let r = rows
+                    .iter()
+                    .find(|r| r.condition == condition && r.kind == kind && r.n_accels == n)
+                    .expect("cell");
+                cells.push(percent(r.response_rate));
+            }
+            t.push_row(cells);
+        }
+    }
+    format!(
+        "== Fig. 12 (tight window, 1.5x service): the paper's x16 saturation/decline ==\n{}",
+        t.render()
+    )
+}
+
+/// Renders Fig. 13 (miss rate under the four scheduling policies).
+pub fn render_fig13(secs: f64, seed: u64) -> String {
+    let f: Fig13 = experiments::fig13(secs, seed);
+    let mut out = String::from("== Fig. 13: miss rate by scheduling policy ==\n");
+    for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+        for kind in ModelKind::ALL {
+            let mut t = TextTable::new(vec!["policy", "x1", "x2", "x4", "x8", "x16"]);
+            for policy in Policy::ALL {
+                let mut cells = vec![policy.label().to_string()];
+                for n in [1usize, 2, 4, 8, 16] {
+                    let r = f
+                        .rows
+                        .iter()
+                        .find(|r| {
+                            r.condition == condition
+                                && r.kind == kind
+                                && r.n_accels == n
+                                && r.policy == policy
+                        })
+                        .expect("cell");
+                    cells.push(percent(r.miss_rate));
+                }
+                t.push_row(cells);
+            }
+            out.push_str(&format!("-- {kind}, {condition} --\n{}", t.render()));
+        }
+    }
+    let fmt3 = |v: [f64; 3]| format!("{} / {} / {}", percent(v[0]), percent(v[1]), percent(v[2]));
+    out.push_str(&format!(
+        "\nWS reduction @ small N (CNN/TransLOB/DeepLOB): {} (paper 21.4/18.4/17.6%)\n\
+         DS reduction @ large N:                        {} (paper 19.6/23.1/17.1%)\n\
+         WS+DS reduction @ all N:                       {} (paper 25.1/23.7/20.7%)\n",
+        fmt3(f.ws_small_n_reduction),
+        fmt3(f.ds_large_n_reduction),
+        fmt3(f.both_all_n_reduction),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        let t1 = render_table1();
+        assert!(t1.contains("7 nm") && t1.contains("10.8"));
+        let t2 = render_table2();
+        assert!(t2.contains("93.0G") && t2.contains("DeepLOB"));
+        let t3 = render_table3();
+        assert!(t3.contains("sufficient") && t3.contains("1.6"));
+    }
+
+    #[test]
+    fn figure_renderers_run_on_short_sessions() {
+        let f8 = render_fig8(2.0, 1);
+        assert!(f8.contains("M5"));
+        let f11 = render_fig11(2.0, 1);
+        assert!(f11.contains("13.92x"));
+    }
+}

@@ -1,0 +1,504 @@
+//! Drivers that regenerate every table and figure of the paper's
+//! evaluation (§IV). Each function returns structured data; the
+//! `lt-bench` `tables` binary and EXPERIMENTS.md render them.
+//!
+//! All experiments share one re-runnable synthetic market session (see
+//! [`lt_sim::traffic`]); `secs`/`seed` parameters let callers trade
+//! statistical tightness for runtime.
+
+use lt_accel::{static_plan, AccelSpec, DeviceProfile, OperatingPoint, PowerCondition};
+use lt_dnn::models::paper_spec_ops;
+use lt_dnn::ModelKind;
+use lt_sched::Policy;
+use lt_sim::traffic::{evaluation_deadline, evaluation_trace};
+use lt_sim::{run_lighttrader, run_single_device, BacktestConfig, SingleDeviceSystem};
+use serde::{Deserialize, Serialize};
+
+/// Default session length (simulated seconds) for the headline runs.
+pub const DEFAULT_SECS: f64 = 60.0;
+
+/// Table I: the accelerator specification (straight from code constants).
+pub fn table1() -> AccelSpec {
+    AccelSpec::TABLE1
+}
+
+/// One row of the Table II reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark model.
+    pub kind: ModelKind,
+    /// Our analytic op count for the paper-scale spec.
+    pub computed_ops: u64,
+    /// The paper's Table II figure.
+    pub paper_ops: u64,
+}
+
+/// Table II: model op counts, computed by the analytic counter over the
+/// paper-scale specs.
+pub fn table2() -> Vec<Table2Row> {
+    ModelKind::ALL
+        .into_iter()
+        .map(|kind| Table2Row {
+            kind,
+            computed_ops: paper_spec_ops(kind),
+            paper_ops: kind.table2_ops(),
+        })
+        .collect()
+}
+
+/// One cell of the Table III reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Power condition.
+    pub condition: PowerCondition,
+    /// Accelerator count.
+    pub n_accels: usize,
+    /// Per-accelerator available power in watts.
+    pub available_w: f64,
+    /// Chosen clock per model (CNN, TransLOB, DeepLOB) in GHz.
+    pub freq_ghz: [f64; 3],
+}
+
+/// Table III: the static clock & power plan across accelerator counts.
+pub fn table3() -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+        for n in [1usize, 2, 4, 8, 16] {
+            let mut freq = [0.0; 3];
+            let mut available = 0.0;
+            for (i, kind) in ModelKind::ALL.into_iter().enumerate() {
+                let plan = static_plan(kind, n, condition);
+                freq[i] = plan.point.freq_ghz;
+                available = plan.per_accel_power_w;
+            }
+            rows.push(Table3Row {
+                condition,
+                n_accels: n,
+                available_w: available,
+                freq_ghz: freq,
+            });
+        }
+    }
+    rows
+}
+
+/// One rung of the Fig. 8 model-complexity ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig8Row {
+    /// Ladder label (M1 simplest .. M5 most complex).
+    pub label: &'static str,
+    /// Single-query inference latency in microseconds.
+    pub latency_us: f64,
+    /// Response rate achieved on the evaluation traffic.
+    pub response_rate: f64,
+}
+
+/// Fig. 8: response rate versus model complexity on one accelerator.
+pub fn fig8(secs: f64, seed: u64) -> Vec<Fig8Row> {
+    let trace = evaluation_trace(secs, seed);
+    let ladder: [(&'static str, f64); 5] = [
+        ("M1", 60.0),
+        ("M2", 119.0),
+        ("M3", 200.0),
+        ("M4", 350.0),
+        ("M5", 600.0),
+    ];
+    ladder
+        .into_iter()
+        .map(|(label, latency_us)| {
+            let system = SingleDeviceSystem::custom(label, latency_us, 25.0);
+            let m = run_single_device(
+                &trace,
+                &system,
+                ModelKind::VanillaCnn,
+                evaluation_deadline(),
+                100,
+                64,
+            );
+            Fig8Row {
+                label,
+                latency_us,
+                response_rate: m.response_rate(),
+            }
+        })
+        .collect()
+}
+
+/// One (system, model) cell of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig11Row {
+    /// System name.
+    pub system: &'static str,
+    /// Benchmark model.
+    pub kind: ModelKind,
+    /// Batch-1 inference latency in microseconds.
+    pub latency_us: f64,
+    /// Response rate on the evaluation traffic.
+    pub response_rate: f64,
+    /// Effective TFLOPS per watt.
+    pub tflops_per_watt: f64,
+}
+
+/// The complete Fig. 11 dataset plus derived headline ratios.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig11 {
+    /// All nine (system, model) cells.
+    pub rows: Vec<Fig11Row>,
+    /// Mean LightTrader latency speed-up vs the GPU system (paper: 13.92).
+    pub speedup_vs_gpu: f64,
+    /// Mean LightTrader latency speed-up vs the FPGA system (paper: 7.28).
+    pub speedup_vs_fpga: f64,
+    /// Mean TFLOPS/W advantage vs the GPU system (paper: 23.6).
+    pub efficiency_vs_gpu: f64,
+    /// Mean TFLOPS/W advantage vs the FPGA system (paper: 11.6).
+    pub efficiency_vs_fpga: f64,
+}
+
+/// Fig. 11: non-batching (batch-1) latency, response rate, and effective
+/// TFLOPS/W for the three systems across the three benchmarks.
+pub fn fig11(secs: f64, seed: u64) -> Fig11 {
+    let trace = evaluation_trace(secs, seed);
+    let deadline = evaluation_deadline();
+    let profile = DeviceProfile::lighttrader();
+    let reference = OperatingPoint::at_freq(2.0);
+    let mut rows = Vec::new();
+
+    // LightTrader: one accelerator, baseline policy (non-batching, §IV-B).
+    // The Fig. 11(c) efficiency metric is *system-level*: the paper notes
+    // LightTrader wins "even though it consists of the FPGA, peripherals,
+    // and only a single AI accelerator", so the FPGA + peripheral draw is
+    // charged on top of the chip.
+    for kind in ModelKind::ALL {
+        let cfg = BacktestConfig::new(kind, 1, PowerCondition::Sufficient);
+        let m = run_lighttrader(&trace, &cfg);
+        let system_power =
+            PowerCondition::FPGA_AND_PERIPHERALS_W + profile.power_w(kind, 1, reference);
+        let eff_tflops = lt_accel::latency::LatencyModel::ops_per_inference(kind)
+            / profile.t_infer(kind, 1, reference).as_secs_f64()
+            / 1e12;
+        rows.push(Fig11Row {
+            system: "LightTrader",
+            kind,
+            latency_us: profile.t_infer(kind, 1, reference).as_nanos() as f64 / 1_000.0,
+            response_rate: m.response_rate(),
+            tflops_per_watt: eff_tflops / system_power,
+        });
+    }
+    for system in [SingleDeviceSystem::gpu(), SingleDeviceSystem::fpga()] {
+        for kind in ModelKind::ALL {
+            let m = run_single_device(&trace, &system, kind, deadline, 100, 64);
+            rows.push(Fig11Row {
+                system: system.name,
+                kind,
+                latency_us: system.inference_latency(kind).as_nanos() as f64 / 1_000.0,
+                response_rate: m.response_rate(),
+                tflops_per_watt: system.effective_tflops_per_watt(kind),
+            });
+        }
+    }
+
+    let mean_ratio = |others: &str, field: fn(&Fig11Row) -> f64, invert: bool| {
+        let mut acc = 0.0;
+        for kind in ModelKind::ALL {
+            let lt = rows
+                .iter()
+                .find(|r| r.system == "LightTrader" && r.kind == kind)
+                .expect("lighttrader row");
+            let other = rows
+                .iter()
+                .find(|r| r.system == others && r.kind == kind)
+                .expect("baseline row");
+            acc += if invert {
+                field(lt) / field(other)
+            } else {
+                field(other) / field(lt)
+            };
+        }
+        acc / 3.0
+    };
+    Fig11 {
+        speedup_vs_gpu: mean_ratio("GPU-based", |r| r.latency_us, false),
+        speedup_vs_fpga: mean_ratio("FPGA-based", |r| r.latency_us, false),
+        efficiency_vs_gpu: mean_ratio("GPU-based", |r| r.tflops_per_watt, true),
+        efficiency_vs_fpga: mean_ratio("FPGA-based", |r| r.tflops_per_watt, true),
+        rows,
+    }
+}
+
+/// One cell of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig12Row {
+    /// Power condition.
+    pub condition: PowerCondition,
+    /// Benchmark model.
+    pub kind: ModelKind,
+    /// Accelerator count.
+    pub n_accels: usize,
+    /// Response rate (no scheduling: the Fig. 12 configuration).
+    pub response_rate: f64,
+}
+
+/// Fig. 12: response rate as the accelerator count scales 1→16 under both
+/// power conditions (static clocks, no runtime scheduling).
+pub fn fig12(secs: f64, seed: u64) -> Vec<Fig12Row> {
+    let trace = evaluation_trace(secs, seed);
+    let mut cells = Vec::new();
+    let mut configs = Vec::new();
+    for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+        for kind in ModelKind::ALL {
+            for n in [1usize, 2, 4, 8, 16] {
+                cells.push((condition, kind, n));
+                configs.push(BacktestConfig::new(kind, n, condition));
+            }
+        }
+    }
+    let metrics = lt_sim::run_sweep(&trace, &configs, 0);
+    cells
+        .into_iter()
+        .zip(metrics)
+        .map(|((condition, kind, n_accels), m)| Fig12Row {
+            condition,
+            kind,
+            n_accels,
+            response_rate: m.response_rate(),
+        })
+        .collect()
+}
+
+/// Fig. 12 variant: the same scaling sweep under a *tight* response
+/// window (1.5x each model's batch-1 service). This is the regime where
+/// the paper's 16-accelerator saturation-and-decline appears: per-chip
+/// static clocks fall as the pool grows, and once a chip's single-query
+/// service no longer fits the window, adding chips hurts. The default
+/// 5 ms window of [`fig12`] cannot show this (16 slower chips still
+/// clear it); see EXPERIMENTS.md.
+pub fn fig12_tight(secs: f64, seed: u64) -> Vec<Fig12Row> {
+    let trace = evaluation_trace(secs, seed);
+    let profile = DeviceProfile::lighttrader();
+    let reference = OperatingPoint::at_freq(2.0);
+    let mut rows = Vec::new();
+    for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+        for kind in ModelKind::ALL {
+            let window = profile.t_infer(kind, 1, reference).mul_f64(1.5);
+            for n in [1usize, 2, 4, 8, 16] {
+                let cfg = BacktestConfig::new(kind, n, condition).with_t_avail(window);
+                let m = run_lighttrader(&trace, &cfg);
+                rows.push(Fig12Row {
+                    condition,
+                    kind,
+                    n_accels: n,
+                    response_rate: m.response_rate(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One cell of Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig13Row {
+    /// Power condition.
+    pub condition: PowerCondition,
+    /// Benchmark model.
+    pub kind: ModelKind,
+    /// Accelerator count.
+    pub n_accels: usize,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Miss rate.
+    pub miss_rate: f64,
+}
+
+/// The complete Fig. 13 dataset plus the paper's aggregate reductions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// Every (condition, model, accels, policy) cell.
+    pub rows: Vec<Fig13Row>,
+    /// Mean relative miss-rate reduction of WS at small N (1, 2, 4), per
+    /// model (paper: 21.4% / 18.4% / 17.6%).
+    pub ws_small_n_reduction: [f64; 3],
+    /// Mean relative miss-rate reduction of DS at large N (8, 16), per
+    /// model (paper: 19.6% / 23.1% / 17.1%).
+    pub ds_large_n_reduction: [f64; 3],
+    /// Mean relative miss-rate reduction of WS+DS over all N, per model
+    /// (paper: 25.1% / 23.7% / 20.7%).
+    pub both_all_n_reduction: [f64; 3],
+}
+
+/// Fig. 13: miss rate for baseline / WS / DS / WS+DS across accelerator
+/// counts, power conditions, and benchmarks. Runs under the tight
+/// [`lt_sim::traffic::scheduling_deadline`], where batching and boosting
+/// decisions genuinely matter (see EXPERIMENTS.md).
+pub fn fig13(secs: f64, seed: u64) -> Fig13 {
+    let trace = evaluation_trace(secs, seed);
+    let mut cells = Vec::new();
+    let mut configs = Vec::new();
+    for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+        for kind in ModelKind::ALL {
+            let deadline = lt_sim::traffic::scheduling_deadline_for(kind);
+            for n in [1usize, 2, 4, 8, 16] {
+                for policy in Policy::ALL {
+                    cells.push((condition, kind, n, policy));
+                    configs.push(
+                        BacktestConfig::new(kind, n, condition)
+                            .with_policy(policy)
+                            .with_t_avail(deadline),
+                    );
+                }
+            }
+        }
+    }
+    let metrics = lt_sim::run_sweep(&trace, &configs, 0);
+    let rows: Vec<Fig13Row> = cells
+        .into_iter()
+        .zip(metrics)
+        .map(|((condition, kind, n_accels, policy), m)| Fig13Row {
+            condition,
+            kind,
+            n_accels,
+            policy,
+            miss_rate: m.miss_rate(),
+        })
+        .collect();
+
+    // Relative reduction of `policy` vs baseline, averaged over the given
+    // accelerator counts and both power conditions.
+    let reduction = |rows: &[Fig13Row], kind: ModelKind, policy: Policy, ns: &[usize]| {
+        let mut acc = 0.0;
+        let mut count = 0;
+        for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
+            for &n in ns {
+                let get = |p: Policy| {
+                    rows.iter()
+                        .find(|r| {
+                            r.condition == condition
+                                && r.kind == kind
+                                && r.n_accels == n
+                                && r.policy == p
+                        })
+                        .expect("cell exists")
+                        .miss_rate
+                };
+                let base = get(Policy::Baseline);
+                // Relative reductions over near-zero baselines are noise
+                // (0.1% -> 0.2% would read as "-100%"); average only the
+                // cells where the baseline miss rate is material.
+                if base > 0.01 {
+                    acc += (base - get(policy)) / base;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            acc / count as f64
+        }
+    };
+
+    let per_model = |policy: Policy, ns: &[usize]| {
+        let mut out = [0.0; 3];
+        for (i, kind) in ModelKind::ALL.into_iter().enumerate() {
+            out[i] = reduction(&rows, kind, policy, ns);
+        }
+        out
+    };
+    Fig13 {
+        ws_small_n_reduction: per_model(Policy::WorkloadScheduling, &[1, 2, 4]),
+        ds_large_n_reduction: per_model(Policy::DvfsScheduling, &[8, 16]),
+        both_all_n_reduction: per_model(Policy::Both, &[1, 2, 4, 8, 16]),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Short-session smoke versions of the experiment drivers; the
+    /// integration suite runs the full-length shape assertions.
+    const SECS: f64 = 6.0;
+    const SEED: u64 = 11;
+
+    #[test]
+    fn table2_matches_paper_within_tenth_percent() {
+        for row in table2() {
+            let err = (row.computed_ops as f64 - row.paper_ops as f64).abs() / row.paper_ops as f64;
+            assert!(err < 0.001, "{:?}", row);
+        }
+    }
+
+    #[test]
+    fn table3_has_all_thirty_cells() {
+        let rows = table3();
+        assert_eq!(rows.len(), 10);
+        // Spot-check the corners against the paper.
+        let suff16 = rows
+            .iter()
+            .find(|r| r.condition == PowerCondition::Sufficient && r.n_accels == 16)
+            .unwrap();
+        assert_eq!(suff16.freq_ghz, [1.9, 1.7, 1.6]);
+        let lim16 = rows
+            .iter()
+            .find(|r| r.condition == PowerCondition::Limited && r.n_accels == 16)
+            .unwrap();
+        assert_eq!(lim16.freq_ghz, [1.2, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn fig8_response_rate_decreases_with_complexity() {
+        let rows = fig8(SECS, SEED);
+        assert_eq!(rows.len(), 5);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].response_rate >= pair[1].response_rate - 0.02,
+                "{:?}",
+                pair
+            );
+        }
+        assert!(rows[0].response_rate > rows[4].response_rate);
+    }
+
+    #[test]
+    fn fig11_lighttrader_wins_everywhere() {
+        let f = fig11(SECS, SEED);
+        assert_eq!(f.rows.len(), 9);
+        for kind in ModelKind::ALL {
+            let get = |sys: &str| {
+                f.rows
+                    .iter()
+                    .find(|r| r.system == sys && r.kind == kind)
+                    .unwrap()
+            };
+            let lt = get("LightTrader");
+            let gpu = get("GPU-based");
+            let fpga = get("FPGA-based");
+            assert!(lt.latency_us < fpga.latency_us && fpga.latency_us < gpu.latency_us);
+            assert!(lt.response_rate >= fpga.response_rate);
+            assert!(fpga.response_rate >= gpu.response_rate);
+            assert!(lt.tflops_per_watt > fpga.tflops_per_watt);
+        }
+        assert!((f.speedup_vs_gpu - 13.92).abs() < 0.05);
+        assert!((f.speedup_vs_fpga - 7.28).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig12_scaling_improves_then_saturates() {
+        let rows = fig12(SECS, SEED);
+        assert_eq!(rows.len(), 30);
+        for kind in ModelKind::ALL {
+            let rate = |n: usize| {
+                rows.iter()
+                    .find(|r| {
+                        r.condition == PowerCondition::Sufficient
+                            && r.kind == kind
+                            && r.n_accels == n
+                    })
+                    .unwrap()
+                    .response_rate
+            };
+            assert!(rate(8) >= rate(1), "{kind}: more accels should help");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use lighttrader::report::TextTable;
+/// let mut t = TextTable::new(vec!["model", "ops"]);
+/// t.push_row(vec!["CNN".into(), "93.0G".into()]);
+/// let out = t.render();
+/// assert!(out.contains("model"));
+/// assert!(out.contains("93.0G"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<&'static str>) -> Self {
+        assert!(!headers.is_empty(), "need at least one column");
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let headers: Vec<String> = self.headers.iter().map(|h| h.to_string()).collect();
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio like `13.92x`.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a rate like `94.2%`.
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.push_row(vec!["xxxxx".into(), "1".into()]);
+        t.push_row(vec!["y".into(), "2".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a      long-header"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(13.9234), "13.92x");
+        assert_eq!(percent(0.942), "94.2%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,428 @@
+//! An end-to-end functional LightTrader instance.
+//!
+//! [`LightTrader`] wires the whole tick-to-trade path of Fig. 4(b)
+//! together for applications: datagram in → packet parser → local book →
+//! offload engine → DNN inference → trading engine → order out. It runs
+//! *functionally* (real parsing, real tensors, real inference on the
+//! tiny model configurations); use `lt-sim` when you need timing,
+//! response rates, or scheduling studies instead.
+
+use lt_dnn::models::build_tiny;
+use lt_dnn::{Model, ModelKind, Prediction};
+use lt_feed::NormStats;
+use lt_lob::{MarketEvent, Symbol, Timestamp};
+use lt_pipeline::trading::NoOrderReason;
+use lt_pipeline::{KillSwitch, LocalBook, OffloadEngine, OrderRateLimiter, PacketParser, RiskLimits, TradingEngine};
+use lt_protocol::ilink::OrderMessage;
+
+/// What one tick produced end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TickOutcome {
+    /// The feature window is still warming up; no inference ran.
+    Warmup,
+    /// Inference ran but a risk gate suppressed the order.
+    NoOrder {
+        /// The model's output.
+        prediction: Prediction,
+        /// Which gate suppressed it.
+        reason: NoOrderReason,
+    },
+    /// An order was generated.
+    Order {
+        /// The model's output.
+        prediction: Prediction,
+        /// The order message (encode with
+        /// [`OrderMessage::encode`] or FIX).
+        order: OrderMessage,
+    },
+}
+
+/// Builder for a functional [`LightTrader`].
+#[derive(Debug, Clone)]
+pub struct LightTraderBuilder {
+    kind: ModelKind,
+    symbol: Symbol,
+    seed: u64,
+    risk: RiskLimits,
+    norm: Option<NormStats>,
+    rate_limit: Option<u32>,
+    loss_floor_ticks: Option<i64>,
+}
+
+impl LightTraderBuilder {
+    /// Starts a builder for the given benchmark model.
+    pub fn new(kind: ModelKind) -> Self {
+        LightTraderBuilder {
+            kind,
+            symbol: Symbol::new("ESU6"),
+            seed: 0,
+            risk: RiskLimits::default(),
+            norm: None,
+            rate_limit: None,
+            loss_floor_ticks: None,
+        }
+    }
+
+    /// Sets the traded symbol (default `ESU6`).
+    #[must_use]
+    pub fn symbol(mut self, symbol: Symbol) -> Self {
+        self.symbol = symbol;
+        self
+    }
+
+    /// Sets the weight-initialization seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trading-engine risk limits.
+    #[must_use]
+    pub fn risk(mut self, risk: RiskLimits) -> Self {
+        self.risk = risk;
+        self
+    }
+
+    /// Supplies historical normalization statistics (defaults to
+    /// identity, i.e. raw features).
+    #[must_use]
+    pub fn normalization(mut self, norm: NormStats) -> Self {
+        self.norm = Some(norm);
+        self
+    }
+
+    /// Caps outbound orders per second (exchange messaging limits).
+    #[must_use]
+    pub fn order_rate_limit(mut self, per_second: u32) -> Self {
+        self.rate_limit = Some(per_second);
+        self
+    }
+
+    /// Arms a kill switch that halts trading when mark-to-market P&L
+    /// falls to `loss_floor_ticks` (ticks x contracts).
+    #[must_use]
+    pub fn kill_switch(mut self, loss_floor_ticks: i64) -> Self {
+        self.loss_floor_ticks = Some(loss_floor_ticks);
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> LightTrader {
+        let model = build_tiny(self.kind, self.seed);
+        let norm = self.norm.unwrap_or_else(|| NormStats::identity(10));
+        assert_eq!(
+            norm.depth(),
+            10,
+            "normalization stats must cover ten book levels"
+        );
+        let window = model.window();
+        LightTrader {
+            parser: PacketParser::new(),
+            book: LocalBook::new(),
+            offload: OffloadEngine::new(norm, window, 64),
+            trading: TradingEngine::new(self.symbol, self.risk),
+            limiter: self.rate_limit.map(OrderRateLimiter::per_second),
+            kill: self
+                .loss_floor_ticks
+                .map(|floor| KillSwitch::new(floor, 10)),
+            inferences: 0,
+            model,
+        }
+    }
+}
+
+/// The functional end-to-end system.
+pub struct LightTrader {
+    parser: PacketParser,
+    book: LocalBook,
+    offload: OffloadEngine,
+    model: Box<dyn Model>,
+    trading: TradingEngine,
+    limiter: Option<OrderRateLimiter>,
+    kill: Option<KillSwitch>,
+    inferences: u64,
+}
+
+impl LightTrader {
+    /// Starts a builder.
+    pub fn builder(kind: ModelKind) -> LightTraderBuilder {
+        LightTraderBuilder::new(kind)
+    }
+
+    /// The benchmark model this instance serves.
+    pub fn model_kind(&self) -> ModelKind {
+        self.model.kind()
+    }
+
+    /// Inferences executed so far.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Net position in contracts.
+    pub fn position(&self) -> i64 {
+        self.trading.position()
+    }
+
+    /// Orders generated so far.
+    pub fn orders_sent(&self) -> u64 {
+        self.trading.orders_sent()
+    }
+
+    /// Realized cash in ticks x contracts (assumes IOC fills at limit).
+    pub fn cash_ticks(&self) -> i64 {
+        self.trading.cash_ticks()
+    }
+
+    /// Mark-to-market P&L in ticks x contracts against the local book's
+    /// current mid price (`None` when the book is one-sided).
+    pub fn mark_to_market(&self) -> Option<i64> {
+        let bid = self.book.best_bid()?;
+        let ask = self.book.best_ask()?;
+        let mid = lt_lob::Price::new((bid.ticks() + ask.ticks()) / 2);
+        Some(self.trading.mark_to_market(mid))
+    }
+
+    /// Packet-parser intake counters.
+    pub fn parser_stats(&self) -> lt_pipeline::ParserStats {
+        self.parser.stats()
+    }
+
+    /// Feeds one raw market-data datagram through the full pipeline.
+    ///
+    /// Returns one outcome per decoded tick.
+    pub fn on_datagram(&mut self, bytes: &[u8]) -> Vec<TickOutcome> {
+        let events = self.parser.ingest(bytes);
+        events.iter().map(|e| self.process_event(e)).collect()
+    }
+
+    /// Feeds one already-decoded market event (bypasses the parser).
+    pub fn on_event(&mut self, event: &MarketEvent) -> TickOutcome {
+        self.process_event(event)
+    }
+
+    fn process_event(&mut self, event: &MarketEvent) -> TickOutcome {
+        self.book.apply(event);
+        let snapshot = self.book.snapshot(10, event.ts);
+        self.offload.on_tick(&snapshot, event.ts);
+        if !self.offload.is_warm() {
+            return TickOutcome::Warmup;
+        }
+        // In the functional path the "accelerator" is the host: run the
+        // tiny model on the assembled window.
+        let tensor = self.offload.latest_tensor();
+        // Consume the ticket this tick enqueued: the host answers
+        // immediately, so the queue never backs up.
+        self.offload.pop_batch(usize::MAX);
+        let prediction = self.model.forward(&tensor);
+        self.inferences += 1;
+        self.gated_decision(&prediction, &snapshot, event.ts)
+    }
+
+    /// Applies the kill switch and rate limiter around the trading
+    /// engine's decision.
+    fn gated_decision(
+        &mut self,
+        prediction: &Prediction,
+        snapshot: &lt_lob::LobSnapshot,
+        ts: Timestamp,
+    ) -> TickOutcome {
+        if let Some(kill) = &self.kill {
+            if !kill.is_armed() {
+                return TickOutcome::NoOrder {
+                    prediction: *prediction,
+                    reason: NoOrderReason::Killed,
+                };
+            }
+        }
+        if let Some(limiter) = &mut self.limiter {
+            if !limiter.would_allow(ts) {
+                return TickOutcome::NoOrder {
+                    prediction: *prediction,
+                    reason: NoOrderReason::RateLimited,
+                };
+            }
+        }
+        match self.trading.on_prediction(prediction, snapshot) {
+            Ok(order) => {
+                if let Some(limiter) = &mut self.limiter {
+                    limiter.record(ts);
+                }
+                if let (Some(kill), Some(pnl)) = (&mut self.kill, {
+                    let bid = snapshot.best_bid();
+                    let ask = snapshot.best_ask();
+                    match (bid, ask) {
+                        (Some(b), Some(a)) => Some(
+                            self.trading.mark_to_market(lt_lob::Price::new(
+                                (b.price.ticks() + a.price.ticks()) / 2,
+                            )),
+                        ),
+                        _ => None,
+                    }
+                }) {
+                    kill.observe_pnl(pnl);
+                }
+                TickOutcome::Order {
+                    prediction: *prediction,
+                    order,
+                }
+            }
+            Err(reason) => TickOutcome::NoOrder {
+                prediction: *prediction,
+                reason,
+            },
+        }
+    }
+
+    /// Convenience: feeds a recorded trace, returning every order it
+    /// generated with its triggering timestamp.
+    pub fn replay(&mut self, trace: &lt_feed::TickTrace) -> Vec<(Timestamp, OrderMessage)> {
+        let mut orders = Vec::new();
+        for tick in trace {
+            self.offload.on_tick(&tick.snapshot, tick.ts);
+            if !self.offload.is_warm() {
+                continue;
+            }
+            let tensor = self.offload.latest_tensor();
+            self.offload.pop_batch(usize::MAX);
+            let prediction = self.model.forward(&tensor);
+            self.inferences += 1;
+            if let TickOutcome::Order { order, .. } =
+                self.gated_decision(&prediction, &tick.snapshot, tick.ts)
+            {
+                orders.push((tick.ts, order));
+            }
+        }
+        orders
+    }
+}
+
+impl std::fmt::Debug for LightTrader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LightTrader")
+            .field("model", &self.model.kind())
+            .field("inferences", &self.inferences)
+            .field("position", &self.trading.position())
+            .field("orders_sent", &self.trading.orders_sent())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_feed::SessionBuilder;
+
+    #[test]
+    fn warms_up_then_infers() {
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn).seed(1).build();
+        let session = SessionBuilder::calm_traffic()
+            .duration_secs(0.5)
+            .seed(2)
+            .build();
+        let mut warmups = 0;
+        let mut decided = 0;
+        for tick in session.trace.iter().take(60) {
+            // Build a synthetic event per tick via the event-free path:
+            // replay handles traces; here we exercise on_event via a
+            // minimal Add event carrying the tick's timestamp.
+            let event = MarketEvent {
+                seq: 1,
+                ts: tick.ts,
+                kind: lt_lob::events::MarketEventKind::Book(lt_lob::BookDelta::Add {
+                    id: lt_lob::OrderId::new(decided + warmups + 1),
+                    side: lt_lob::Side::Bid,
+                    price: lt_lob::Price::new(100),
+                    qty: lt_lob::Qty::new(1),
+                }),
+            };
+            match system.on_event(&event) {
+                TickOutcome::Warmup => warmups += 1,
+                _ => decided += 1,
+            }
+        }
+        // The CNN window is 20 ticks: 19 warmups, the rest decided.
+        assert_eq!(warmups, 19);
+        assert_eq!(decided, 41);
+        assert_eq!(system.inferences(), 41);
+    }
+
+    #[test]
+    fn replay_generates_orders_on_realistic_flow() {
+        let session = SessionBuilder::normal_traffic()
+            .duration_secs(0.5)
+            .seed(3)
+            .build();
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(7)
+            .normalization(session.norm.clone())
+            .build();
+        let orders = system.replay(&session.trace);
+        assert!(system.inferences() > 100);
+        // Random-weight models still fire sometimes; position stays capped.
+        assert!(system.position().unsigned_abs() <= 50);
+        for (ts, order) in &orders {
+            assert!(ts.nanos() > 0);
+            // Orders round-trip the binary codec.
+            let (decoded, _) = OrderMessage::decode(&order.encode()).unwrap();
+            assert_eq!(&decoded, order);
+        }
+    }
+
+    #[test]
+    fn rate_limiter_gates_orders() {
+        let session = SessionBuilder::normal_traffic().duration_secs(0.3).seed(3).build();
+        // An aggressive strategy (no confidence gate, huge position cap)
+        // fires on nearly every non-stationary prediction.
+        let aggressive = RiskLimits {
+            min_confidence: 0.0,
+            max_position: 100_000,
+            order_qty: 1,
+            max_spread_ticks: 1_000,
+        };
+        let mut free = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(7)
+            .risk(aggressive)
+            .normalization(session.norm.clone())
+            .build();
+        let mut capped = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(7)
+            .risk(aggressive)
+            .normalization(session.norm.clone())
+            .order_rate_limit(5)
+            .build();
+        let unlimited = free.replay(&session.trace).len();
+        let limited = capped.replay(&session.trace).len();
+        assert!(unlimited > 20, "aggressive strategy fired only {unlimited}");
+        assert!(limited < unlimited, "{limited} vs {unlimited}");
+        // The 0.5 s session can pass at most ~5/s plus window slop.
+        assert!(limited <= 10, "limited sent {limited}");
+    }
+
+    #[test]
+    fn kill_switch_halts_after_losses() {
+        let session = SessionBuilder::normal_traffic().duration_secs(0.3).seed(3).build();
+        // A zero-loss floor trips on the first negative mark.
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(7)
+            .normalization(session.norm.clone())
+            .kill_switch(-1)
+            .build();
+        let with_kill = system.replay(&session.trace).len();
+        let mut free = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(7)
+            .normalization(session.norm.clone())
+            .build();
+        let without = free.replay(&session.trace).len();
+        // The switch can only reduce (or match) order flow.
+        assert!(with_kill <= without);
+    }
+
+    #[test]
+    fn debug_format_is_informative() {
+        let system = LightTrader::builder(ModelKind::TransLob).build();
+        let s = format!("{system:?}");
+        assert!(s.contains("TransLOB") || s.contains("TransLob"));
+    }
+}

@@ -1,0 +1,40 @@
+//! BF16 tensor library and the three HFT benchmark DNNs.
+//!
+//! The paper evaluates three limit-order-book models (Table II):
+//!
+//! | model       | network          | total OPs |
+//! |-------------|------------------|-----------|
+//! | Vanilla CNN | CNN              | 93.0 G    |
+//! | TransLOB    | CNN + Transformer| 203.9 G   |
+//! | DeepLOB     | CNN + LSTM       | 515.4 G   |
+//!
+//! This crate implements all three from scratch on a small tensor library:
+//!
+//! * [`bf16`] — Brain-float-16 rounding, the accelerator's "main
+//!   computational precision" (§III-C), plus symmetric INT8 quantization
+//!   for the low-latency path;
+//! * [`tensor`] — a dense row-major `f32` tensor with the shape algebra
+//!   the layers need;
+//! * [`ops`] — linear, conv2d, LSTM, multi-head attention, layer norm,
+//!   pooling, and activations, each with an analytic MAC counter used by
+//!   the latency model;
+//! * [`models`] — [`VanillaCnn`],
+//!   [`TransLob`], and [`DeepLob`],
+//!   each in two sizes: a `paper()` configuration whose analytic op count
+//!   matches Table II, and a `tiny()` configuration that runs functionally
+//!   in microseconds for tests, examples, and the CGRA simulator.
+//!
+//! Every op has a naive-reference test; property tests cover numerical
+//! invariants (softmax sums to one, layer norm normalizes, BF16
+//! round-trips, ...).
+
+pub mod bf16;
+pub mod model;
+pub mod models;
+pub mod ops;
+pub mod tensor;
+
+pub use bf16::{bf16_round, quantize_int8, Precision};
+pub use model::{Model, ModelKind, Prediction, PriceDirection};
+pub use models::{DeepLob, TransLob, VanillaCnn};
+pub use tensor::Tensor;

@@ -1,0 +1,304 @@
+//! The DeepLOB benchmark (convolutional blocks + inception + LSTM).
+//!
+//! Three convolutional blocks progressively fold the 40-wide level axis
+//! (40 → 20 → 10 → 1) while temporal convolutions extract short-term
+//! structure; an inception module mixes receptive fields; an LSTM
+//! integrates the sequence; a dense softmax head classifies the move —
+//! the architecture of Zhang et al. that the paper benchmarks at
+//! 515.4 G OPs.
+
+use crate::model::{Model, ModelKind, Prediction};
+use crate::ops::activation::{leaky_relu, softmax_last_dim};
+use crate::ops::count::{conv2d_macs, linear_macs, lstm_macs, macs_to_ops};
+use crate::ops::{Conv2d, Linear, Lstm};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a DeepLOB instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeepLobSpec {
+    /// Tick-window length `T`.
+    pub window: usize,
+    /// Features per tick; the level-folding convolutions require 40.
+    pub features: usize,
+    /// Channel width of the convolutional trunk.
+    pub channels: usize,
+    /// LSTM hidden width.
+    pub lstm_hidden: usize,
+}
+
+/// Temporal kernel height of the in-block convolutions.
+const KERNEL_T: usize = 4;
+/// LeakyReLU slope used throughout (as in the DeepLOB paper).
+const LEAK: f32 = 0.01;
+/// Temporal shrinkage across the whole trunk: six valid k=4 convolutions.
+const TRUNK_SHRINK: usize = 6 * (KERNEL_T - 1);
+
+impl DeepLobSpec {
+    /// The paper-scale spec: [`Self::ops`] reproduces Table II's 515.4 G
+    /// OPs within 0.1%.
+    pub fn paper() -> Self {
+        DeepLobSpec {
+            window: 100,
+            features: 40,
+            channels: 2_900,
+            lstm_hidden: 6_520,
+        }
+    }
+
+    /// A tiny runnable spec.
+    pub fn tiny() -> Self {
+        DeepLobSpec {
+            window: 24,
+            features: 40,
+            channels: 4,
+            lstm_hidden: 8,
+        }
+    }
+
+    /// Sequence length reaching the LSTM.
+    pub fn lstm_steps(&self) -> usize {
+        self.window - TRUNK_SHRINK
+    }
+
+    /// Analytic MACs of one forward pass.
+    pub fn macs(&self) -> u64 {
+        let t = self.window as u64;
+        let c = self.channels as u64;
+        let h = self.lstm_hidden as u64;
+        let k = KERNEL_T as u64;
+        // Block 1: level fold 40 -> 20, then two temporal convolutions.
+        let b1a = conv2d_macs(c, 1, 1, 2, t, 20);
+        let b1b = conv2d_macs(c, c, k, 1, t - 3, 20);
+        let b1c = conv2d_macs(c, c, k, 1, t - 6, 20);
+        // Block 2: fold 20 -> 10.
+        let b2a = conv2d_macs(c, c, 1, 2, t - 6, 10);
+        let b2b = conv2d_macs(c, c, k, 1, t - 9, 10);
+        let b2c = conv2d_macs(c, c, k, 1, t - 12, 10);
+        // Block 3: fold 10 -> 1.
+        let b3a = conv2d_macs(c, c, 1, 10, t - 12, 1);
+        let b3b = conv2d_macs(c, c, k, 1, t - 15, 1);
+        let b3c = conv2d_macs(c, c, k, 1, t - 18, 1);
+        // Inception: 1x1, 1x1+3x1(same), 1x1+5x1(same) branches.
+        let steps = self.lstm_steps() as u64;
+        let inception = conv2d_macs(c, c, 1, 1, steps, 1)
+            + conv2d_macs(c, c, 1, 1, steps, 1)
+            + conv2d_macs(c, c, 3, 1, steps, 1)
+            + conv2d_macs(c, c, 1, 1, steps, 1)
+            + conv2d_macs(c, c, 5, 1, steps, 1);
+        let lstm = lstm_macs(steps, 3 * c, h);
+        let fc = linear_macs(1, h, 3);
+        b1a + b1b + b1c + b2a + b2b + b2c + b3a + b3b + b3c + inception + lstm + fc
+    }
+
+    /// Analytic OPs (2 per MAC).
+    pub fn ops(&self) -> u64 {
+        macs_to_ops(self.macs())
+    }
+
+    /// Instantiates the network with deterministic weights.
+    ///
+    /// Use only with small specs; see [`CnnSpec::build`](super::CnnSpec::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features != 40` or the window is too short for the
+    /// trunk's six temporal convolutions.
+    pub fn build(self, seed: u64) -> DeepLob {
+        assert_eq!(
+            self.features, 40,
+            "DeepLOB's level-folding trunk requires 40 features"
+        );
+        assert!(
+            self.window > TRUNK_SHRINK,
+            "window {} too short: trunk consumes {TRUNK_SHRINK} ticks",
+            self.window
+        );
+        let c = self.channels;
+        let conv = |in_c, out_c, kh, kw, sw, pad, s| {
+            Conv2d::new(in_c, out_c, (kh, kw), (1, sw), pad, seed.wrapping_add(s))
+        };
+        DeepLob {
+            b1a: conv(1, c, 1, 2, 2, (0, 0), 0),
+            b1b: conv(c, c, KERNEL_T, 1, 1, (0, 0), 1),
+            b1c: conv(c, c, KERNEL_T, 1, 1, (0, 0), 2),
+            b2a: conv(c, c, 1, 2, 2, (0, 0), 3),
+            b2b: conv(c, c, KERNEL_T, 1, 1, (0, 0), 4),
+            b2c: conv(c, c, KERNEL_T, 1, 1, (0, 0), 5),
+            b3a: conv(c, c, 1, 10, 1, (0, 0), 6),
+            b3b: conv(c, c, KERNEL_T, 1, 1, (0, 0), 7),
+            b3c: conv(c, c, KERNEL_T, 1, 1, (0, 0), 8),
+            inc1: conv(c, c, 1, 1, 1, (0, 0), 9),
+            inc2a: conv(c, c, 1, 1, 1, (0, 0), 10),
+            inc2b: conv(c, c, 3, 1, 1, (1, 0), 11),
+            inc3a: conv(c, c, 1, 1, 1, (0, 0), 12),
+            inc3b: conv(c, c, 5, 1, 1, (2, 0), 13),
+            lstm: Lstm::new(3 * c, self.lstm_hidden, seed.wrapping_add(14)),
+            fc: Linear::new(self.lstm_hidden, 3, seed.wrapping_add(15)),
+            spec: self,
+        }
+    }
+}
+
+/// An instantiated DeepLOB network.
+#[derive(Debug, Clone)]
+pub struct DeepLob {
+    spec: DeepLobSpec,
+    b1a: Conv2d,
+    b1b: Conv2d,
+    b1c: Conv2d,
+    b2a: Conv2d,
+    b2b: Conv2d,
+    b2c: Conv2d,
+    b3a: Conv2d,
+    b3b: Conv2d,
+    b3c: Conv2d,
+    inc1: Conv2d,
+    inc2a: Conv2d,
+    inc2b: Conv2d,
+    inc3a: Conv2d,
+    inc3b: Conv2d,
+    lstm: Lstm,
+    fc: Linear,
+}
+
+impl DeepLob {
+    /// The spec this instance was built from.
+    pub fn spec(&self) -> DeepLobSpec {
+        self.spec
+    }
+
+    fn conv_act(conv: &Conv2d, x: &Tensor) -> Tensor {
+        let mut y = conv.forward(x);
+        leaky_relu(&mut y, LEAK);
+        y
+    }
+}
+
+impl Model for DeepLob {
+    fn kind(&self) -> ModelKind {
+        ModelKind::DeepLob
+    }
+
+    fn window(&self) -> usize {
+        self.spec.window
+    }
+
+    fn features(&self) -> usize {
+        self.spec.features
+    }
+
+    fn forward(&self, input: &Tensor) -> Prediction {
+        let (t, f) = (self.spec.window, self.spec.features);
+        assert_eq!(input.shape(), [t, f], "input must be [window, features]");
+        let x = input.clone().reshape(&[1, t, f]);
+        let x = Self::conv_act(&self.b1a, &x);
+        let x = Self::conv_act(&self.b1b, &x);
+        let x = Self::conv_act(&self.b1c, &x);
+        let x = Self::conv_act(&self.b2a, &x);
+        let x = Self::conv_act(&self.b2b, &x);
+        let x = Self::conv_act(&self.b2c, &x);
+        let x = Self::conv_act(&self.b3a, &x);
+        let x = Self::conv_act(&self.b3b, &x);
+        let x = Self::conv_act(&self.b3c, &x);
+        // Inception over [C, steps, 1].
+        let br1 = Self::conv_act(&self.inc1, &x);
+        let br2 = Self::conv_act(&self.inc2b, &Self::conv_act(&self.inc2a, &x));
+        let br3 = Self::conv_act(&self.inc3b, &Self::conv_act(&self.inc3a, &x));
+        let c = self.spec.channels;
+        let steps = self.spec.lstm_steps();
+        // Concatenate channels and flip to sequence-major [steps, 3C].
+        let mut seq = Tensor::zeros(&[steps, 3 * c]);
+        for s in 0..steps {
+            for ch in 0..c {
+                seq.set(&[s, ch], br1.at(&[ch, s, 0]));
+                seq.set(&[s, c + ch], br2.at(&[ch, s, 0]));
+                seq.set(&[s, 2 * c + ch], br3.at(&[ch, s, 0]));
+            }
+        }
+        let hidden = self.lstm.last_hidden(&seq);
+        let mut logits = self.fc.forward(&hidden);
+        softmax_last_dim(&mut logits);
+        let out = logits.data();
+        Prediction::new([out[0], out[1], out[2]])
+    }
+
+    fn total_macs(&self) -> u64 {
+        self.spec.macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_hits_table2() {
+        let ops = DeepLobSpec::paper().ops() as f64;
+        assert!(
+            (ops - 515.4e9).abs() / 515.4e9 < 0.001,
+            "paper DeepLOB ops = {ops:.4e}"
+        );
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let model = DeepLobSpec::tiny().build(1);
+        let x = Tensor::random(&[24, 40], 1.0, 2);
+        let p = model.forward(&x);
+        assert!((p.probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn spec_macs_consistent_with_layer_counts() {
+        let spec = DeepLobSpec::tiny();
+        let m = spec.build(0);
+        let t = spec.window;
+        let layered = m.b1a.macs(t, 40)
+            + m.b1b.macs(t, 20)
+            + m.b1c.macs(t - 3, 20)
+            + m.b2a.macs(t - 6, 20)
+            + m.b2b.macs(t - 6, 10)
+            + m.b2c.macs(t - 9, 10)
+            + m.b3a.macs(t - 12, 10)
+            + m.b3b.macs(t - 12, 1)
+            + m.b3c.macs(t - 15, 1)
+            + m.inc1.macs(t - 18, 1)
+            + m.inc2a.macs(t - 18, 1)
+            + m.inc2b.macs(t - 18, 1)
+            + m.inc3a.macs(t - 18, 1)
+            + m.inc3b.macs(t - 18, 1)
+            + m.lstm.macs(spec.lstm_steps() as u64)
+            + m.fc.macs(1);
+        assert_eq!(spec.macs(), layered);
+    }
+
+    #[test]
+    fn lstm_steps_geometry() {
+        assert_eq!(DeepLobSpec::paper().lstm_steps(), 82);
+        assert_eq!(DeepLobSpec::tiny().lstm_steps(), 6);
+    }
+
+    #[test]
+    fn sensitive_to_recent_ticks() {
+        // Perturbing the last tick of the window changes the prediction —
+        // the LSTM must propagate late information.
+        let model = DeepLobSpec::tiny().build(5);
+        let base = Tensor::random(&[24, 40], 1.0, 9);
+        let mut bumped = base.clone();
+        for fcol in 0..40 {
+            bumped.set(&[23, fcol], base.at(&[23, fcol]) + 3.0);
+        }
+        assert_ne!(model.forward(&base).probs, model.forward(&bumped).probs);
+    }
+
+    #[test]
+    #[should_panic(expected = "40 features")]
+    fn wrong_feature_count_panics() {
+        let spec = DeepLobSpec {
+            features: 20,
+            ..DeepLobSpec::tiny()
+        };
+        let _ = spec.build(0);
+    }
+}

@@ -1,0 +1,83 @@
+//! The three benchmark networks of Table II.
+//!
+//! Each model comes as a *spec* (dimensions only — computes the analytic
+//! op count without allocating weights, so paper-scale networks can be
+//! priced) and an *instantiated network* built from a spec (owns weights,
+//! runs `forward`). The `paper()` specs are dimensioned so their analytic
+//! op counts reproduce Table II within 0.1%; the `tiny()` specs run
+//! functionally in microseconds and share the exact same code path.
+
+mod deeplob;
+mod quantized;
+mod translob;
+mod vanilla_cnn;
+
+pub use deeplob::{DeepLob, DeepLobSpec};
+pub use quantized::{
+    quantization_report, weight_round_trip_error, QuantizationReport, QuantizedCnn,
+};
+pub use translob::{TransLob, TransLobSpec};
+pub use vanilla_cnn::{CnnSpec, VanillaCnn};
+
+use crate::model::ModelKind;
+
+/// The analytic op count of a kind's paper-scale spec.
+pub fn paper_spec_ops(kind: ModelKind) -> u64 {
+    match kind {
+        ModelKind::VanillaCnn => CnnSpec::paper().ops(),
+        ModelKind::TransLob => TransLobSpec::paper().ops(),
+        ModelKind::DeepLob => DeepLobSpec::paper().ops(),
+    }
+}
+
+/// Builds a tiny (runnable) instance of `kind` with deterministic weights.
+pub fn build_tiny(kind: ModelKind, seed: u64) -> Box<dyn crate::model::Model> {
+    match kind {
+        ModelKind::VanillaCnn => Box::new(CnnSpec::tiny().build(seed)),
+        ModelKind::TransLob => Box::new(TransLobSpec::tiny().build(seed)),
+        ModelKind::DeepLob => Box::new(DeepLobSpec::tiny().build(seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The central Table II reproduction check: each paper spec's analytic
+    /// op count matches the paper within 0.1%.
+    #[test]
+    fn paper_specs_match_table2() {
+        for kind in ModelKind::ALL {
+            let computed = paper_spec_ops(kind) as f64;
+            let target = kind.table2_ops() as f64;
+            let err = (computed - target).abs() / target;
+            assert!(
+                err < 0.001,
+                "{kind}: computed {computed:.3e} vs Table II {target:.3e} (err {:.4}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    /// Op counts are ordered as in the paper: CNN < TransLOB < DeepLOB.
+    #[test]
+    fn complexity_ordering() {
+        let cnn = paper_spec_ops(ModelKind::VanillaCnn);
+        let translob = paper_spec_ops(ModelKind::TransLob);
+        let deeplob = paper_spec_ops(ModelKind::DeepLob);
+        assert!(cnn < translob && translob < deeplob);
+    }
+
+    #[test]
+    fn tiny_models_run() {
+        for kind in ModelKind::ALL {
+            let model = build_tiny(kind, 42);
+            let input = crate::tensor::Tensor::random(&[model.window(), model.features()], 1.0, 1);
+            let pred = model.forward(&input);
+            let sum: f32 = pred.probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "{kind}: probs {:?}", pred.probs);
+            assert_eq!(model.kind(), kind);
+            assert!(model.total_ops() > 0);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The TransLOB benchmark (CNN front-end + transformer encoder).
+//!
+//! Five temporal convolutions lift the `[T, 40]` feature map to `C`
+//! channels, a dense projection maps into the `d_model` token space,
+//! sinusoidal positional encodings are added, and a stack of pre-norm
+//! transformer layers (self-attention + feed-forward, both residual)
+//! precedes mean pooling and the three-way softmax head.
+
+use crate::model::{Model, ModelKind, Prediction};
+use crate::ops::activation::{relu, softmax_last_dim};
+use crate::ops::count::{attention_macs, conv2d_macs, ffn_macs, linear_macs, macs_to_ops};
+use crate::ops::{Conv2d, LayerNorm, Linear, MultiHeadAttention};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a TransLOB instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransLobSpec {
+    /// Tick-window length `T`.
+    pub window: usize,
+    /// Features per tick.
+    pub features: usize,
+    /// Channel width of the five-layer convolutional front-end.
+    pub conv_channels: usize,
+    /// Transformer model width.
+    pub d_model: usize,
+    /// Attention heads (must divide `d_model`).
+    pub heads: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+}
+
+/// Temporal kernel size of the convolution stack ("same" padded).
+const CONV_K: usize = 3;
+/// Number of convolution layers in the front-end.
+const CONV_LAYERS: usize = 5;
+/// Feed-forward expansion factor.
+const FFN_MULT: usize = 4;
+
+impl TransLobSpec {
+    /// The paper-scale spec: [`Self::ops`] reproduces Table II's 203.9 G
+    /// OPs within 0.1%.
+    pub fn paper() -> Self {
+        TransLobSpec {
+            window: 100,
+            features: 40,
+            conv_channels: 512,
+            d_model: 6_488,
+            heads: 8,
+            layers: 2,
+        }
+    }
+
+    /// A tiny runnable spec.
+    pub fn tiny() -> Self {
+        TransLobSpec {
+            window: 16,
+            features: 40,
+            conv_channels: 8,
+            d_model: 16,
+            heads: 2,
+            layers: 2,
+        }
+    }
+
+    /// Analytic MACs of one forward pass.
+    pub fn macs(&self) -> u64 {
+        let t = self.window as u64;
+        let f = self.features as u64;
+        let c = self.conv_channels as u64;
+        let d = self.d_model as u64;
+        let conv1 = conv2d_macs(c, f, CONV_K as u64, 1, t, 1);
+        let conv_rest = (CONV_LAYERS as u64 - 1) * conv2d_macs(c, c, CONV_K as u64, 1, t, 1);
+        let proj = linear_macs(t, c, d);
+        let per_layer = attention_macs(t, d) + ffn_macs(t, d, FFN_MULT as u64 * d);
+        let head = linear_macs(1, d, 3);
+        conv1 + conv_rest + proj + self.layers as u64 * per_layer + head
+    }
+
+    /// Analytic OPs (2 per MAC).
+    pub fn ops(&self) -> u64 {
+        macs_to_ops(self.macs())
+    }
+
+    /// Instantiates the network with deterministic weights.
+    ///
+    /// Use only with small specs; see [`CnnSpec::build`](super::CnnSpec::build).
+    pub fn build(self, seed: u64) -> TransLob {
+        let mut convs = Vec::with_capacity(CONV_LAYERS);
+        for i in 0..CONV_LAYERS {
+            let in_c = if i == 0 {
+                self.features
+            } else {
+                self.conv_channels
+            };
+            convs.push(Conv2d::new(
+                in_c,
+                self.conv_channels,
+                (CONV_K, 1),
+                (1, 1),
+                (1, 0),
+                seed.wrapping_add(i as u64),
+            ));
+        }
+        let mut blocks = Vec::with_capacity(self.layers);
+        for l in 0..self.layers {
+            let base = seed.wrapping_add(100 + 10 * l as u64);
+            blocks.push(TransformerBlock {
+                ln1: LayerNorm::new(self.d_model),
+                attn: MultiHeadAttention::new(self.d_model, self.heads, base),
+                ln2: LayerNorm::new(self.d_model),
+                ffn1: Linear::new(self.d_model, FFN_MULT * self.d_model, base + 4),
+                ffn2: Linear::new(FFN_MULT * self.d_model, self.d_model, base + 5),
+            });
+        }
+        TransLob {
+            proj: Linear::new(self.conv_channels, self.d_model, seed.wrapping_add(50)),
+            head: Linear::new(self.d_model, 3, seed.wrapping_add(51)),
+            pos: positional_encoding(self.window, self.d_model),
+            convs,
+            blocks,
+            spec: self,
+        }
+    }
+}
+
+/// One pre-norm transformer layer.
+#[derive(Debug, Clone)]
+struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    ffn1: Linear,
+    ffn2: Linear,
+}
+
+impl TransformerBlock {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        // x = x + attn(ln1(x))
+        let a = self.attn.forward(&self.ln1.forward(x));
+        let mut x1 = x.clone();
+        for (v, add) in x1.data_mut().iter_mut().zip(a.data()) {
+            *v += add;
+        }
+        // x = x + ffn(ln2(x))
+        let mut h = self.ffn1.forward(&self.ln2.forward(&x1));
+        relu(&mut h);
+        let f = self.ffn2.forward(&h);
+        for (v, add) in x1.data_mut().iter_mut().zip(f.data()) {
+            *v += add;
+        }
+        x1
+    }
+}
+
+/// Standard sinusoidal positional encoding, `[T, D]`.
+fn positional_encoding(t: usize, d: usize) -> Tensor {
+    let mut pe = Tensor::zeros(&[t, d]);
+    for pos in 0..t {
+        for i in 0..d {
+            let angle = pos as f64 / 10_000f64.powf((2 * (i / 2)) as f64 / d as f64);
+            let v = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            pe.set(&[pos, i], v as f32);
+        }
+    }
+    pe
+}
+
+/// An instantiated TransLOB network.
+#[derive(Debug, Clone)]
+pub struct TransLob {
+    spec: TransLobSpec,
+    convs: Vec<Conv2d>,
+    proj: Linear,
+    pos: Tensor,
+    blocks: Vec<TransformerBlock>,
+    head: Linear,
+}
+
+impl TransLob {
+    /// The spec this instance was built from.
+    pub fn spec(&self) -> TransLobSpec {
+        self.spec
+    }
+}
+
+impl Model for TransLob {
+    fn kind(&self) -> ModelKind {
+        ModelKind::TransLob
+    }
+
+    fn window(&self) -> usize {
+        self.spec.window
+    }
+
+    fn features(&self) -> usize {
+        self.spec.features
+    }
+
+    fn forward(&self, input: &Tensor) -> Prediction {
+        let (t, f) = (self.spec.window, self.spec.features);
+        assert_eq!(input.shape(), [t, f], "input must be [window, features]");
+        // To channels-first [F, T, 1] for the convolution stack.
+        let mut x = Tensor::zeros(&[f, t, 1]);
+        for ti in 0..t {
+            for fi in 0..f {
+                x.set(&[fi, ti, 0], input.at(&[ti, fi]));
+            }
+        }
+        for conv in &self.convs {
+            x = conv.forward(&x);
+            relu(&mut x);
+        }
+        // Back to sequence-major [T, C].
+        let c = self.spec.conv_channels;
+        let mut seq = Tensor::zeros(&[t, c]);
+        for ti in 0..t {
+            for ci in 0..c {
+                seq.set(&[ti, ci], x.at(&[ci, ti, 0]));
+            }
+        }
+        let mut tokens = self.proj.forward(&seq);
+        for (v, p) in tokens.data_mut().iter_mut().zip(self.pos.data()) {
+            *v += p;
+        }
+        for block in &self.blocks {
+            tokens = block.forward(&tokens);
+        }
+        // Mean pool over time.
+        let d = self.spec.d_model;
+        let mut pooled = vec![0.0f32; d];
+        for ti in 0..t {
+            for (acc, v) in pooled.iter_mut().zip(tokens.row(ti)) {
+                *acc += v / t as f32;
+            }
+        }
+        let mut logits = self.head.forward(&Tensor::from_vec(pooled, &[d]));
+        softmax_last_dim(&mut logits);
+        let out = logits.data();
+        Prediction::new([out[0], out[1], out[2]])
+    }
+
+    fn total_macs(&self) -> u64 {
+        self.spec.macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_hits_table2() {
+        let ops = TransLobSpec::paper().ops() as f64;
+        assert!(
+            (ops - 203.9e9).abs() / 203.9e9 < 0.001,
+            "paper TransLOB ops = {ops:.4e}"
+        );
+        // Heads must divide d_model or build() would panic later.
+        assert_eq!(
+            TransLobSpec::paper().d_model % TransLobSpec::paper().heads,
+            0
+        );
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let model = TransLobSpec::tiny().build(1);
+        let x = Tensor::random(&[16, 40], 1.0, 2);
+        let p = model.forward(&x);
+        assert!((p.probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn positional_encoding_breaks_permutation_symmetry() {
+        // Same token content in different positions must produce different
+        // predictions thanks to the positional encoding.
+        let model = TransLobSpec::tiny().build(3);
+        let base = Tensor::random(&[16, 40], 1.0, 5);
+        // Reverse the window.
+        let mut rev = Tensor::zeros(&[16, 40]);
+        for t in 0..16 {
+            for f in 0..40 {
+                rev.set(&[t, f], base.at(&[15 - t, f]));
+            }
+        }
+        assert_ne!(model.forward(&base).probs, model.forward(&rev).probs);
+    }
+
+    #[test]
+    fn spec_macs_consistent_with_layer_counts() {
+        let spec = TransLobSpec::tiny();
+        let model = spec.build(0);
+        let t = spec.window;
+        let mut layered: u64 = model.convs.iter().map(|c| c.macs(t, 1)).sum();
+        layered += model.proj.macs(t as u64);
+        for b in &model.blocks {
+            layered += b.attn.macs(t as u64);
+            layered += b.ffn1.macs(t as u64) + b.ffn2.macs(t as u64);
+        }
+        layered += model.head.macs(1);
+        assert_eq!(spec.macs(), layered);
+    }
+
+    #[test]
+    fn positional_encoding_values_bounded() {
+        let pe = positional_encoding(10, 8);
+        assert!(pe.data().iter().all(|v| v.abs() <= 1.0));
+        // Row 0: sin(0)=0, cos(0)=1 alternating.
+        assert_eq!(pe.at(&[0, 0]), 0.0);
+        assert_eq!(pe.at(&[0, 1]), 1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The "Vanilla CNN" benchmark (Tsantekidis et al. style).
+//!
+//! Three convolution layers over the `[T, 40]` LOB feature map — the first
+//! spanning the full feature width, the next two temporal — followed by
+//! two dense layers and a three-way softmax.
+
+use crate::model::{Model, ModelKind, Prediction};
+use crate::ops::activation::{relu, softmax_last_dim};
+use crate::ops::count::{conv2d_macs, linear_macs, macs_to_ops};
+use crate::ops::{Conv2d, Linear};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a Vanilla CNN instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnSpec {
+    /// Tick-window length `T`.
+    pub window: usize,
+    /// Features per tick (40 in the paper's layout).
+    pub features: usize,
+    /// Channel width shared by the three convolution layers.
+    pub channels: usize,
+    /// Width of the first dense layer.
+    pub hidden: usize,
+}
+
+/// Temporal kernel height of every convolution layer.
+const KERNEL_T: usize = 4;
+
+impl CnnSpec {
+    /// The paper-scale spec: its [`Self::ops`] reproduces Table II's
+    /// 93.0 G OPs within 0.1%.
+    pub fn paper() -> Self {
+        CnnSpec {
+            window: 100,
+            features: 40,
+            channels: 7_885,
+            hidden: 512,
+        }
+    }
+
+    /// A tiny runnable spec for tests, examples, and the CGRA simulator.
+    pub fn tiny() -> Self {
+        CnnSpec {
+            window: 20,
+            features: 40,
+            channels: 8,
+            hidden: 16,
+        }
+    }
+
+    /// Temporal length after the three valid convolutions.
+    fn t_out(&self, layer: usize) -> usize {
+        self.window - layer * (KERNEL_T - 1)
+    }
+
+    /// Analytic MACs of one forward pass.
+    pub fn macs(&self) -> u64 {
+        let c = self.channels as u64;
+        let conv1 = conv2d_macs(
+            c,
+            1,
+            KERNEL_T as u64,
+            self.features as u64,
+            self.t_out(1) as u64,
+            1,
+        );
+        let conv2 = conv2d_macs(c, c, KERNEL_T as u64, 1, self.t_out(2) as u64, 1);
+        let conv3 = conv2d_macs(c, c, KERNEL_T as u64, 1, self.t_out(3) as u64, 1);
+        let fc1 = linear_macs(1, c * self.t_out(3) as u64, self.hidden as u64);
+        let fc2 = linear_macs(1, self.hidden as u64, 3);
+        conv1 + conv2 + conv3 + fc1 + fc2
+    }
+
+    /// Analytic OPs (2 per MAC).
+    pub fn ops(&self) -> u64 {
+        macs_to_ops(self.macs())
+    }
+
+    /// Instantiates the network with deterministic weights.
+    ///
+    /// Use only with small specs: a paper-scale build would allocate
+    /// gigabytes of weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is too short for the three convolutions.
+    pub fn build(self, seed: u64) -> VanillaCnn {
+        assert!(
+            self.window > 3 * (KERNEL_T - 1),
+            "window {} too short for three k={KERNEL_T} convolutions",
+            self.window
+        );
+        VanillaCnn {
+            conv1: Conv2d::new(
+                1,
+                self.channels,
+                (KERNEL_T, self.features),
+                (1, 1),
+                (0, 0),
+                seed,
+            ),
+            conv2: Conv2d::new(
+                self.channels,
+                self.channels,
+                (KERNEL_T, 1),
+                (1, 1),
+                (0, 0),
+                seed.wrapping_add(1),
+            ),
+            conv3: Conv2d::new(
+                self.channels,
+                self.channels,
+                (KERNEL_T, 1),
+                (1, 1),
+                (0, 0),
+                seed.wrapping_add(2),
+            ),
+            fc1: Linear::new(
+                self.channels * self.t_out(3),
+                self.hidden,
+                seed.wrapping_add(3),
+            ),
+            fc2: Linear::new(self.hidden, 3, seed.wrapping_add(4)),
+            spec: self,
+        }
+    }
+}
+
+/// An instantiated Vanilla CNN.
+#[derive(Debug, Clone)]
+pub struct VanillaCnn {
+    spec: CnnSpec,
+    conv1: Conv2d,
+    conv2: Conv2d,
+    conv3: Conv2d,
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl VanillaCnn {
+    /// The spec this instance was built from.
+    pub fn spec(&self) -> CnnSpec {
+        self.spec
+    }
+
+    /// First convolution layer (read access for quantization).
+    pub fn conv1_ref(&self) -> &Conv2d {
+        &self.conv1
+    }
+
+    /// Second convolution layer.
+    pub fn conv2_ref(&self) -> &Conv2d {
+        &self.conv2
+    }
+
+    /// Third convolution layer.
+    pub fn conv3_ref(&self) -> &Conv2d {
+        &self.conv3
+    }
+
+    /// First dense layer.
+    pub fn fc1_ref(&self) -> &Linear {
+        &self.fc1
+    }
+
+    /// Output dense layer.
+    pub fn fc2_ref(&self) -> &Linear {
+        &self.fc2
+    }
+}
+
+impl Model for VanillaCnn {
+    fn kind(&self) -> ModelKind {
+        ModelKind::VanillaCnn
+    }
+
+    fn window(&self) -> usize {
+        self.spec.window
+    }
+
+    fn features(&self) -> usize {
+        self.spec.features
+    }
+
+    fn forward(&self, input: &Tensor) -> Prediction {
+        assert_eq!(
+            input.shape(),
+            [self.spec.window, self.spec.features],
+            "input must be [window, features]"
+        );
+        let x = input
+            .clone()
+            .reshape(&[1, self.spec.window, self.spec.features]);
+        let mut x = self.conv1.forward(&x);
+        relu(&mut x);
+        let mut x = self.conv2.forward(&x);
+        relu(&mut x);
+        let mut x = self.conv3.forward(&x);
+        relu(&mut x);
+        let flat_len = x.len();
+        let flat = x.reshape(&[flat_len]);
+        let mut h = self.fc1.forward(&flat);
+        relu(&mut h);
+        let mut logits = self.fc2.forward(&h);
+        softmax_last_dim(&mut logits);
+        let d = logits.data();
+        Prediction::new([d[0], d[1], d[2]])
+    }
+
+    fn total_macs(&self) -> u64 {
+        self.spec.macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_hits_table2() {
+        let ops = CnnSpec::paper().ops() as f64;
+        assert!(
+            (ops - 93.0e9).abs() / 93.0e9 < 0.001,
+            "paper CNN ops = {ops:.4e}"
+        );
+    }
+
+    #[test]
+    fn spec_macs_match_instance_layer_sums() {
+        // The pure-arithmetic spec counter must agree with the counts the
+        // instantiated layers report.
+        let spec = CnnSpec::tiny();
+        let model = spec.build(0);
+        let t = spec.window;
+        let f = spec.features;
+        let layered = model.conv1.macs(t, f)
+            + model.conv2.macs(t - 3, 1)
+            + model.conv3.macs(t - 6, 1)
+            + model.fc1.macs(1)
+            + model.fc2.macs(1);
+        assert_eq!(spec.macs(), layered);
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let model = CnnSpec::tiny().build(7);
+        let x = Tensor::random(&[20, 40], 1.0, 3);
+        let p = model.forward(&x);
+        let sum: f32 = p.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(p.probs.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let model = CnnSpec::tiny().build(7);
+        let x = Tensor::random(&[20, 40], 1.0, 3);
+        assert_eq!(model.forward(&x).probs, model.forward(&x).probs);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let model = CnnSpec::tiny().build(7);
+        let a = model.forward(&Tensor::random(&[20, 40], 1.0, 3));
+        let b = model.forward(&Tensor::random(&[20, 40], 1.0, 4));
+        assert_ne!(a.probs, b.probs);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn too_short_window_panics() {
+        let spec = CnnSpec {
+            window: 8,
+            ..CnnSpec::tiny()
+        };
+        let _ = spec.build(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Elementwise activations and softmax.
+
+use crate::ops::expect_rank;
+use crate::tensor::Tensor;
+
+/// ReLU in place.
+pub fn relu(t: &mut Tensor) {
+    for v in t.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Leaky ReLU in place (DeepLOB uses `alpha = 0.01`).
+pub fn leaky_relu(t: &mut Tensor, alpha: f32) {
+    for v in t.data_mut() {
+        if *v < 0.0 {
+            *v *= alpha;
+        }
+    }
+}
+
+/// Logistic sigmoid of a scalar.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Hyperbolic tangent in place.
+pub fn tanh_inplace(t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = v.tanh();
+    }
+}
+
+/// Numerically stable softmax over the last dimension of a rank-1 or
+/// rank-2 tensor, in place.
+///
+/// # Panics
+///
+/// Panics for tensors of rank 3 or higher.
+pub fn softmax_last_dim(t: &mut Tensor) {
+    let rank = t.shape().len();
+    let (rows, cols) = match rank {
+        1 => (1, t.shape()[0]),
+        2 => (t.shape()[0], t.shape()[1]),
+        _ => {
+            expect_rank(t, 2, "softmax_last_dim");
+            unreachable!()
+        }
+    };
+    let data = t.data_mut();
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let mut t = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        relu(&mut t);
+        assert_eq!(t.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let mut t = Tensor::from_vec(vec![-2.0, 3.0], &[2]);
+        leaky_relu(&mut t, 0.01);
+        assert_eq!(t.data(), &[-0.02, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        softmax_last_dim(&mut t);
+        for r in 0..2 {
+            let sum: f32 = t.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(t.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Larger logits get larger probabilities.
+        assert!(t.at(&[0, 2]) > t.at(&[0, 0]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[3]);
+        softmax_last_dim(&mut a);
+        softmax_last_dim(&mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let mut t = Tensor::from_vec(vec![1000.0, 999.0], &[2]);
+        softmax_last_dim(&mut t);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+        assert!((t.data().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let mut t = Tensor::from_vec(vec![-1.0, 0.5], &[2]);
+        tanh_inplace(&mut t);
+        assert!((t.data()[0] - (-1.0f32).tanh()).abs() < 1e-7);
+        assert!((t.data()[1] - 0.5f32.tanh()).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,167 @@
+//! Multi-head self-attention (the TransLOB building block).
+
+use crate::ops::activation::softmax_last_dim;
+use crate::ops::count::attention_macs;
+use crate::ops::expect_rank;
+use crate::ops::linear::Linear;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Multi-head scaled-dot-product self-attention over `[T, D]` sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `heads` divides `d_model`.
+    pub fn new(d_model: usize, heads: usize, seed: u64) -> Self {
+        assert!(heads > 0, "need at least one head");
+        assert_eq!(
+            d_model % heads,
+            0,
+            "heads {heads} must divide d_model {d_model}"
+        );
+        MultiHeadAttention {
+            wq: Linear::new(d_model, d_model, seed),
+            wk: Linear::new(d_model, d_model, seed.wrapping_add(1)),
+            wv: Linear::new(d_model, d_model, seed.wrapping_add(2)),
+            wo: Linear::new(d_model, d_model, seed.wrapping_add(3)),
+            heads,
+            d_model,
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Head count.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Applies self-attention to a `[T, D]` sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 2 of width `d_model`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        expect_rank(x, 2, "MultiHeadAttention");
+        assert_eq!(x.shape()[1], self.d_model, "width mismatch");
+        let t = x.shape()[0];
+        let d_head = self.d_model / self.heads;
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (d_head as f32).sqrt();
+        let mut context = Tensor::zeros(&[t, self.d_model]);
+        for h in 0..self.heads {
+            let off = h * d_head;
+            // scores[i][j] = q_i . k_j / sqrt(d_head)
+            let mut scores = Tensor::zeros(&[t, t]);
+            for i in 0..t {
+                let qi = &q.row(i)[off..off + d_head];
+                for j in 0..t {
+                    let kj = &k.row(j)[off..off + d_head];
+                    let dot: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum();
+                    scores.set(&[i, j], dot * scale);
+                }
+            }
+            softmax_last_dim(&mut scores);
+            for i in 0..t {
+                for d in 0..d_head {
+                    let mut acc = 0.0;
+                    for j in 0..t {
+                        acc += scores.at(&[i, j]) * v.row(j)[off + d];
+                    }
+                    context.set(&[i, off + d], acc);
+                }
+            }
+        }
+        self.wo.forward(&context)
+    }
+
+    /// MACs of a forward pass over a length-`seq` sequence.
+    pub fn macs(&self, seq: u64) -> u64 {
+        attention_macs(seq, self.d_model as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mha = MultiHeadAttention::new(16, 4, 0);
+        let x = Tensor::random(&[6, 16], 1.0, 1);
+        let y = mha.forward(&x);
+        assert_eq!(y.shape(), &[6, 16]);
+    }
+
+    #[test]
+    fn uniform_sequence_gives_uniform_output() {
+        // If every token is identical, attention mixes identical values, so
+        // every output token must be identical too.
+        let mha = MultiHeadAttention::new(8, 2, 2);
+        let row: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let mut data = Vec::new();
+        for _ in 0..4 {
+            data.extend_from_slice(&row);
+        }
+        let x = Tensor::from_vec(data, &[4, 8]);
+        let y = mha.forward(&x);
+        for t in 1..4 {
+            assert_eq!(y.row(0), y.row(t));
+        }
+    }
+
+    #[test]
+    fn attends_to_content_not_position() {
+        // Without positional encodings, permuting the sequence permutes the
+        // output rows identically (self-attention is permutation-equivariant).
+        let mha = MultiHeadAttention::new(8, 2, 3);
+        let a = Tensor::random(&[1, 8], 1.0, 10);
+        let b = Tensor::random(&[1, 8], 1.0, 11);
+        let ab = Tensor::from_vec([a.data(), b.data()].concat(), &[2, 8]);
+        let ba = Tensor::from_vec([b.data(), a.data()].concat(), &[2, 8]);
+        let y_ab = mha.forward(&ab);
+        let y_ba = mha.forward(&ba);
+        for (x, y) in y_ab.row(0).iter().zip(y_ba.row(1)) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_head_equals_heads_of_full_width() {
+        // Sanity: single head runs and differs from multi-head chunking.
+        let x = Tensor::random(&[3, 8], 1.0, 20);
+        let one = MultiHeadAttention::new(8, 1, 5).forward(&x);
+        let four = MultiHeadAttention::new(8, 4, 5).forward(&x);
+        assert_eq!(one.shape(), four.shape());
+        assert_ne!(one.data(), four.data());
+    }
+
+    #[test]
+    fn macs_match_formula() {
+        let mha = MultiHeadAttention::new(64, 8, 0);
+        assert_eq!(mha.macs(10), 4 * 10 * 64 * 64 + 2 * 100 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_heads_panics() {
+        let _ = MultiHeadAttention::new(10, 3, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! 2-D convolution over `[C, H, W]` feature maps.
+
+use crate::bf16::bf16_round;
+use crate::ops::count::{conv2d_macs, conv_out_len};
+use crate::ops::expect_rank;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution with optional stride and zero padding.
+///
+/// Input layout is `[in_c, H, W]`; kernels are `[out_c, in_c, k_h, k_w]`.
+/// LOB models treat `H` as tick time and `W` as the flattened level axis
+/// (paper Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    kernel: Tensor,
+    bias: Vec<f32>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution with Xavier-uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stride component is zero.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+        seed: u64,
+    ) -> Self {
+        assert!(stride.0 > 0 && stride.1 > 0, "stride must be positive");
+        let fan_in = in_c * kernel.0 * kernel.1;
+        let fan_out = out_c * kernel.0 * kernel.1;
+        let scale = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Conv2d {
+            kernel: Tensor::random(&[out_c, in_c, kernel.0, kernel.1], scale, seed).quantize_bf16(),
+            bias: vec![0.0; out_c],
+            stride,
+            padding,
+        }
+    }
+
+    /// Creates a convolution from explicit weights (tests / references).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches.
+    pub fn from_weights(
+        kernel: Tensor,
+        bias: Vec<f32>,
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Self {
+        assert_eq!(kernel.shape().len(), 4, "kernel must be [out,in,kh,kw]");
+        assert_eq!(kernel.shape()[0], bias.len(), "bias length mismatch");
+        assert!(stride.0 > 0 && stride.1 > 0, "stride must be positive");
+        Conv2d {
+            kernel,
+            bias,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.kernel.shape()[0]
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.kernel.shape()[1]
+    }
+
+    /// Output spatial size for an `(h, w)` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let kh = self.kernel.shape()[2] as u64;
+        let kw = self.kernel.shape()[3] as u64;
+        (
+            conv_out_len(h as u64, kh, self.stride.0 as u64, self.padding.0 as u64) as usize,
+            conv_out_len(w as u64, kw, self.stride.1 as u64, self.padding.1 as u64) as usize,
+        )
+    }
+
+    /// Applies the convolution; outputs are BF16-rounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 3 or its channel count mismatches.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        expect_rank(x, 3, "Conv2d");
+        let [in_c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2]];
+        assert_eq!(in_c, self.in_channels(), "input channel mismatch");
+        let (kh, kw) = (self.kernel.shape()[2], self.kernel.shape()[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let out_c = self.out_channels();
+        let mut out = Tensor::zeros(&[out_c, oh, ow]);
+        let (ph, pw) = self.padding;
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    let base_y = oy * self.stride.0;
+                    let base_x = ox * self.stride.1;
+                    for ic in 0..in_c {
+                        for ky in 0..kh {
+                            let iy = base_y + ky;
+                            if iy < ph || iy - ph >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = base_x + kx;
+                                if ix < pw || ix - pw >= w {
+                                    continue;
+                                }
+                                acc += self.kernel.at(&[oc, ic, ky, kx])
+                                    * x.at(&[ic, iy - ph, ix - pw]);
+                            }
+                        }
+                    }
+                    out.set(&[oc, oy, ox], bf16_round(acc));
+                }
+            }
+        }
+        out
+    }
+
+    /// MACs of a forward pass on an `(h, w)` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.output_hw(h, w);
+        conv2d_macs(
+            self.out_channels() as u64,
+            self.in_channels() as u64,
+            self.kernel.shape()[2] as u64,
+            self.kernel.shape()[3] as u64,
+            oh as u64,
+            ow as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1x1 kernel with weight 1 is the identity.
+    #[test]
+    fn one_by_one_identity() {
+        let kernel = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let conv = Conv2d::from_weights(kernel, vec![0.0], (1, 1), (0, 0));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        assert_eq!(conv.forward(&x).data(), x.data());
+    }
+
+    /// Hand-computed 2x2 box filter over a 3x3 input.
+    #[test]
+    fn box_filter_reference() {
+        let kernel = Tensor::from_vec(vec![1.0; 4], &[1, 1, 2, 2]);
+        let conv = Conv2d::from_weights(kernel, vec![0.0], (1, 1), (0, 0));
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]); // sums of 2x2 blocks
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let kernel = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let conv = Conv2d::from_weights(kernel, vec![0.0], (2, 2), (0, 0));
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn padding_preserves_size() {
+        let kernel = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            &[1, 1, 3, 3],
+        );
+        let conv = Conv2d::from_weights(kernel, vec![0.0], (1, 1), (1, 1));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), x.data(), "center-tap kernel with same padding");
+    }
+
+    #[test]
+    fn multi_channel_sums_inputs() {
+        // Two input channels, kernel taps both with weight 1.
+        let kernel = Tensor::from_vec(vec![1.0, 1.0], &[1, 2, 1, 1]);
+        let conv = Conv2d::from_weights(kernel, vec![0.5], (1, 1), (0, 0));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[2, 1, 2]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), &[11.5, 22.5]);
+    }
+
+    #[test]
+    fn bias_and_multiple_out_channels() {
+        let kernel = Tensor::from_vec(vec![1.0, 2.0], &[2, 1, 1, 1]);
+        let conv = Conv2d::from_weights(kernel, vec![10.0, 20.0], (1, 1), (0, 0));
+        let x = Tensor::from_vec(vec![3.0], &[1, 1, 1]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), &[13.0, 26.0]);
+    }
+
+    #[test]
+    fn macs_match_formula() {
+        let conv = Conv2d::new(3, 8, (3, 3), (1, 1), (0, 0), 0);
+        // 10x10 input -> 8x8 output.
+        assert_eq!(conv.macs(10, 10), 8 * 3 * 9 * 64);
+        assert_eq!(conv.output_hw(10, 10), (8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let conv = Conv2d::new(3, 8, (1, 1), (1, 1), (0, 0), 0);
+        let _ = conv.forward(&Tensor::zeros(&[2, 4, 4]));
+    }
+}

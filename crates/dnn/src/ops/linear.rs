@@ -1,0 +1,215 @@
+//! Dense (fully connected) layers in BF16 and INT8.
+
+use crate::bf16::{bf16_round, quantize_int8};
+use crate::ops::count::linear_macs;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = W x + b` with BF16-rounded weights.
+///
+/// Accepts rank-1 input `[in]` (returns `[out]`) or rank-2 input
+/// `[rows, in]` (applied row-wise, returns `[rows, out]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Tensor, // [out, in]
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights from `seed`.
+    pub fn new(input: usize, output: usize, seed: u64) -> Self {
+        let scale = (6.0 / (input + output) as f32).sqrt();
+        Linear {
+            weight: Tensor::random(&[output, input], scale, seed).quantize_bf16(),
+            bias: vec![0.0; output],
+        }
+    }
+
+    /// Creates a layer from explicit weights (tests / references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not rank 2 or `bias` length mismatches.
+    pub fn from_weights(weight: Tensor, bias: Vec<f32>) -> Self {
+        assert_eq!(weight.shape().len(), 2, "weight must be [out, in]");
+        assert_eq!(weight.shape()[0], bias.len(), "bias length mismatch");
+        Linear { weight, bias }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Applies the layer; outputs are BF16-rounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's last dimension is not [`Self::input_dim`].
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (rows, input) = match x.shape() {
+            [n] => (1usize, *n),
+            [rows, n] => (*rows, *n),
+            other => panic!("Linear expects rank 1 or 2 input, got {other:?}"),
+        };
+        assert_eq!(
+            input,
+            self.input_dim(),
+            "input width {} != layer input {}",
+            input,
+            self.input_dim()
+        );
+        let output = self.output_dim();
+        let mut out = vec![0.0f32; rows * output];
+        for r in 0..rows {
+            let xin = &x.data()[r * input..(r + 1) * input];
+            for o in 0..output {
+                let w = self.weight.row(o);
+                let mut acc = self.bias[o];
+                for i in 0..input {
+                    acc += w[i] * xin[i];
+                }
+                out[r * output + o] = bf16_round(acc);
+            }
+        }
+        if x.shape().len() == 1 {
+            Tensor::from_vec(out, &[output])
+        } else {
+            Tensor::from_vec(out, &[rows, output])
+        }
+    }
+
+    /// MACs of a forward pass over `rows` rows.
+    pub fn macs(&self, rows: u64) -> u64 {
+        linear_macs(rows, self.input_dim() as u64, self.output_dim() as u64)
+    }
+}
+
+/// An INT8-quantized dense layer (the latency-prioritized path, §III-C).
+///
+/// Weights are symmetric per-tensor quantized at construction; activations
+/// are quantized per call. Accuracy is strictly worse than [`Linear`] but
+/// the accelerator runs it at 4x throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearInt8 {
+    weight_q: Vec<i8>, // [out, in]
+    weight_scale: f32,
+    bias: Vec<f32>,
+    input: usize,
+    output: usize,
+}
+
+impl LinearInt8 {
+    /// Quantizes an existing BF16 layer.
+    pub fn from_linear(layer: &Linear) -> Self {
+        let (weight_q, weight_scale) = quantize_int8(layer.weight.data());
+        LinearInt8 {
+            weight_q,
+            weight_scale,
+            bias: layer.bias.clone(),
+            input: layer.input_dim(),
+            output: layer.output_dim(),
+        }
+    }
+
+    /// Applies the quantized layer to a rank-1 input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape(), [self.input], "LinearInt8 expects rank-1 input");
+        let (x_q, x_scale) = quantize_int8(x.data());
+        let mut out = vec![0.0f32; self.output];
+        for o in 0..self.output {
+            let w = &self.weight_q[o * self.input..(o + 1) * self.input];
+            let mut acc: i32 = 0;
+            for i in 0..self.input {
+                acc += w[i] as i32 * x_q[i] as i32;
+            }
+            out[o] = acc as f32 * self.weight_scale * x_scale + self.bias[o];
+        }
+        Tensor::from_vec(out, &[self.output])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity3() -> Linear {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
+        Linear::from_weights(w, vec![0.0; 3])
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        let y = identity3().forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let layer = Linear::from_weights(w, vec![0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]);
+        let y = layer.forward(&x);
+        assert_eq!(y.data(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn rank2_applies_rowwise() {
+        let layer = identity3();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn outputs_are_bf16() {
+        let layer = Linear::new(16, 8, 1);
+        let x = Tensor::random(&[16], 1.0, 2);
+        let y = layer.forward(&x);
+        for &v in y.data() {
+            assert_eq!(bf16_round(v), v);
+        }
+    }
+
+    #[test]
+    fn macs_counted() {
+        let layer = Linear::new(128, 64, 0);
+        assert_eq!(layer.macs(1), 8192);
+        assert_eq!(layer.macs(10), 81920);
+    }
+
+    #[test]
+    fn int8_approximates_bf16() {
+        let layer = Linear::new(64, 32, 7);
+        let x = Tensor::random(&[64], 1.0, 8);
+        let exact = layer.forward(&x);
+        let q = LinearInt8::from_linear(&layer).forward(&x);
+        let mut max_err = 0.0f32;
+        let mut max_mag = 0.0f32;
+        for (a, b) in exact.data().iter().zip(q.data()) {
+            max_err = max_err.max((a - b).abs());
+            max_mag = max_mag.max(a.abs());
+        }
+        assert!(max_err < 0.1 * max_mag.max(1.0), "int8 error {max_err}");
+        // But not bit-identical: quantization is lossy.
+        assert_ne!(exact.data(), q.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn wrong_width_panics() {
+        let layer = Linear::new(4, 2, 0);
+        let _ = layer.forward(&Tensor::zeros(&[5]));
+    }
+}

@@ -1,0 +1,169 @@
+//! A long short-term memory layer.
+
+use crate::bf16::bf16_round;
+use crate::ops::activation::sigmoid;
+use crate::ops::count::lstm_macs;
+use crate::ops::expect_rank;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A single-layer LSTM processing `[T, input]` sequences.
+///
+/// Gate order in the stacked weight matrices is `[i, f, g, o]`
+/// (input, forget, cell candidate, output), matching the usual
+/// `W_x x_t + W_h h_{t-1} + b` formulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    wx: Tensor, // [4*hidden, input]
+    wh: Tensor, // [4*hidden, hidden]
+    bias: Vec<f32>,
+    input: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-uniform weights and forget-gate bias 1.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Self {
+        let scale = (6.0 / (input + hidden) as f32).sqrt();
+        let mut bias = vec![0.0; 4 * hidden];
+        // Standard trick: bias the forget gate open at initialization.
+        for b in bias.iter_mut().skip(hidden).take(hidden) {
+            *b = 1.0;
+        }
+        Lstm {
+            wx: Tensor::random(&[4 * hidden, input], scale, seed).quantize_bf16(),
+            wh: Tensor::random(&[4 * hidden, hidden], scale, seed.wrapping_add(1)).quantize_bf16(),
+            bias,
+            input,
+            hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the sequence, returning all hidden states as `[T, hidden]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[T, input]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        expect_rank(x, 2, "Lstm");
+        assert_eq!(x.shape()[1], self.input, "input width mismatch");
+        let t_steps = x.shape()[0];
+        let h_dim = self.hidden;
+        let mut h = vec![0.0f32; h_dim];
+        let mut c = vec![0.0f32; h_dim];
+        let mut out = Tensor::zeros(&[t_steps, h_dim]);
+        let mut gates = vec![0.0f32; 4 * h_dim];
+        for t in 0..t_steps {
+            let xt = x.row(t);
+            for g in 0..4 * h_dim {
+                let mut acc = self.bias[g];
+                let wx_row = self.wx.row(g);
+                for i in 0..self.input {
+                    acc += wx_row[i] * xt[i];
+                }
+                let wh_row = self.wh.row(g);
+                for j in 0..h_dim {
+                    acc += wh_row[j] * h[j];
+                }
+                gates[g] = acc;
+            }
+            for j in 0..h_dim {
+                let i_g = sigmoid(gates[j]);
+                let f_g = sigmoid(gates[h_dim + j]);
+                let g_g = gates[2 * h_dim + j].tanh();
+                let o_g = sigmoid(gates[3 * h_dim + j]);
+                c[j] = bf16_round(f_g * c[j] + i_g * g_g);
+                h[j] = bf16_round(o_g * c[j].tanh());
+                out.set(&[t, j], h[j]);
+            }
+        }
+        out
+    }
+
+    /// The final hidden state of a forward pass, as `[hidden]`.
+    pub fn last_hidden(&self, x: &Tensor) -> Tensor {
+        let all = self.forward(x);
+        let t = all.shape()[0];
+        Tensor::from_vec(all.row(t - 1).to_vec(), &[self.hidden])
+    }
+
+    /// MACs of a forward pass over `steps` timesteps.
+    pub fn macs(&self, steps: u64) -> u64 {
+        lstm_macs(steps, self.input as u64, self.hidden as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_correct() {
+        let lstm = Lstm::new(8, 16, 0);
+        let x = Tensor::random(&[5, 8], 1.0, 1);
+        let y = lstm.forward(&x);
+        assert_eq!(y.shape(), &[5, 16]);
+        assert_eq!(lstm.last_hidden(&x).shape(), &[16]);
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        // h = o * tanh(c): |h| <= 1 always.
+        let lstm = Lstm::new(4, 8, 3);
+        let x = Tensor::random(&[50, 4], 10.0, 4);
+        let y = lstm.forward(&x);
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn state_carries_information() {
+        // Same final input, different prefixes -> different final hidden.
+        let lstm = Lstm::new(2, 4, 5);
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.5, 0.5], &[2, 2]);
+        let b = Tensor::from_vec(vec![-1.0, 0.7, 0.5, 0.5], &[2, 2]);
+        assert_ne!(lstm.last_hidden(&a).data(), lstm.last_hidden(&b).data());
+    }
+
+    #[test]
+    fn zero_input_zero_weights_stays_zero() {
+        let mut lstm = Lstm::new(2, 2, 0);
+        lstm.wx = Tensor::zeros(&[8, 2]);
+        lstm.wh = Tensor::zeros(&[8, 2]);
+        lstm.bias = vec![0.0; 8];
+        let x = Tensor::zeros(&[3, 2]);
+        let y = lstm.forward(&x);
+        // gates = 0 -> i = 0.5, g = 0 -> c stays 0 -> h stays 0.
+        assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Tensor::random(&[5, 4], 1.0, 9);
+        let a = Lstm::new(4, 8, 7).forward(&x);
+        let b = Lstm::new(4, 8, 7).forward(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn macs_match_formula() {
+        let lstm = Lstm::new(32, 64, 0);
+        assert_eq!(lstm.macs(10), 10 * 4 * (32 * 64 + 64 * 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_width_panics() {
+        let lstm = Lstm::new(4, 8, 0);
+        let _ = lstm.forward(&Tensor::zeros(&[5, 3]));
+    }
+}

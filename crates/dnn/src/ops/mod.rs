@@ -1,0 +1,35 @@
+//! Neural-network layers and their analytic cost counters.
+//!
+//! Each layer owns its weights, offers a `forward` pass on [`Tensor`]s,
+//! and exposes the MAC count of that pass through [`count`]. The counters
+//! are what the accelerator's latency model consumes; the forward passes
+//! are used functionally by tests, examples, and the CGRA simulator.
+
+pub mod activation;
+pub mod attention;
+pub mod conv;
+pub mod count;
+pub mod linear;
+pub mod lstm;
+pub mod norm;
+pub mod pool;
+
+pub use activation::{leaky_relu, relu, sigmoid, softmax_last_dim, tanh_inplace};
+pub use attention::MultiHeadAttention;
+pub use conv::Conv2d;
+pub use linear::{Linear, LinearInt8};
+pub use lstm::Lstm;
+pub use norm::LayerNorm;
+pub use pool::{global_avg_pool, max_pool_1d};
+
+use crate::tensor::Tensor;
+
+/// Asserts a tensor's rank, with a readable panic message.
+pub(crate) fn expect_rank(t: &Tensor, rank: usize, what: &str) {
+    assert_eq!(
+        t.shape().len(),
+        rank,
+        "{what} expects a rank-{rank} tensor, got shape {:?}",
+        t.shape()
+    );
+}

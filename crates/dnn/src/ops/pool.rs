@@ -1,0 +1,96 @@
+//! Pooling operations.
+
+use crate::ops::expect_rank;
+use crate::tensor::Tensor;
+
+/// Max-pools a `[C, T]` tensor along `T` with the given window and stride.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2, the window is zero or larger than
+/// `T`, or the stride is zero.
+pub fn max_pool_1d(x: &Tensor, window: usize, stride: usize) -> Tensor {
+    expect_rank(x, 2, "max_pool_1d");
+    assert!(
+        window > 0 && stride > 0,
+        "window and stride must be positive"
+    );
+    let (c, t) = (x.shape()[0], x.shape()[1]);
+    assert!(window <= t, "window {window} larger than input {t}");
+    let out_t = (t - window) / stride + 1;
+    let mut out = Tensor::zeros(&[c, out_t]);
+    for ch in 0..c {
+        for o in 0..out_t {
+            let start = o * stride;
+            let mut best = f32::NEG_INFINITY;
+            for k in 0..window {
+                best = best.max(x.at(&[ch, start + k]));
+            }
+            out.set(&[ch, o], best);
+        }
+    }
+    out
+}
+
+/// Averages a `[C, H, W]` tensor over its spatial dims, returning `[C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 3.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    expect_rank(x, 3, "global_avg_pool");
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let mut out = Tensor::zeros(&[c]);
+    let denom = (h * w) as f32;
+    for ch in 0..c {
+        let mut sum = 0.0;
+        for y in 0..h {
+            for xx in 0..w {
+                sum += x.at(&[ch, y, xx]);
+            }
+        }
+        out.set(&[ch], sum / denom);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_basic() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0], &[1, 4]);
+        let y = max_pool_1d(&x, 2, 2);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn max_pool_overlapping() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0], &[1, 4]);
+        let y = max_pool_1d(&x, 2, 1);
+        assert_eq!(y.data(), &[3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn max_pool_multi_channel() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, -5.0, -1.0], &[2, 2]);
+        let y = max_pool_1d(&x, 2, 1);
+        assert_eq!(y.data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_reference() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[2, 2, 2]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn oversized_window_panics() {
+        let x = Tensor::zeros(&[1, 3]);
+        let _ = max_pool_1d(&x, 4, 1);
+    }
+}

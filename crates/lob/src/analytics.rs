@@ -1,0 +1,167 @@
+//! Order-book analytics used by trading strategies.
+//!
+//! The trading engine "allows HFT firms to combine the AI algorithm with
+//! the conventional trading algorithms" (§III-A); these are the standard
+//! microstructure signals such conventional overlays use: microprice,
+//! depth-weighted imbalance, and realized tick volatility.
+
+use crate::snapshot::LobSnapshot;
+
+/// The microprice: the depth-weighted mid,
+/// `(ask_qty·bid_px + bid_qty·ask_px) / (bid_qty + ask_qty)`.
+///
+/// Leans toward the side with *less* displayed size — the direction the
+/// next trade is statistically likelier to push the price. `None` on a
+/// one-sided or empty book.
+pub fn microprice(snapshot: &LobSnapshot) -> Option<f64> {
+    let bid = snapshot.best_bid()?;
+    let ask = snapshot.best_ask()?;
+    let bq = bid.qty.contracts() as f64;
+    let aq = ask.qty.contracts() as f64;
+    if bq + aq == 0.0 {
+        return snapshot.mid_price();
+    }
+    Some((aq * bid.price.ticks() as f64 + bq * ask.price.ticks() as f64) / (bq + aq))
+}
+
+/// Multi-level depth imbalance in `[-1, 1]` over the top `depth` levels:
+/// `(Σ bid_qty − Σ ask_qty) / (Σ bid_qty + Σ ask_qty)`; 0 on an empty
+/// book.
+pub fn depth_imbalance(snapshot: &LobSnapshot, depth: usize) -> f64 {
+    let sum = |levels: &[crate::snapshot::SnapshotLevel]| -> f64 {
+        levels
+            .iter()
+            .take(depth)
+            .map(|l| l.qty.contracts() as f64)
+            .sum()
+    };
+    let b = sum(&snapshot.bids);
+    let a = sum(&snapshot.asks);
+    if b + a == 0.0 {
+        0.0
+    } else {
+        (b - a) / (b + a)
+    }
+}
+
+/// Realized tick-to-tick volatility of the mid price over a window of
+/// snapshots: the standard deviation of mid-price changes in ticks.
+/// Returns 0 for fewer than three two-sided snapshots.
+pub fn realized_tick_volatility(snapshots: &[LobSnapshot]) -> f64 {
+    let mids: Vec<f64> = snapshots
+        .iter()
+        .filter_map(LobSnapshot::mid_price)
+        .collect();
+    if mids.len() < 3 {
+        return 0.0;
+    }
+    let diffs: Vec<f64> = mids.windows(2).map(|w| w[1] - w[0]).collect();
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / diffs.len() as f64;
+    var.sqrt()
+}
+
+/// The displayed quantity needed to move the price through `levels` book
+/// levels on `side` (a crude market-impact estimate). `None` when the
+/// book has fewer levels than requested.
+pub fn quantity_to_sweep(
+    snapshot: &LobSnapshot,
+    side: crate::types::Side,
+    levels: usize,
+) -> Option<u64> {
+    let book_side = match side {
+        crate::types::Side::Bid => &snapshot.bids,
+        crate::types::Side::Ask => &snapshot.asks,
+    };
+    if book_side.len() < levels {
+        return None;
+    }
+    Some(
+        book_side
+            .iter()
+            .take(levels)
+            .map(|l| l.qty.contracts())
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotLevel;
+    use crate::types::{Price, Qty, Side, Timestamp};
+
+    fn snap(bid_px: i64, bid_q: u64, ask_px: i64, ask_q: u64) -> LobSnapshot {
+        LobSnapshot {
+            ts: Timestamp::ZERO,
+            bids: vec![SnapshotLevel {
+                price: Price::new(bid_px),
+                qty: Qty::new(bid_q),
+            }],
+            asks: vec![SnapshotLevel {
+                price: Price::new(ask_px),
+                qty: Qty::new(ask_q),
+            }],
+        }
+    }
+
+    #[test]
+    fn microprice_leans_toward_thin_side() {
+        // Heavy bid (40) vs thin ask (10): buyers dominate, the next move
+        // is up — microprice sits above mid, near the ask.
+        let s = snap(99, 40, 101, 10);
+        let mp = microprice(&s).unwrap();
+        assert!(mp > 100.0, "mp {mp}");
+        // Balanced book: microprice == mid.
+        let b = snap(99, 10, 101, 10);
+        assert!((microprice(&b).unwrap() - 100.0).abs() < 1e-12);
+        // One-sided book: none.
+        let one_sided = LobSnapshot {
+            ts: Timestamp::ZERO,
+            bids: vec![],
+            asks: snap(99, 1, 101, 1).asks,
+        };
+        assert!(microprice(&one_sided).is_none());
+    }
+
+    #[test]
+    fn depth_imbalance_bounds_and_sign() {
+        let buyers = snap(99, 30, 101, 10);
+        let imb = depth_imbalance(&buyers, 10);
+        assert!(imb > 0.0 && imb <= 1.0);
+        assert!((imb - 0.5).abs() < 1e-12); // (30-10)/40
+        let sellers = snap(99, 10, 101, 30);
+        assert!(depth_imbalance(&sellers, 10) < 0.0);
+        assert_eq!(depth_imbalance(&LobSnapshot::default(), 10), 0.0);
+    }
+
+    #[test]
+    fn volatility_of_constant_mid_is_zero() {
+        let window: Vec<LobSnapshot> = (0..10).map(|_| snap(99, 5, 101, 5)).collect();
+        assert_eq!(realized_tick_volatility(&window), 0.0);
+    }
+
+    #[test]
+    fn volatility_grows_with_swings() {
+        let calm: Vec<LobSnapshot> = (0..20)
+            .map(|i| snap(99 + (i % 2), 5, 101 + (i % 2), 5))
+            .collect();
+        let wild: Vec<LobSnapshot> = (0..20)
+            .map(|i| snap(99 + 5 * (i % 2), 5, 101 + 5 * (i % 2), 5))
+            .collect();
+        assert!(realized_tick_volatility(&wild) > realized_tick_volatility(&calm));
+        assert_eq!(realized_tick_volatility(&[]), 0.0);
+    }
+
+    #[test]
+    fn sweep_quantity_sums_levels() {
+        let mut s = snap(99, 5, 101, 7);
+        s.asks.push(SnapshotLevel {
+            price: Price::new(102),
+            qty: Qty::new(3),
+        });
+        assert_eq!(quantity_to_sweep(&s, Side::Ask, 2), Some(10));
+        assert_eq!(quantity_to_sweep(&s, Side::Bid, 1), Some(5));
+        assert_eq!(quantity_to_sweep(&s, Side::Bid, 2), None, "too shallow");
+    }
+}

@@ -1,0 +1,52 @@
+//! Limit order books and a price/time-priority matching engine.
+//!
+//! This crate is the exchange-side substrate of the LightTrader
+//! reproduction. It provides:
+//!
+//! * strongly typed market primitives ([`Price`], [`Qty`], [`Side`],
+//!   [`OrderId`], [`Timestamp`], [`Symbol`]),
+//! * a [`Book`] holding resting orders in price/time priority,
+//! * a [`MatchingEngine`] that accepts new,
+//!   cancel, and replace orders and emits [`MarketEvent`]
+//!   tick data exactly the way an exchange's market-data feed would,
+//! * [`LobSnapshot`], the ten-level book view that the
+//!   trading pipeline converts into DNN input feature maps (paper §II-B).
+//!
+//! # Example
+//!
+//! ```
+//! use lt_lob::prelude::*;
+//!
+//! let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+//! let ts = Timestamp::from_nanos(1);
+//! engine.submit(NewOrder::limit(OrderId::new(1), Side::Bid, Price::new(5000), Qty::new(3)), ts);
+//! engine.submit(NewOrder::limit(OrderId::new(2), Side::Ask, Price::new(5001), Qty::new(2)), ts);
+//! let snap = engine.book().snapshot(10, ts);
+//! assert_eq!(snap.best_bid().unwrap().price, Price::new(5000));
+//! assert_eq!(snap.best_ask().unwrap().price, Price::new(5001));
+//! ```
+
+pub mod analytics;
+pub mod book;
+pub mod events;
+pub mod matching;
+pub mod order;
+pub mod snapshot;
+pub mod types;
+
+pub use book::{Book, LevelView};
+pub use events::{BookDelta, MarketEvent, Trade};
+pub use matching::{ExecutionReport, MatchOutcome, MatchingEngine, RejectReason};
+pub use order::{NewOrder, Order, TimeInForce};
+pub use snapshot::{LobSnapshot, SnapshotLevel};
+pub use types::{OrderId, Price, Qty, Side, Symbol, Timestamp};
+
+/// Convenient single-line import of every name a LOB user typically needs.
+pub mod prelude {
+    pub use crate::book::{Book, LevelView};
+    pub use crate::events::{BookDelta, MarketEvent, Trade};
+    pub use crate::matching::{ExecutionReport, MatchOutcome, MatchingEngine, RejectReason};
+    pub use crate::order::{NewOrder, Order, TimeInForce};
+    pub use crate::snapshot::{LobSnapshot, SnapshotLevel};
+    pub use crate::types::{OrderId, Price, Qty, Side, Symbol, Timestamp};
+}

@@ -1,0 +1,167 @@
+//! Ten-level book snapshots — the raw material of DNN input feature maps.
+
+use crate::types::{Price, Qty, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One side-level of a snapshot: price and aggregate quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotLevel {
+    /// Level price in ticks.
+    pub price: Price,
+    /// Aggregate resting quantity at the level.
+    pub qty: Qty,
+}
+
+/// A top-of-book snapshot with up to N levels per side.
+///
+/// The paper's offload engine consumes ten levels of bids and asks, each
+/// carrying `(price, qty)` (§III-A), i.e. 40 raw features per tick. Levels
+/// are ordered from most to least aggressive (bids descending, asks
+/// ascending).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LobSnapshot {
+    /// Exchange timestamp of the tick that produced this snapshot.
+    pub ts: Timestamp,
+    /// Bid levels, best (highest) first.
+    pub bids: Vec<SnapshotLevel>,
+    /// Ask levels, best (lowest) first.
+    pub asks: Vec<SnapshotLevel>,
+}
+
+impl LobSnapshot {
+    /// The number of `f32` features a `depth`-level snapshot flattens to:
+    /// `(price, qty) x 2 sides x depth`.
+    pub const fn feature_count(depth: usize) -> usize {
+        depth * 4
+    }
+
+    /// Best bid level, if present.
+    pub fn best_bid(&self) -> Option<SnapshotLevel> {
+        self.bids.first().copied()
+    }
+
+    /// Best ask level, if present.
+    pub fn best_ask(&self) -> Option<SnapshotLevel> {
+        self.asks.first().copied()
+    }
+
+    /// Mid price in ticks as a float, or `None` if either side is empty.
+    pub fn mid_price(&self) -> Option<f64> {
+        let b = self.best_bid()?.price.ticks() as f64;
+        let a = self.best_ask()?.price.ticks() as f64;
+        Some((a + b) / 2.0)
+    }
+
+    /// Flattens the snapshot into the fixed-layout feature vector the
+    /// offload engine normalizes: for each level `i` in `0..depth`,
+    /// `[ask_price_i, ask_qty_i, bid_price_i, bid_qty_i]` — the DeepLOB
+    /// input layout. Missing levels are padded by extrapolating the last
+    /// seen price one tick further (zero quantity), so the vector length is
+    /// always `4 * depth`.
+    pub fn to_features(&self, depth: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(depth * 4);
+        let last_ask = self.asks.last().map(|l| l.price.ticks()).unwrap_or(0);
+        let last_bid = self.bids.last().map(|l| l.price.ticks()).unwrap_or(0);
+        for i in 0..depth {
+            match self.asks.get(i) {
+                Some(l) => {
+                    out.push(l.price.ticks() as f32);
+                    out.push(l.qty.contracts() as f32);
+                }
+                None => {
+                    let pad = last_ask + (i as i64 - self.asks.len() as i64 + 1);
+                    out.push(pad as f32);
+                    out.push(0.0);
+                }
+            }
+            match self.bids.get(i) {
+                Some(l) => {
+                    out.push(l.price.ticks() as f32);
+                    out.push(l.qty.contracts() as f32);
+                }
+                None => {
+                    let pad = last_bid - (i as i64 - self.bids.len() as i64 + 1);
+                    out.push(pad as f32);
+                    out.push(0.0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Order-book imbalance at the top level in `[-1, 1]`
+    /// (`(bid_qty - ask_qty) / (bid_qty + ask_qty)`), or 0 when empty.
+    pub fn top_imbalance(&self) -> f64 {
+        let b = self.best_bid().map_or(0.0, |l| l.qty.contracts() as f64);
+        let a = self.best_ask().map_or(0.0, |l| l.qty.contracts() as f64);
+        if b + a == 0.0 {
+            0.0
+        } else {
+            (b - a) / (b + a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(price: i64, qty: u64) -> SnapshotLevel {
+        SnapshotLevel {
+            price: Price::new(price),
+            qty: Qty::new(qty),
+        }
+    }
+
+    fn snap() -> LobSnapshot {
+        LobSnapshot {
+            ts: Timestamp::from_nanos(42),
+            bids: vec![level(99, 10), level(98, 20)],
+            asks: vec![level(101, 5), level(103, 7)],
+        }
+    }
+
+    #[test]
+    fn mid_price_and_imbalance() {
+        let s = snap();
+        assert_eq!(s.mid_price(), Some(100.0));
+        let imb = s.top_imbalance();
+        assert!((imb - (10.0 - 5.0) / 15.0).abs() < 1e-12);
+        assert_eq!(LobSnapshot::default().mid_price(), None);
+        assert_eq!(LobSnapshot::default().top_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn features_follow_deeplob_layout() {
+        let s = snap();
+        let f = s.to_features(2);
+        assert_eq!(f.len(), 8);
+        assert_eq!(
+            f,
+            vec![101.0, 5.0, 99.0, 10.0, 103.0, 7.0, 98.0, 20.0],
+            "ask_p, ask_q, bid_p, bid_q per level"
+        );
+    }
+
+    #[test]
+    fn features_pad_missing_levels() {
+        let s = snap();
+        let f = s.to_features(4);
+        assert_eq!(f.len(), LobSnapshot::feature_count(4));
+        // Level 2 (index 2) is padded: ask extrapolates upward, bid downward,
+        // both with zero quantity.
+        assert_eq!(f[8], 104.0);
+        assert_eq!(f[9], 0.0);
+        assert_eq!(f[10], 97.0);
+        assert_eq!(f[11], 0.0);
+        // Level 3 pads one tick further out.
+        assert_eq!(f[12], 105.0);
+        assert_eq!(f[14], 96.0);
+    }
+
+    #[test]
+    fn feature_count_matches_paper_geometry() {
+        // Ten levels x (price, qty) x 2 sides = 40 features per tick (§III-A).
+        assert_eq!(LobSnapshot::feature_count(10), 40);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the matching engine's core invariants.
+
+use lt_lob::prelude::*;
+use proptest::prelude::*;
+
+/// A random order action the engine must survive.
+#[derive(Debug, Clone)]
+enum Action {
+    New {
+        side: Side,
+        price: i64,
+        qty: u64,
+        tif: u8,
+    },
+    Cancel {
+        target: u64,
+    },
+    Replace {
+        target: u64,
+        price: i64,
+        qty: u64,
+    },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (any::<bool>(), 90i64..110, 1u64..20, 0u8..3).prop_map(|(bid, price, qty, tif)| {
+            Action::New {
+                side: if bid { Side::Bid } else { Side::Ask },
+                price,
+                qty,
+                tif,
+            }
+        }),
+        1 => (0u64..64).prop_map(|target| Action::Cancel { target }),
+        1 => (0u64..64, 90i64..110, 0u64..20).prop_map(|(target, price, qty)| Action::Replace {
+            target,
+            price,
+            qty
+        }),
+    ]
+}
+
+fn run(actions: Vec<Action>) -> (MatchingEngine, Vec<MarketEvent>) {
+    let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+    let mut events = Vec::new();
+    let mut next_id = 1u64;
+    let mut known = Vec::new();
+    for (step, action) in actions.into_iter().enumerate() {
+        let ts = Timestamp::from_nanos(step as u64 + 1);
+        let out = match action {
+            Action::New {
+                side,
+                price,
+                qty,
+                tif,
+            } => {
+                let id = OrderId::new(next_id);
+                next_id += 1;
+                known.push(id);
+                let order = match tif {
+                    0 => NewOrder::limit(id, side, Price::new(price), Qty::new(qty)),
+                    1 => NewOrder::ioc(id, side, Price::new(price), Qty::new(qty)),
+                    _ => NewOrder::fok(id, side, Price::new(price), Qty::new(qty)),
+                };
+                engine.submit(order, ts)
+            }
+            Action::Cancel { target } => {
+                let id = known
+                    .get(target as usize % known.len().max(1))
+                    .copied()
+                    .unwrap_or(OrderId::new(9999));
+                engine.cancel(id, ts)
+            }
+            Action::Replace { target, price, qty } => {
+                let id = known
+                    .get(target as usize % known.len().max(1))
+                    .copied()
+                    .unwrap_or(OrderId::new(9999));
+                engine.replace(id, Price::new(price), Qty::new(qty), ts)
+            }
+        };
+        events.extend(out.events);
+    }
+    (engine, events)
+}
+
+proptest! {
+    /// After any sequence of actions, the book is never crossed: the
+    /// matching engine must have traded away any overlap.
+    #[test]
+    fn book_never_crossed(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let (engine, _) = run(actions);
+        prop_assert!(!engine.book().is_crossed(),
+            "best bid {:?} >= best ask {:?}",
+            engine.book().best_bid(), engine.book().best_ask());
+    }
+
+    /// Market-data sequence numbers are strictly increasing with no gaps.
+    #[test]
+    fn event_seq_strictly_increasing(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let (_, events) = run(actions);
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+
+    /// Every trade prints at the resting (maker) order's price, which must
+    /// be weakly better for the taker than their own limit.
+    #[test]
+    fn trades_print_inside_taker_limit(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        // Track submitted limits so trades can be validated against them.
+        let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+        let mut limits = std::collections::HashMap::new();
+        let mut next_id = 1u64;
+        for (step, action) in actions.into_iter().enumerate() {
+            let ts = Timestamp::from_nanos(step as u64 + 1);
+            if let Action::New { side, price, qty, tif } = action {
+                let id = OrderId::new(next_id);
+                next_id += 1;
+                limits.insert(id, (side, Price::new(price)));
+                let order = match tif {
+                    0 => NewOrder::limit(id, side, Price::new(price), Qty::new(qty)),
+                    1 => NewOrder::ioc(id, side, Price::new(price), Qty::new(qty)),
+                    _ => NewOrder::fok(id, side, Price::new(price), Qty::new(qty)),
+                };
+                let out = engine.submit(order, ts);
+                for trade in out.events.iter().filter_map(MarketEvent::as_trade) {
+                    let (side, limit) = limits[&trade.taker];
+                    match side {
+                        Side::Bid => prop_assert!(trade.price <= limit),
+                        Side::Ask => prop_assert!(trade.price >= limit),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quantity is conserved: submitted = traded + resting + cancelled.
+    #[test]
+    fn quantity_conserved(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+        let mut submitted = 0u64;
+        let mut traded_x2 = 0u64; // each trade consumes qty from both sides
+        let mut cancelled = 0u64;
+        let mut next_id = 1u64;
+        let mut known = Vec::new();
+        for (step, action) in actions.into_iter().enumerate() {
+            let ts = Timestamp::from_nanos(step as u64 + 1);
+            match action {
+                Action::New { side, price, qty, tif } => {
+                    let id = OrderId::new(next_id);
+                    next_id += 1;
+                    known.push(id);
+                    let order = match tif {
+                        0 => NewOrder::limit(id, side, Price::new(price), Qty::new(qty)),
+                        1 => NewOrder::ioc(id, side, Price::new(price), Qty::new(qty)),
+                        _ => NewOrder::fok(id, side, Price::new(price), Qty::new(qty)),
+                    };
+                    let out = engine.submit(order, ts);
+                    if !out.report.is_rejected() {
+                        submitted += qty;
+                    }
+                    if let ExecutionReport::Cancelled { filled } = out.report {
+                        cancelled += (Qty::new(qty) - filled).contracts();
+                    }
+                    for t in out.events.iter().filter_map(MarketEvent::as_trade) {
+                        traded_x2 += 2 * t.qty.contracts();
+                    }
+                }
+                Action::Cancel { target } => {
+                    let id = known.get(target as usize % known.len().max(1)).copied()
+                        .unwrap_or(OrderId::new(9999));
+                    let before = engine.book().order(id).map(|o| o.remaining.contracts());
+                    let out = engine.cancel(id, ts);
+                    if !out.report.is_rejected() {
+                        cancelled += before.unwrap_or(0);
+                    }
+                }
+                Action::Replace { .. } => {
+                    // Replace churns identity; skip it for this conservation
+                    // check (covered by dedicated unit tests).
+                }
+            }
+        }
+        let resting: u64 = [Side::Bid, Side::Ask]
+            .iter()
+            .flat_map(|&s| engine.book().levels(s, usize::MAX))
+            .map(|l| l.qty.contracts())
+            .sum();
+        prop_assert_eq!(submitted, traded_x2 + resting + cancelled);
+    }
+
+    /// Snapshot levels are sorted and never overlap (bid < ask).
+    #[test]
+    fn snapshot_well_formed(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let (engine, _) = run(actions);
+        let snap = engine.book().snapshot(10, Timestamp::from_nanos(0));
+        for pair in snap.bids.windows(2) {
+            prop_assert!(pair[0].price > pair[1].price, "bids descending");
+        }
+        for pair in snap.asks.windows(2) {
+            prop_assert!(pair[0].price < pair[1].price, "asks ascending");
+        }
+        if let (Some(b), Some(a)) = (snap.best_bid(), snap.best_ask()) {
+            prop_assert!(b.price < a.price);
+        }
+        prop_assert!(snap.bids.len() <= 10 && snap.asks.len() <= 10);
+    }
+}

@@ -1,0 +1,194 @@
+//! The DMA engine between the offload engine and the accelerators.
+//!
+//! "The direct memory access (DMA) module is responsible for
+//! transferring an input tensor from the offload engine to the AI
+//! accelerators … Once the inference is finished from the DNN pipeline,
+//! the DMA module transfers the inference result back to the trading
+//! engine" (§III-A). This module models the descriptor ring that backs
+//! those transfers: a fixed ring of descriptors (whose depth is the
+//! hardware bound behind the scheduler's maximum batch size), each
+//! describing one input tensor, claimed by the engine at issue time and
+//! recycled at completion.
+
+use lt_lob::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One DMA descriptor: a queued tensor transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Descriptor {
+    /// Tick id of the tensor this descriptor carries.
+    pub tick_id: u64,
+    /// Bytes to transfer.
+    pub bytes: u32,
+    /// When the descriptor was posted.
+    pub posted: Timestamp,
+}
+
+/// A fixed-capacity DMA descriptor ring.
+///
+/// The ring is the physical reason Algorithm 1's `batch_options` top out:
+/// a batch cannot exceed the descriptors the ring can post in one doorbell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DescriptorRing {
+    slots: Vec<Option<Descriptor>>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    posted_total: u64,
+    completed_total: u64,
+}
+
+impl DescriptorRing {
+    /// Creates a ring with `depth` descriptor slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "ring depth must be positive");
+        DescriptorRing {
+            slots: vec![None; depth],
+            head: 0,
+            tail: 0,
+            len: 0,
+            posted_total: 0,
+            completed_total: 0,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Outstanding (posted, uncompleted) descriptors.
+    pub fn in_flight(&self) -> usize {
+        self.len
+    }
+
+    /// Free slots available for posting.
+    pub fn free(&self) -> usize {
+        self.depth() - self.len
+    }
+
+    /// Descriptors posted over the ring's lifetime.
+    pub fn posted_total(&self) -> u64 {
+        self.posted_total
+    }
+
+    /// Descriptors completed over the ring's lifetime.
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// Posts a descriptor, returning `false` when the ring is full.
+    pub fn post(&mut self, descriptor: Descriptor) -> bool {
+        if self.len == self.depth() {
+            return false;
+        }
+        debug_assert!(self.slots[self.tail].is_none());
+        self.slots[self.tail] = Some(descriptor);
+        self.tail = (self.tail + 1) % self.depth();
+        self.len += 1;
+        self.posted_total += 1;
+        true
+    }
+
+    /// Posts a whole batch atomically: either every descriptor fits or
+    /// none is posted (a doorbell covers the batch or it doesn't ring).
+    pub fn post_batch(&mut self, descriptors: &[Descriptor]) -> bool {
+        if descriptors.len() > self.free() {
+            return false;
+        }
+        for d in descriptors {
+            let ok = self.post(*d);
+            debug_assert!(ok);
+        }
+        true
+    }
+
+    /// Completes the oldest descriptor, returning it (FIFO, as the
+    /// engine walks the ring in order).
+    pub fn complete(&mut self) -> Option<Descriptor> {
+        if self.len == 0 {
+            return None;
+        }
+        let d = self.slots[self.head].take().expect("head occupied");
+        self.head = (self.head + 1) % self.depth();
+        self.len -= 1;
+        self.completed_total += 1;
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u64) -> Descriptor {
+        Descriptor {
+            tick_id: id,
+            bytes: 8_000,
+            posted: Timestamp::from_micros(id),
+        }
+    }
+
+    #[test]
+    fn post_complete_fifo() {
+        let mut ring = DescriptorRing::new(4);
+        assert!(ring.post(d(1)));
+        assert!(ring.post(d(2)));
+        assert_eq!(ring.in_flight(), 2);
+        assert_eq!(ring.complete().unwrap().tick_id, 1);
+        assert_eq!(ring.complete().unwrap().tick_id, 2);
+        assert!(ring.complete().is_none());
+        assert_eq!(ring.posted_total(), 2);
+        assert_eq!(ring.completed_total(), 2);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let mut ring = DescriptorRing::new(2);
+        assert!(ring.post(d(1)));
+        assert!(ring.post(d(2)));
+        assert!(!ring.post(d(3)), "ring must refuse when full");
+        assert_eq!(ring.in_flight(), 2);
+        ring.complete();
+        assert!(ring.post(d(3)), "slot recycled after completion");
+    }
+
+    #[test]
+    fn batch_posting_is_atomic() {
+        let mut ring = DescriptorRing::new(4);
+        ring.post(d(0));
+        let batch: Vec<Descriptor> = (1..=4).map(d).collect();
+        assert!(!ring.post_batch(&batch), "4 do not fit with 1 in flight");
+        assert_eq!(ring.in_flight(), 1, "nothing partially posted");
+        assert!(ring.post_batch(&batch[..3]));
+        assert_eq!(ring.in_flight(), 4);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let mut ring = DescriptorRing::new(3);
+        for round in 0..100u64 {
+            assert!(ring.post(d(round)));
+            assert_eq!(ring.complete().unwrap().tick_id, round);
+        }
+        assert_eq!(ring.posted_total(), 100);
+        assert_eq!(ring.free(), 3);
+    }
+
+    #[test]
+    fn ring_depth_matches_scheduler_max_batch() {
+        // The hardware bound behind `lt_sched::MAX_BATCH`.
+        let ring = DescriptorRing::new(16);
+        assert_eq!(ring.depth(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = DescriptorRing::new(0);
+    }
+}

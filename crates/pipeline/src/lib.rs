@@ -1,0 +1,39 @@
+//! The FPGA trading pipeline (§III-A).
+//!
+//! The trading pipeline is everything around the DNN: "market data
+//! acquisition, packet processing, LOB look-up, and order generation".
+//! This crate implements each stage functionally:
+//!
+//! * [`parser`] — the packet parser: datagram intake, checksum and
+//!   sequence-gap tracking, SBE decoding;
+//! * [`local_book`] — the depth-limited local LOB mirror the HFT system
+//!   maintains from tick data;
+//! * [`offload`] — the offload engine of Fig. 5: Z-score normalization
+//!   against historical statistics, BF16 conversion, the feature-vector
+//!   FIFO that assembles `[window, 40]` input tensors, and stale-tensor
+//!   management;
+//! * [`dma`] — the DMA descriptor ring that carries input tensors to the
+//!   accelerators and results back;
+//! * [`trading`] — the trading engine: risk-checked order generation from
+//!   inference results, with position tracking, P&L accounting, and
+//!   iLink3/FIX encoding;
+//! * [`rate_limit`] — exchange messaging-rate limiting and the latching
+//!   kill switch behind the risk gates;
+//! * [`stages`] — the per-stage latency budget of the conventional
+//!   pipeline (~1 µs end-to-end on an FPGA, §II-A).
+
+pub mod dma;
+pub mod local_book;
+pub mod offload;
+pub mod parser;
+pub mod rate_limit;
+pub mod stages;
+pub mod trading;
+
+pub use dma::{Descriptor, DescriptorRing};
+pub use local_book::LocalBook;
+pub use offload::{OffloadEngine, TensorTicket};
+pub use parser::{PacketParser, ParserStats};
+pub use rate_limit::{KillReason, KillSwitch, OrderRateLimiter};
+pub use stages::PipelineLatencies;
+pub use trading::{RiskLimits, TradingEngine};

@@ -1,0 +1,262 @@
+//! The HFT system's local order-book mirror.
+//!
+//! "The HFT maintains a local LOB which represents a few lowest levels of
+//! the global LOB to relieve the storage and management overhead"
+//! (§II-A). [`LocalBook`] consumes the decoded tick stream and keeps an
+//! aggregated per-level view plus the per-order index needed to apply
+//! modifies and deletes.
+
+use lt_lob::events::MarketEventKind;
+use lt_lob::snapshot::SnapshotLevel;
+use lt_lob::{BookDelta, LobSnapshot, MarketEvent, OrderId, Price, Qty, Side, Timestamp};
+use std::collections::{BTreeMap, HashMap};
+
+/// A depth-limited mirror of the exchange book, maintained from ticks.
+#[derive(Debug, Clone, Default)]
+pub struct LocalBook {
+    bids: BTreeMap<Price, Qty>,
+    asks: BTreeMap<Price, Qty>,
+    orders: HashMap<OrderId, (Side, Price, Qty)>,
+    applied: u64,
+    last_trade: Option<(Price, Qty)>,
+}
+
+impl LocalBook {
+    /// Creates an empty mirror.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The most recent trade print, if any.
+    pub fn last_trade(&self) -> Option<(Price, Qty)> {
+        self.last_trade
+    }
+
+    /// Best bid price.
+    pub fn best_bid(&self) -> Option<Price> {
+        self.bids.keys().next_back().copied()
+    }
+
+    /// Best ask price.
+    pub fn best_ask(&self) -> Option<Price> {
+        self.asks.keys().next().copied()
+    }
+
+    /// Applies one tick to the mirror.
+    ///
+    /// Unknown deletes/modifies (e.g. after joining mid-session) are
+    /// ignored rather than treated as fatal, matching real feed handlers.
+    pub fn apply(&mut self, event: &MarketEvent) {
+        self.applied += 1;
+        match &event.kind {
+            MarketEventKind::Book(delta) => self.apply_delta(delta),
+            MarketEventKind::Trade(trade) => {
+                self.last_trade = Some((trade.price, trade.qty));
+            }
+        }
+    }
+
+    fn apply_delta(&mut self, delta: &BookDelta) {
+        match *delta {
+            BookDelta::Add {
+                id,
+                side,
+                price,
+                qty,
+            } => {
+                self.orders.insert(id, (side, price, qty));
+                *self.side_mut(side).entry(price).or_insert(Qty::ZERO) += qty;
+            }
+            BookDelta::Modify {
+                id,
+                side,
+                price,
+                remaining,
+            } => {
+                let Some(entry) = self.orders.get_mut(&id) else {
+                    return;
+                };
+                let old = entry.2;
+                entry.2 = remaining;
+                if remaining.is_zero() {
+                    self.orders.remove(&id);
+                }
+                let levels = self.side_mut(side);
+                if let Some(level) = levels.get_mut(&price) {
+                    // level = level - old + remaining, never below zero.
+                    *level = level.saturating_sub(old) + remaining;
+                    if level.is_zero() {
+                        levels.remove(&price);
+                    }
+                }
+            }
+            BookDelta::Delete { id, side, price } => {
+                let Some((_, _, qty)) = self.orders.remove(&id) else {
+                    return;
+                };
+                let levels = self.side_mut(side);
+                if let Some(level) = levels.get_mut(&price) {
+                    *level = level.saturating_sub(qty);
+                    if level.is_zero() {
+                        levels.remove(&price);
+                    }
+                }
+            }
+        }
+    }
+
+    fn side_mut(&mut self, side: Side) -> &mut BTreeMap<Price, Qty> {
+        match side {
+            Side::Bid => &mut self.bids,
+            Side::Ask => &mut self.asks,
+        }
+    }
+
+    /// Builds the ten-level snapshot the offload engine consumes.
+    pub fn snapshot(&self, depth: usize, ts: Timestamp) -> LobSnapshot {
+        let level = |(&price, &qty): (&Price, &Qty)| SnapshotLevel { price, qty };
+        LobSnapshot {
+            ts,
+            bids: self.bids.iter().rev().take(depth).map(level).collect(),
+            asks: self.asks.iter().take(depth).map(level).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(seq: u64, id: u64, side: Side, price: i64, qty: u64) -> MarketEvent {
+        MarketEvent {
+            seq,
+            ts: Timestamp::from_nanos(seq),
+            kind: MarketEventKind::Book(BookDelta::Add {
+                id: OrderId::new(id),
+                side,
+                price: Price::new(price),
+                qty: Qty::new(qty),
+            }),
+        }
+    }
+
+    fn delete(seq: u64, id: u64, side: Side, price: i64) -> MarketEvent {
+        MarketEvent {
+            seq,
+            ts: Timestamp::from_nanos(seq),
+            kind: MarketEventKind::Book(BookDelta::Delete {
+                id: OrderId::new(id),
+                side,
+                price: Price::new(price),
+            }),
+        }
+    }
+
+    #[test]
+    fn adds_aggregate_per_level() {
+        let mut book = LocalBook::new();
+        book.apply(&add(1, 1, Side::Bid, 99, 5));
+        book.apply(&add(2, 2, Side::Bid, 99, 7));
+        book.apply(&add(3, 3, Side::Ask, 101, 2));
+        let snap = book.snapshot(10, Timestamp::from_nanos(3));
+        assert_eq!(snap.best_bid().unwrap().qty, Qty::new(12));
+        assert_eq!(snap.best_ask().unwrap().price, Price::new(101));
+        assert_eq!(book.applied(), 3);
+    }
+
+    #[test]
+    fn delete_removes_order_quantity() {
+        let mut book = LocalBook::new();
+        book.apply(&add(1, 1, Side::Bid, 99, 5));
+        book.apply(&add(2, 2, Side::Bid, 99, 7));
+        book.apply(&delete(3, 1, Side::Bid, 99));
+        let snap = book.snapshot(10, Timestamp::from_nanos(3));
+        assert_eq!(snap.best_bid().unwrap().qty, Qty::new(7));
+        // Deleting the last order clears the level.
+        book.apply(&delete(4, 2, Side::Bid, 99));
+        assert_eq!(book.best_bid(), None);
+    }
+
+    #[test]
+    fn unknown_delete_is_ignored() {
+        let mut book = LocalBook::new();
+        book.apply(&delete(1, 42, Side::Ask, 101));
+        assert_eq!(book.best_ask(), None);
+        assert_eq!(book.applied(), 1);
+    }
+
+    #[test]
+    fn trade_updates_last_trade() {
+        use lt_lob::Trade;
+        let mut book = LocalBook::new();
+        book.apply(&MarketEvent {
+            seq: 1,
+            ts: Timestamp::from_nanos(1),
+            kind: MarketEventKind::Trade(Trade {
+                taker: OrderId::new(2),
+                maker: OrderId::new(1),
+                price: Price::new(100),
+                qty: Qty::new(3),
+                aggressor: Side::Bid,
+            }),
+        });
+        assert_eq!(book.last_trade(), Some((Price::new(100), Qty::new(3))));
+    }
+
+    #[test]
+    fn snapshot_depth_limits_levels() {
+        let mut book = LocalBook::new();
+        for (i, p) in (90..110).enumerate() {
+            book.apply(&add(i as u64, i as u64 + 1, Side::Bid, p, 1));
+        }
+        let snap = book.snapshot(3, Timestamp::ZERO);
+        assert_eq!(snap.bids.len(), 3);
+        assert_eq!(snap.bids[0].price, Price::new(109));
+    }
+
+    /// The mirror tracks the matching engine exactly for add/delete flows.
+    #[test]
+    fn mirror_matches_matching_engine() {
+        use lt_lob::prelude::*;
+        let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+        let mut mirror = LocalBook::new();
+        let ts = Timestamp::from_nanos(1);
+        let actions: Vec<NewOrder> = (0..40)
+            .map(|i| {
+                let side = if i % 2 == 0 { Side::Bid } else { Side::Ask };
+                let i_mod = (i % 5) as i64;
+                let price = if i % 2 == 0 { 100 - i_mod } else { 101 + i_mod };
+                NewOrder::limit(
+                    OrderId::new(i + 1),
+                    side,
+                    Price::new(price),
+                    Qty::new(1 + i % 3),
+                )
+            })
+            .collect();
+        for order in actions {
+            for e in engine.submit(order, ts).events {
+                mirror.apply(&e);
+            }
+        }
+        // Cancel a few.
+        for id in [2u64, 5, 8] {
+            for e in engine.cancel(OrderId::new(id), ts).events {
+                mirror.apply(&e);
+            }
+        }
+        // Cross the book so trades, modifies, and deletes all flow.
+        let sweep = NewOrder::limit(OrderId::new(100), Side::Bid, Price::new(103), Qty::new(5));
+        for e in engine.submit(sweep, ts).events {
+            mirror.apply(&e);
+        }
+        let truth = engine.book().snapshot(10, ts);
+        let local = mirror.snapshot(10, ts);
+        assert_eq!(truth, local);
+    }
+}

@@ -1,0 +1,309 @@
+//! The offload engine (Fig. 5).
+//!
+//! For every tick the offload engine (1) converts the LOB levels to BF16,
+//! (2) Z-score-normalizes them against historical statistics, (3) pushes
+//! the resulting feature vector into a sliding-window FIFO, and (4) once
+//! the window is full, registers an input tensor for the DNN pipeline.
+//! It also "manages the stale feature vectors and input tensors" — ticks
+//! whose prediction horizon has lapsed are dropped before wasting
+//! accelerator time, and Algorithm 1 may explicitly defer the oldest
+//! tensor when no schedule fits.
+
+use lt_dnn::bf16::bf16_round;
+use lt_dnn::Tensor;
+use lt_feed::NormStats;
+use lt_lob::{LobSnapshot, Timestamp};
+use std::collections::VecDeque;
+
+/// A queued inference request: one tick whose input tensor is ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorTicket {
+    /// Monotone tick index within the session.
+    pub tick_id: u64,
+    /// Exchange timestamp of the triggering tick.
+    pub tick_ts: Timestamp,
+    /// When the tensor became ready for DMA.
+    pub ready_at: Timestamp,
+}
+
+/// The offload engine: normalization, windowing, and the tensor queue.
+#[derive(Debug, Clone)]
+pub struct OffloadEngine {
+    norm: NormStats,
+    window: usize,
+    depth: usize,
+    /// Sliding window of normalized feature vectors (newest at the back).
+    features: VecDeque<Vec<f32>>,
+    /// Tensors awaiting an accelerator.
+    queue: VecDeque<TensorTicket>,
+    /// Queue capacity; ticks arriving beyond it are dropped immediately.
+    capacity: usize,
+    next_tick_id: u64,
+    dropped_full: u64,
+    dropped_stale: u64,
+    deferred: u64,
+}
+
+impl OffloadEngine {
+    /// Creates an engine with the paper's geometry: the feature FIFO
+    /// spans `window` ticks of `depth`-level snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window`, `capacity`, or the stats' depth is unusable.
+    pub fn new(norm: NormStats, window: usize, capacity: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        let depth = norm.depth();
+        OffloadEngine {
+            norm,
+            window,
+            depth,
+            features: VecDeque::with_capacity(window),
+            queue: VecDeque::new(),
+            capacity,
+            next_tick_id: 0,
+            dropped_full: 0,
+            dropped_stale: 0,
+            deferred: 0,
+        }
+    }
+
+    /// Tensors currently queued for the DNN pipeline.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The oldest queued ticket, if any.
+    pub fn oldest(&self) -> Option<TensorTicket> {
+        self.queue.front().copied()
+    }
+
+    /// Ticks dropped because the queue was full.
+    pub fn dropped_full(&self) -> u64 {
+        self.dropped_full
+    }
+
+    /// Tensors dropped because their deadline lapsed while queued.
+    pub fn dropped_stale(&self) -> u64 {
+        self.dropped_stale
+    }
+
+    /// Tensors deferred to the conventional pipeline by Algorithm 1.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// Ingests one tick: normalizes its features into the FIFO and, once
+    /// the window is warm, enqueues an inference request.
+    ///
+    /// Returns the ticket if one was enqueued (`None` while warming up or
+    /// when the queue is full).
+    pub fn on_tick(&mut self, snapshot: &LobSnapshot, ready_at: Timestamp) -> Option<TensorTicket> {
+        let mut features = snapshot.to_features(self.depth);
+        self.norm.normalize(&mut features);
+        for f in &mut features {
+            *f = bf16_round(*f);
+        }
+        if self.features.len() == self.window {
+            self.features.pop_front();
+        }
+        self.features.push_back(features);
+        let tick_id = self.next_tick_id;
+        self.next_tick_id += 1;
+        if self.features.len() < self.window {
+            return None;
+        }
+        if self.queue.len() >= self.capacity {
+            self.dropped_full += 1;
+            return None;
+        }
+        let ticket = TensorTicket {
+            tick_id,
+            tick_ts: snapshot.ts,
+            ready_at,
+        };
+        self.queue.push_back(ticket);
+        Some(ticket)
+    }
+
+    /// True once the feature FIFO holds a full window.
+    pub fn is_warm(&self) -> bool {
+        self.features.len() == self.window
+    }
+
+    /// Pops up to `batch` tickets, oldest first, for DMA to an
+    /// accelerator.
+    pub fn pop_batch(&mut self, batch: usize) -> Vec<TensorTicket> {
+        let n = batch.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    /// Removes the oldest ticket (Algorithm 1's defer path).
+    pub fn defer_oldest(&mut self) -> Option<TensorTicket> {
+        let t = self.queue.pop_front();
+        if t.is_some() {
+            self.deferred += 1;
+        }
+        t
+    }
+
+    /// Drops every queued ticket whose `tick_ts + deadline` is already in
+    /// the past, returning them (the stale-management duty of Fig. 5).
+    pub fn drop_stale(
+        &mut self,
+        now: Timestamp,
+        deadline: std::time::Duration,
+    ) -> Vec<TensorTicket> {
+        let mut stale = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if (front.tick_ts + deadline) <= now {
+                stale.push(self.queue.pop_front().expect("front just seen"));
+            } else {
+                break;
+            }
+        }
+        self.dropped_stale += stale.len() as u64;
+        stale
+    }
+
+    /// Materializes the current window as a `[window, 4*depth]` input
+    /// tensor (the examples and the functional path use this; the
+    /// discrete-event simulator works with tickets alone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is not warm yet.
+    pub fn latest_tensor(&self) -> Tensor {
+        assert!(self.is_warm(), "feature FIFO not warm yet");
+        let width = self.depth * 4;
+        let mut data = Vec::with_capacity(self.window * width);
+        for row in &self.features {
+            data.extend_from_slice(row);
+        }
+        Tensor::from_vec(data, &[self.window, width])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_lob::snapshot::SnapshotLevel;
+    use lt_lob::{Price, Qty};
+    use std::time::Duration;
+
+    fn snap(ts_us: u64, mid: i64) -> LobSnapshot {
+        LobSnapshot {
+            ts: Timestamp::from_micros(ts_us),
+            bids: vec![SnapshotLevel {
+                price: Price::new(mid - 1),
+                qty: Qty::new(5),
+            }],
+            asks: vec![SnapshotLevel {
+                price: Price::new(mid + 1),
+                qty: Qty::new(5),
+            }],
+        }
+    }
+
+    fn engine(window: usize, capacity: usize) -> OffloadEngine {
+        OffloadEngine::new(NormStats::identity(1), window, capacity)
+    }
+
+    #[test]
+    fn warms_up_before_enqueueing() {
+        let mut e = engine(3, 8);
+        assert!(e
+            .on_tick(&snap(1, 100), Timestamp::from_micros(1))
+            .is_none());
+        assert!(e
+            .on_tick(&snap(2, 100), Timestamp::from_micros(2))
+            .is_none());
+        assert!(!e.is_warm());
+        let t = e.on_tick(&snap(3, 100), Timestamp::from_micros(3)).unwrap();
+        assert!(e.is_warm());
+        assert_eq!(t.tick_id, 2);
+        assert_eq!(e.queue_len(), 1);
+    }
+
+    #[test]
+    fn queue_capacity_drops_excess() {
+        let mut e = engine(1, 2);
+        for i in 0..5u64 {
+            e.on_tick(&snap(i, 100), Timestamp::from_micros(i));
+        }
+        assert_eq!(e.queue_len(), 2);
+        assert_eq!(e.dropped_full(), 3);
+    }
+
+    #[test]
+    fn pop_batch_is_fifo() {
+        let mut e = engine(1, 10);
+        for i in 0..4u64 {
+            e.on_tick(&snap(i, 100), Timestamp::from_micros(i));
+        }
+        let batch = e.pop_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].tick_id, 0);
+        assert_eq!(batch[2].tick_id, 2);
+        assert_eq!(e.queue_len(), 1);
+        // Requesting more than available returns what exists.
+        assert_eq!(e.pop_batch(10).len(), 1);
+    }
+
+    #[test]
+    fn defer_oldest_counts() {
+        let mut e = engine(1, 10);
+        e.on_tick(&snap(1, 100), Timestamp::from_micros(1));
+        e.on_tick(&snap(2, 100), Timestamp::from_micros(2));
+        let d = e.defer_oldest().unwrap();
+        assert_eq!(d.tick_id, 0);
+        assert_eq!(e.deferred(), 1);
+        assert_eq!(e.queue_len(), 1);
+    }
+
+    #[test]
+    fn drop_stale_removes_expired_prefix() {
+        let mut e = engine(1, 10);
+        for i in [0u64, 10, 500, 900] {
+            e.on_tick(&snap(i, 100), Timestamp::from_micros(i));
+        }
+        // Deadline 1 ms, now = 1.2 ms: ticks at 0 µs and 10 µs expired.
+        let stale = e.drop_stale(Timestamp::from_micros(1_200), Duration::from_millis(1));
+        assert_eq!(stale.len(), 2);
+        assert_eq!(e.dropped_stale(), 2);
+        assert_eq!(e.queue_len(), 2);
+        assert_eq!(e.oldest().unwrap().tick_ts, Timestamp::from_micros(500));
+    }
+
+    #[test]
+    fn latest_tensor_shape_and_recency() {
+        let mut e = engine(3, 10);
+        for i in 0..5u64 {
+            e.on_tick(&snap(i, 100 + i as i64), Timestamp::from_micros(i));
+        }
+        let t = e.latest_tensor();
+        assert_eq!(t.shape(), &[3, 4]);
+        // The last row reflects the newest tick (mid 104 -> ask 105).
+        assert_eq!(t.at(&[2, 0]), 105.0);
+        // And the first row is the oldest in-window tick (mid 102).
+        assert_eq!(t.at(&[0, 0]), 103.0);
+    }
+
+    #[test]
+    fn features_are_bf16_rounded() {
+        let mut e = engine(1, 4);
+        e.on_tick(&snap(1, 12_345), Timestamp::from_micros(1));
+        let t = e.latest_tensor();
+        for &v in t.data() {
+            assert_eq!(bf16_round(v), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not warm")]
+    fn latest_tensor_before_warm_panics() {
+        let e = engine(3, 10);
+        let _ = e.latest_tensor();
+    }
+}

@@ -1,0 +1,255 @@
+//! Order-rate limiting and the kill switch.
+//!
+//! Exchanges enforce per-session messaging limits, and every production
+//! trading system carries a hard kill switch — the last line of the
+//! "conservative risk management policy" the paper's trading engine
+//! embodies (§III-A). [`OrderRateLimiter`] is a token bucket over a
+//! sliding one-second window; [`KillSwitch`] trips permanently on a
+//! configured loss or error condition and can only be reset by an
+//! explicit operator action.
+
+use lt_lob::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A sliding-window order-rate limiter.
+#[derive(Debug, Clone)]
+pub struct OrderRateLimiter {
+    /// Maximum orders per window.
+    limit: u32,
+    /// Window length in nanoseconds.
+    window_ns: u64,
+    /// Send times inside the current window.
+    sends: VecDeque<Timestamp>,
+    rejected: u64,
+}
+
+impl OrderRateLimiter {
+    /// Creates a limiter allowing `limit` orders per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn per_second(limit: u32) -> Self {
+        assert!(limit > 0, "limit must be positive");
+        OrderRateLimiter {
+            limit,
+            window_ns: 1_000_000_000,
+            sends: VecDeque::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Orders rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Orders currently counted in the window.
+    pub fn in_window(&self, now: Timestamp) -> usize {
+        self.sends
+            .iter()
+            .filter(|t| now.nanos_since(**t) < self.window_ns)
+            .count()
+    }
+
+    /// Attempts to pass one order at `now`; `true` means send it.
+    pub fn allow(&mut self, now: Timestamp) -> bool {
+        if self.would_allow(now) {
+            self.record(now);
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Checks (without consuming a slot) whether an order at `now` would
+    /// pass. Prunes expired window entries as a side effect.
+    pub fn would_allow(&mut self, now: Timestamp) -> bool {
+        while let Some(front) = self.sends.front() {
+            if now.nanos_since(*front) >= self.window_ns {
+                self.sends.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.sends.len() < self.limit as usize
+    }
+
+    /// Consumes a window slot for an order actually sent at `now`.
+    pub fn record(&mut self, now: Timestamp) {
+        self.sends.push_back(now);
+    }
+}
+
+/// Why the kill switch tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillReason {
+    /// Mark-to-market loss breached the configured floor.
+    LossLimit {
+        /// The P&L (ticks x contracts) observed at the trip.
+        pnl_ticks: i64,
+    },
+    /// Too many consecutive order rejections (venue or risk).
+    RejectStorm {
+        /// Consecutive rejections observed.
+        count: u32,
+    },
+    /// An operator pulled the handle.
+    Manual,
+}
+
+/// A latching kill switch: once tripped, all trading stops until an
+/// explicit [`KillSwitch::reset`].
+#[derive(Debug, Clone)]
+pub struct KillSwitch {
+    /// Most negative tolerable P&L in ticks x contracts.
+    loss_floor_ticks: i64,
+    /// Consecutive rejections that trip the switch.
+    max_consecutive_rejects: u32,
+    consecutive_rejects: u32,
+    tripped: Option<KillReason>,
+}
+
+impl KillSwitch {
+    /// Creates an armed switch.
+    pub fn new(loss_floor_ticks: i64, max_consecutive_rejects: u32) -> Self {
+        KillSwitch {
+            loss_floor_ticks,
+            max_consecutive_rejects,
+            consecutive_rejects: 0,
+            tripped: None,
+        }
+    }
+
+    /// The trip reason, if tripped.
+    pub fn tripped(&self) -> Option<KillReason> {
+        self.tripped
+    }
+
+    /// True while trading is permitted.
+    pub fn is_armed(&self) -> bool {
+        self.tripped.is_none()
+    }
+
+    /// Feeds the latest mark-to-market P&L; trips on breach.
+    pub fn observe_pnl(&mut self, pnl_ticks: i64) {
+        if self.tripped.is_none() && pnl_ticks <= self.loss_floor_ticks {
+            self.tripped = Some(KillReason::LossLimit { pnl_ticks });
+        }
+    }
+
+    /// Records an order rejection; trips on a storm.
+    pub fn observe_reject(&mut self) {
+        if self.tripped.is_some() {
+            return;
+        }
+        self.consecutive_rejects += 1;
+        if self.consecutive_rejects >= self.max_consecutive_rejects {
+            self.tripped = Some(KillReason::RejectStorm {
+                count: self.consecutive_rejects,
+            });
+        }
+    }
+
+    /// Records a successful send, clearing the reject streak.
+    pub fn observe_accept(&mut self) {
+        self.consecutive_rejects = 0;
+    }
+
+    /// Operator trip.
+    pub fn trip_manual(&mut self) {
+        if self.tripped.is_none() {
+            self.tripped = Some(KillReason::Manual);
+        }
+    }
+
+    /// Operator reset: re-arms the switch and clears streaks.
+    pub fn reset(&mut self) {
+        self.tripped = None;
+        self.consecutive_rejects = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limiter_caps_per_second() {
+        let mut limiter = OrderRateLimiter::per_second(3);
+        let t0 = Timestamp::from_millis(0);
+        assert!(limiter.allow(t0));
+        assert!(limiter.allow(Timestamp::from_millis(100)));
+        assert!(limiter.allow(Timestamp::from_millis(200)));
+        assert!(!limiter.allow(Timestamp::from_millis(300)), "4th in window");
+        assert_eq!(limiter.rejected(), 1);
+        // The window slides: the t0 send expires at t0+1s.
+        assert!(limiter.allow(Timestamp::from_millis(1_001)));
+        assert_eq!(limiter.in_window(Timestamp::from_millis(1_001)), 3);
+    }
+
+    #[test]
+    fn limiter_handles_bursts_cleanly() {
+        let mut limiter = OrderRateLimiter::per_second(10);
+        let mut allowed = 0;
+        for i in 0..100u64 {
+            if limiter.allow(Timestamp::from_micros(i * 10)) {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 10, "only the cap passes in one burst");
+        assert_eq!(limiter.rejected(), 90);
+    }
+
+    #[test]
+    fn kill_switch_trips_on_loss() {
+        let mut ks = KillSwitch::new(-100, 5);
+        assert!(ks.is_armed());
+        ks.observe_pnl(-50);
+        assert!(ks.is_armed());
+        ks.observe_pnl(-101);
+        assert_eq!(
+            ks.tripped(),
+            Some(KillReason::LossLimit { pnl_ticks: -101 })
+        );
+        // Latching: recovery does not re-arm.
+        ks.observe_pnl(500);
+        assert!(!ks.is_armed());
+        ks.reset();
+        assert!(ks.is_armed());
+    }
+
+    #[test]
+    fn kill_switch_trips_on_reject_storm() {
+        let mut ks = KillSwitch::new(-1_000, 3);
+        ks.observe_reject();
+        ks.observe_reject();
+        ks.observe_accept(); // streak broken
+        ks.observe_reject();
+        ks.observe_reject();
+        assert!(ks.is_armed());
+        ks.observe_reject();
+        assert_eq!(ks.tripped(), Some(KillReason::RejectStorm { count: 3 }));
+    }
+
+    #[test]
+    fn manual_trip_wins_and_first_reason_sticks() {
+        let mut ks = KillSwitch::new(-10, 2);
+        ks.trip_manual();
+        assert_eq!(ks.tripped(), Some(KillReason::Manual));
+        ks.observe_pnl(-100);
+        assert_eq!(
+            ks.tripped(),
+            Some(KillReason::Manual),
+            "first reason sticks"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn zero_limit_panics() {
+        let _ = OrderRateLimiter::per_second(0);
+    }
+}

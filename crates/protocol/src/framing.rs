@@ -1,0 +1,214 @@
+//! Market-data datagram framing and wire-cost accounting.
+//!
+//! The feed handler receives tick data "through the Ethernet and UDP/IP
+//! connection" (§III-A). This module frames packed SBE payloads into
+//! UDP-style datagrams with a channel sequence number, packet send time,
+//! message count, and an additive checksum — enough structure for the
+//! packet parser to detect gaps and corruption — and provides a
+//! [`WireCost`] helper that converts frame sizes into serialization delay
+//! at a given line rate, which the latency model uses.
+
+use crate::error::DecodeError;
+use bytes::{Buf, BufMut, BytesMut};
+use lt_lob::Timestamp;
+use std::time::Duration;
+
+/// Ethernet II + IPv4 + UDP header overhead in bytes (14 + 20 + 8), as
+/// charged by the wire-cost model on top of the payload.
+pub const ETHERNET_IPV4_UDP_OVERHEAD: usize = 42;
+
+/// A market-data datagram: header + packed message payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Per-channel packet sequence number (gap detection).
+    pub channel_seq: u32,
+    /// Exchange send time.
+    pub sent: Timestamp,
+    /// Number of messages packed in the payload.
+    pub msg_count: u16,
+    /// Packed message bytes (e.g. SBE frames).
+    pub payload: Vec<u8>,
+}
+
+impl Datagram {
+    /// Encoded header size in bytes (seq + sent + count + checksum).
+    pub const HEADER_SIZE: usize = 4 + 8 + 2 + 4;
+
+    /// Creates a datagram over a packed payload.
+    pub fn new(channel_seq: u32, sent: Timestamp, msg_count: u16, payload: Vec<u8>) -> Self {
+        Datagram {
+            channel_seq,
+            sent,
+            msg_count,
+            payload,
+        }
+    }
+
+    /// Additive checksum over the payload.
+    fn checksum(payload: &[u8]) -> u32 {
+        payload
+            .iter()
+            .fold(0u32, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u32))
+    }
+
+    /// Serializes the datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(Self::HEADER_SIZE + self.payload.len());
+        buf.put_u32_le(self.channel_seq);
+        buf.put_u64_le(self.sent.nanos());
+        buf.put_u16_le(self.msg_count);
+        buf.put_u32_le(Self::checksum(&self.payload));
+        buf.put_slice(&self.payload);
+        buf.to_vec()
+    }
+
+    /// Deserializes a datagram, verifying its checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if the header is incomplete and
+    /// [`DecodeError::BadChecksum`] on payload corruption.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < Self::HEADER_SIZE {
+            return Err(DecodeError::Truncated {
+                needed: Self::HEADER_SIZE,
+                available: bytes.len(),
+            });
+        }
+        let mut buf = bytes;
+        let channel_seq = buf.get_u32_le();
+        let sent = Timestamp::from_nanos(buf.get_u64_le());
+        let msg_count = buf.get_u16_le();
+        let expected = buf.get_u32_le();
+        let payload = buf.to_vec();
+        let computed = Self::checksum(&payload);
+        if computed != expected {
+            return Err(DecodeError::BadChecksum { expected, computed });
+        }
+        Ok(Datagram {
+            channel_seq,
+            sent,
+            msg_count,
+            payload,
+        })
+    }
+
+    /// Total bytes this datagram occupies on the wire, including L2-L4
+    /// headers.
+    pub fn wire_size(&self) -> usize {
+        ETHERNET_IPV4_UDP_OVERHEAD + Self::HEADER_SIZE + self.payload.len()
+    }
+}
+
+/// Converts frame sizes to serialization delay at a fixed line rate.
+///
+/// # Example
+///
+/// ```
+/// use lt_protocol::framing::WireCost;
+/// let wire = WireCost::ten_gbe();
+/// // A 1250-byte frame takes 1 µs at 10 Gb/s.
+/// assert_eq!(wire.serialization_delay(1250).as_nanos(), 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCost {
+    /// Line rate in bits per second.
+    bits_per_sec: u64,
+}
+
+impl WireCost {
+    /// Creates a cost model at `bits_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero.
+    pub fn new(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "line rate must be positive");
+        WireCost { bits_per_sec }
+    }
+
+    /// 10GbE, the typical market-data line rate at a co-location venue.
+    pub fn ten_gbe() -> Self {
+        WireCost::new(10_000_000_000)
+    }
+
+    /// The configured line rate in bits per second.
+    pub fn bits_per_sec(&self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Time to clock `bytes` onto the wire.
+    pub fn serialization_delay(&self, bytes: usize) -> Duration {
+        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.bits_per_sec as u128;
+        Duration::from_nanos(nanos as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let d = Datagram::new(9, Timestamp::from_nanos(1234), 2, vec![1, 2, 3, 4, 5]);
+        let bytes = d.encode();
+        let decoded = Datagram::decode(&bytes).unwrap();
+        assert_eq!(decoded, d);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let d = Datagram::new(0, Timestamp::ZERO, 0, vec![]);
+        assert_eq!(Datagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let d = Datagram::new(9, Timestamp::from_nanos(1), 1, vec![10, 20, 30]);
+        let mut bytes = d.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            Datagram::decode(&bytes),
+            Err(DecodeError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        assert!(matches!(
+            Datagram::decode(&[0u8; 5]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let d = Datagram::new(1, Timestamp::ZERO, 1, vec![0u8; 100]);
+        assert_eq!(
+            d.wire_size(),
+            ETHERNET_IPV4_UDP_OVERHEAD + Datagram::HEADER_SIZE + 100
+        );
+    }
+
+    #[test]
+    fn serialization_delay_scales_linearly() {
+        let wire = WireCost::ten_gbe();
+        let one = wire.serialization_delay(125); // 1000 bits @ 10 Gb/s = 100 ns
+        assert_eq!(one.as_nanos(), 100);
+        assert_eq!(wire.serialization_delay(250).as_nanos(), 200);
+        assert_eq!(wire.serialization_delay(0).as_nanos(), 0);
+        assert_eq!(
+            WireCost::new(1_000_000_000)
+                .serialization_delay(125)
+                .as_nanos(),
+            1000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "line rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = WireCost::new(0);
+    }
+}

@@ -1,0 +1,332 @@
+//! iLink3-style binary order entry.
+//!
+//! The trading engine encodes generated orders into "the order message
+//! format as specified by exchange servers", storing templates on-chip
+//! (§III-A). This module provides the binary path: compact little-endian
+//! messages with the same 8-byte header as the market-data feed.
+
+use crate::error::DecodeError;
+use crate::sbe::{MessageHeader, SCHEMA_ID, SCHEMA_VERSION};
+use bytes::{Buf, BufMut, BytesMut};
+use lt_lob::{OrderId, Price, Qty, Side, Symbol, TimeInForce};
+use serde::{Deserialize, Serialize};
+
+/// Template id for a new order single.
+pub const TEMPLATE_NEW_ORDER: u16 = 514;
+/// Template id for a cancel-replace request.
+pub const TEMPLATE_REPLACE: u16 = 515;
+/// Template id for a cancel request.
+pub const TEMPLATE_CANCEL: u16 = 516;
+
+const NEW_ORDER_BLOCK_LEN: u16 = 8 + 8 + 1 + 8 + 8 + 1 + 1; // 35
+const REPLACE_BLOCK_LEN: u16 = 8 + 8 + 8 + 8 + 1; // 33
+const CANCEL_BLOCK_LEN: u16 = 8 + 8 + 1; // 17
+
+/// What an order-entry message asks the exchange to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderMessageKind {
+    /// Submit a new limit order.
+    New {
+        /// Buy or sell.
+        side: Side,
+        /// Limit price.
+        price: Price,
+        /// Quantity.
+        qty: Qty,
+        /// Time in force.
+        tif: TimeInForce,
+    },
+    /// Replace the resting order's price and quantity.
+    Replace {
+        /// New limit price.
+        price: Price,
+        /// New total quantity.
+        qty: Qty,
+    },
+    /// Cancel the resting order.
+    Cancel,
+}
+
+/// A complete order-entry message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderMessage {
+    /// Client order id.
+    pub cl_ord_id: OrderId,
+    /// Instrument.
+    pub symbol: Symbol,
+    /// The requested action.
+    pub kind: OrderMessageKind,
+}
+
+impl OrderMessage {
+    /// Convenience constructor for a new GTC limit order.
+    pub fn new_limit(
+        cl_ord_id: OrderId,
+        symbol: Symbol,
+        side: Side,
+        price: Price,
+        qty: Qty,
+    ) -> Self {
+        OrderMessage {
+            cl_ord_id,
+            symbol,
+            kind: OrderMessageKind::New {
+                side,
+                price,
+                qty,
+                tif: TimeInForce::Gtc,
+            },
+        }
+    }
+
+    /// Encodes the message into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Appends the encoded message to `buf`, returning bytes written.
+    pub fn encode_into(&self, buf: &mut BytesMut) -> usize {
+        let start = buf.len();
+        let (template, block_len) = match self.kind {
+            OrderMessageKind::New { .. } => (TEMPLATE_NEW_ORDER, NEW_ORDER_BLOCK_LEN),
+            OrderMessageKind::Replace { .. } => (TEMPLATE_REPLACE, REPLACE_BLOCK_LEN),
+            OrderMessageKind::Cancel => (TEMPLATE_CANCEL, CANCEL_BLOCK_LEN),
+        };
+        buf.put_u16_le(block_len);
+        buf.put_u16_le(template);
+        buf.put_u16_le(SCHEMA_ID);
+        buf.put_u16_le(SCHEMA_VERSION);
+        buf.put_u64_le(self.cl_ord_id.raw());
+        let mut sym = [0u8; 8];
+        sym[..self.symbol.as_str().len()].copy_from_slice(self.symbol.as_str().as_bytes());
+        buf.put_slice(&sym);
+        match self.kind {
+            OrderMessageKind::New {
+                side,
+                price,
+                qty,
+                tif,
+            } => {
+                buf.put_u8(match side {
+                    Side::Bid => 0,
+                    Side::Ask => 1,
+                });
+                buf.put_i64_le(price.ticks());
+                buf.put_u64_le(qty.contracts());
+                buf.put_u8(match tif {
+                    TimeInForce::Gtc => 0,
+                    TimeInForce::Ioc => 1,
+                    TimeInForce::Fok => 2,
+                });
+                buf.put_u8(0); // reserved / manual-order-indicator
+            }
+            OrderMessageKind::Replace { price, qty } => {
+                buf.put_i64_le(price.ticks());
+                buf.put_u64_le(qty.contracts());
+                buf.put_u8(0); // reserved
+            }
+            OrderMessageKind::Cancel => {
+                buf.put_u8(0); // reserved
+            }
+        }
+        buf.len() - start
+    }
+
+    /// Decodes one message from the front of `bytes`, returning it together
+    /// with the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for truncated buffers, schema mismatches,
+    /// unknown templates, or out-of-range enum values.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
+        let mut buf = bytes;
+        if buf.len() < MessageHeader::SIZE {
+            return Err(DecodeError::Truncated {
+                needed: MessageHeader::SIZE,
+                available: buf.len(),
+            });
+        }
+        let block_length = buf.get_u16_le();
+        let template_id = buf.get_u16_le();
+        let schema_id = buf.get_u16_le();
+        let version = buf.get_u16_le();
+        if schema_id != SCHEMA_ID || version != SCHEMA_VERSION {
+            return Err(DecodeError::SchemaMismatch { schema_id, version });
+        }
+        let total = MessageHeader::SIZE + block_length as usize;
+        if bytes.len() < total {
+            return Err(DecodeError::Truncated {
+                needed: total,
+                available: bytes.len(),
+            });
+        }
+        let cl_ord_id = OrderId::new(buf.get_u64_le());
+        let mut sym = [0u8; 8];
+        buf.copy_to_slice(&mut sym);
+        let len = sym.iter().position(|&b| b == 0).unwrap_or(8);
+        let symbol = Symbol::new(
+            std::str::from_utf8(&sym[..len])
+                .map_err(|_| DecodeError::MalformedField("symbol".to_string()))?,
+        );
+        let kind = match template_id {
+            TEMPLATE_NEW_ORDER => {
+                let side = match buf.get_u8() {
+                    0 => Side::Bid,
+                    1 => Side::Ask,
+                    v => {
+                        return Err(DecodeError::BadEnumValue {
+                            field: "side",
+                            value: v,
+                        })
+                    }
+                };
+                let price = Price::new(buf.get_i64_le());
+                let qty = Qty::new(buf.get_u64_le());
+                let tif = match buf.get_u8() {
+                    0 => TimeInForce::Gtc,
+                    1 => TimeInForce::Ioc,
+                    2 => TimeInForce::Fok,
+                    v => {
+                        return Err(DecodeError::BadEnumValue {
+                            field: "tif",
+                            value: v,
+                        })
+                    }
+                };
+                OrderMessageKind::New {
+                    side,
+                    price,
+                    qty,
+                    tif,
+                }
+            }
+            TEMPLATE_REPLACE => {
+                let price = Price::new(buf.get_i64_le());
+                let qty = Qty::new(buf.get_u64_le());
+                OrderMessageKind::Replace { price, qty }
+            }
+            TEMPLATE_CANCEL => OrderMessageKind::Cancel,
+            other => return Err(DecodeError::UnknownTemplate(other)),
+        };
+        Ok((
+            OrderMessage {
+                cl_ord_id,
+                symbol,
+                kind,
+            },
+            total,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbol() -> Symbol {
+        Symbol::new("ESU6")
+    }
+
+    #[test]
+    fn new_order_round_trip() {
+        for tif in [TimeInForce::Gtc, TimeInForce::Ioc, TimeInForce::Fok] {
+            for side in [Side::Bid, Side::Ask] {
+                let msg = OrderMessage {
+                    cl_ord_id: OrderId::new(77),
+                    symbol: symbol(),
+                    kind: OrderMessageKind::New {
+                        side,
+                        price: Price::new(-5),
+                        qty: Qty::new(12),
+                        tif,
+                    },
+                };
+                let bytes = msg.encode();
+                let (decoded, used) = OrderMessage::decode(&bytes).unwrap();
+                assert_eq!(decoded, msg);
+                assert_eq!(used, bytes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn replace_and_cancel_round_trip() {
+        let replace = OrderMessage {
+            cl_ord_id: OrderId::new(1),
+            symbol: symbol(),
+            kind: OrderMessageKind::Replace {
+                price: Price::new(10),
+                qty: Qty::new(2),
+            },
+        };
+        let cancel = OrderMessage {
+            cl_ord_id: OrderId::new(2),
+            symbol: symbol(),
+            kind: OrderMessageKind::Cancel,
+        };
+        for msg in [replace, cancel] {
+            let bytes = msg.encode();
+            let (decoded, _) = OrderMessage::decode(&bytes).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn cancel_is_smallest_message() {
+        let cancel = OrderMessage {
+            cl_ord_id: OrderId::new(2),
+            symbol: symbol(),
+            kind: OrderMessageKind::Cancel,
+        };
+        let new = OrderMessage::new_limit(
+            OrderId::new(3),
+            symbol(),
+            Side::Bid,
+            Price::new(10),
+            Qty::new(1),
+        );
+        assert!(cancel.encode().len() < new.encode().len());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let msg = OrderMessage::new_limit(
+            OrderId::new(3),
+            symbol(),
+            Side::Bid,
+            Price::new(10),
+            Qty::new(1),
+        );
+        let bytes = msg.encode();
+        for cut in [0, 4, 10, bytes.len() - 1] {
+            assert!(matches!(
+                OrderMessage::decode(&bytes[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_tif_rejected() {
+        let msg = OrderMessage::new_limit(
+            OrderId::new(3),
+            symbol(),
+            Side::Bid,
+            Price::new(10),
+            Qty::new(1),
+        );
+        let mut bytes = msg.encode();
+        // tif sits at header(8) + cl_ord_id(8) + symbol(8) + side(1) + price(8) + qty(8)
+        bytes[41] = 7;
+        assert_eq!(
+            OrderMessage::decode(&bytes).unwrap_err(),
+            DecodeError::BadEnumValue {
+                field: "tif",
+                value: 7
+            }
+        );
+    }
+}

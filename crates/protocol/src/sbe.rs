@@ -1,0 +1,433 @@
+//! Simple-Binary-Encoding-style market data codec.
+//!
+//! Layout mirrors CME MDP 3.0: every message starts with an 8-byte header
+//! (`block_length`, `template_id`, `schema_id`, `version`, all little-endian
+//! `u16`) followed by a fixed-layout body. Two templates cover the tick
+//! stream: book-delta refreshes and trade summaries.
+
+use crate::error::DecodeError;
+use bytes::{Buf, BufMut, BytesMut};
+use lt_lob::events::MarketEventKind;
+use lt_lob::{BookDelta, MarketEvent, OrderId, Price, Qty, Side, Timestamp, Trade};
+
+/// Schema id carried by every message of this feed.
+pub const SCHEMA_ID: u16 = 0x4C54; // "LT"
+/// Schema version carried by every message of this feed.
+pub const SCHEMA_VERSION: u16 = 1;
+
+/// Template id of a book-delta (add/modify/delete) refresh.
+pub const TEMPLATE_BOOK: u16 = 32;
+/// Template id of a trade summary.
+pub const TEMPLATE_TRADE: u16 = 33;
+
+/// Body length of a book-delta message.
+const BOOK_BLOCK_LEN: u16 = 8 + 8 + 1 + 1 + 8 + 8 + 8; // 42
+/// Body length of a trade message.
+const TRADE_BLOCK_LEN: u16 = 8 + 8 + 8 + 8 + 1 + 8 + 8; // 49
+
+/// The 8-byte SBE message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageHeader {
+    /// Length of the fixed body that follows the header.
+    pub block_length: u16,
+    /// Which template the body uses.
+    pub template_id: u16,
+    /// Schema identifier.
+    pub schema_id: u16,
+    /// Schema version.
+    pub version: u16,
+}
+
+impl MessageHeader {
+    /// Encoded size of the header in bytes.
+    pub const SIZE: usize = 8;
+
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.block_length);
+        buf.put_u16_le(self.template_id);
+        buf.put_u16_le(self.schema_id);
+        buf.put_u16_le(self.version);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < Self::SIZE {
+            return Err(DecodeError::Truncated {
+                needed: Self::SIZE,
+                available: buf.len(),
+            });
+        }
+        Ok(MessageHeader {
+            block_length: buf.get_u16_le(),
+            template_id: buf.get_u16_le(),
+            schema_id: buf.get_u16_le(),
+            version: buf.get_u16_le(),
+        })
+    }
+}
+
+fn side_to_u8(side: Side) -> u8 {
+    match side {
+        Side::Bid => 0,
+        Side::Ask => 1,
+    }
+}
+
+fn side_from_u8(value: u8) -> Result<Side, DecodeError> {
+    match value {
+        0 => Ok(Side::Bid),
+        1 => Ok(Side::Ask),
+        other => Err(DecodeError::BadEnumValue {
+            field: "side",
+            value: other,
+        }),
+    }
+}
+
+/// Encodes [`MarketEvent`]s into SBE frames.
+///
+/// # Example
+///
+/// ```
+/// # use lt_protocol::sbe::{SbeEncoder, SbeDecoder};
+/// # use lt_lob::prelude::*;
+/// # use lt_lob::events::MarketEventKind;
+/// let event = MarketEvent {
+///     seq: 7,
+///     ts: Timestamp::from_nanos(100),
+///     kind: MarketEventKind::Book(BookDelta::Add {
+///         id: OrderId::new(1), side: Side::Bid, price: Price::new(50), qty: Qty::new(3),
+///     }),
+/// };
+/// let bytes = SbeEncoder::new().encode(&event);
+/// let (decoded, consumed) = SbeDecoder::new().decode(&bytes).unwrap();
+/// assert_eq!(decoded, event);
+/// assert_eq!(consumed, bytes.len());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SbeEncoder {
+    _private: (),
+}
+
+impl SbeEncoder {
+    /// Creates an encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes one event into a fresh buffer.
+    pub fn encode(&self, event: &MarketEvent) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(MessageHeader::SIZE + 64);
+        self.encode_into(event, &mut buf);
+        buf.to_vec()
+    }
+
+    /// Appends one encoded event to `buf`, returning the bytes written.
+    pub fn encode_into(&self, event: &MarketEvent, buf: &mut BytesMut) -> usize {
+        let start = buf.len();
+        match &event.kind {
+            MarketEventKind::Book(delta) => {
+                MessageHeader {
+                    block_length: BOOK_BLOCK_LEN,
+                    template_id: TEMPLATE_BOOK,
+                    schema_id: SCHEMA_ID,
+                    version: SCHEMA_VERSION,
+                }
+                .write(buf);
+                buf.put_u64_le(event.seq);
+                buf.put_u64_le(event.ts.nanos());
+                let (action, id, side, price, qty) = match *delta {
+                    BookDelta::Add {
+                        id,
+                        side,
+                        price,
+                        qty,
+                    } => (0u8, id, side, price, qty),
+                    BookDelta::Modify {
+                        id,
+                        side,
+                        price,
+                        remaining,
+                    } => (1u8, id, side, price, remaining),
+                    BookDelta::Delete { id, side, price } => (2u8, id, side, price, Qty::ZERO),
+                };
+                buf.put_u8(action);
+                buf.put_u8(side_to_u8(side));
+                buf.put_i64_le(price.ticks());
+                buf.put_u64_le(qty.contracts());
+                buf.put_u64_le(id.raw());
+            }
+            MarketEventKind::Trade(trade) => {
+                MessageHeader {
+                    block_length: TRADE_BLOCK_LEN,
+                    template_id: TEMPLATE_TRADE,
+                    schema_id: SCHEMA_ID,
+                    version: SCHEMA_VERSION,
+                }
+                .write(buf);
+                buf.put_u64_le(event.seq);
+                buf.put_u64_le(event.ts.nanos());
+                buf.put_i64_le(trade.price.ticks());
+                buf.put_u64_le(trade.qty.contracts());
+                buf.put_u8(side_to_u8(trade.aggressor));
+                buf.put_u64_le(trade.maker.raw());
+                buf.put_u64_le(trade.taker.raw());
+            }
+        }
+        buf.len() - start
+    }
+
+    /// Encoded size of `event` in bytes, without encoding it.
+    pub fn encoded_len(&self, event: &MarketEvent) -> usize {
+        MessageHeader::SIZE
+            + match event.kind {
+                MarketEventKind::Book(_) => BOOK_BLOCK_LEN as usize,
+                MarketEventKind::Trade(_) => TRADE_BLOCK_LEN as usize,
+            }
+    }
+}
+
+/// Decodes SBE frames back into [`MarketEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct SbeDecoder {
+    _private: (),
+}
+
+impl SbeDecoder {
+    /// Creates a decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes one event from the front of `bytes`.
+    ///
+    /// Returns the event and the number of bytes consumed, so callers can
+    /// iterate over a packed datagram payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the buffer is truncated, the schema or
+    /// template is unknown, or an enum field is out of range.
+    pub fn decode(&self, bytes: &[u8]) -> Result<(MarketEvent, usize), DecodeError> {
+        let mut buf = bytes;
+        let header = MessageHeader::read(&mut buf)?;
+        if header.schema_id != SCHEMA_ID || header.version != SCHEMA_VERSION {
+            return Err(DecodeError::SchemaMismatch {
+                schema_id: header.schema_id,
+                version: header.version,
+            });
+        }
+        let body_len = header.block_length as usize;
+        if buf.len() < body_len {
+            return Err(DecodeError::Truncated {
+                needed: MessageHeader::SIZE + body_len,
+                available: bytes.len(),
+            });
+        }
+        let event = match header.template_id {
+            TEMPLATE_BOOK => {
+                let seq = buf.get_u64_le();
+                let ts = Timestamp::from_nanos(buf.get_u64_le());
+                let action = buf.get_u8();
+                let side = side_from_u8(buf.get_u8())?;
+                let price = Price::new(buf.get_i64_le());
+                let qty = Qty::new(buf.get_u64_le());
+                let id = OrderId::new(buf.get_u64_le());
+                let delta = match action {
+                    0 => BookDelta::Add {
+                        id,
+                        side,
+                        price,
+                        qty,
+                    },
+                    1 => BookDelta::Modify {
+                        id,
+                        side,
+                        price,
+                        remaining: qty,
+                    },
+                    2 => BookDelta::Delete { id, side, price },
+                    other => {
+                        return Err(DecodeError::BadEnumValue {
+                            field: "book_action",
+                            value: other,
+                        })
+                    }
+                };
+                MarketEvent {
+                    seq,
+                    ts,
+                    kind: MarketEventKind::Book(delta),
+                }
+            }
+            TEMPLATE_TRADE => {
+                let seq = buf.get_u64_le();
+                let ts = Timestamp::from_nanos(buf.get_u64_le());
+                let price = Price::new(buf.get_i64_le());
+                let qty = Qty::new(buf.get_u64_le());
+                let aggressor = side_from_u8(buf.get_u8())?;
+                let maker = OrderId::new(buf.get_u64_le());
+                let taker = OrderId::new(buf.get_u64_le());
+                MarketEvent {
+                    seq,
+                    ts,
+                    kind: MarketEventKind::Trade(Trade {
+                        taker,
+                        maker,
+                        price,
+                        qty,
+                        aggressor,
+                    }),
+                }
+            }
+            other => return Err(DecodeError::UnknownTemplate(other)),
+        };
+        Ok((event, MessageHeader::SIZE + body_len))
+    }
+
+    /// Decodes every message in a packed buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed message.
+    pub fn decode_all(&self, mut bytes: &[u8]) -> Result<Vec<MarketEvent>, DecodeError> {
+        let mut out = Vec::new();
+        while !bytes.is_empty() {
+            let (event, used) = self.decode(bytes)?;
+            out.push(event);
+            bytes = &bytes[used..];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book_event(seq: u64) -> MarketEvent {
+        MarketEvent {
+            seq,
+            ts: Timestamp::from_nanos(123_456),
+            kind: MarketEventKind::Book(BookDelta::Add {
+                id: OrderId::new(42),
+                side: Side::Ask,
+                price: Price::new(-17),
+                qty: Qty::new(9),
+            }),
+        }
+    }
+
+    fn trade_event(seq: u64) -> MarketEvent {
+        MarketEvent {
+            seq,
+            ts: Timestamp::from_nanos(99),
+            kind: MarketEventKind::Trade(Trade {
+                taker: OrderId::new(2),
+                maker: OrderId::new(1),
+                price: Price::new(100),
+                qty: Qty::new(3),
+                aggressor: Side::Bid,
+            }),
+        }
+    }
+
+    #[test]
+    fn book_round_trip() {
+        let event = book_event(7);
+        let bytes = SbeEncoder::new().encode(&event);
+        assert_eq!(bytes.len(), SbeEncoder::new().encoded_len(&event));
+        let (decoded, used) = SbeDecoder::new().decode(&bytes).unwrap();
+        assert_eq!(decoded, event);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn trade_round_trip() {
+        let event = trade_event(8);
+        let bytes = SbeEncoder::new().encode(&event);
+        let (decoded, _) = SbeDecoder::new().decode(&bytes).unwrap();
+        assert_eq!(decoded, event);
+    }
+
+    #[test]
+    fn modify_and_delete_round_trip() {
+        for delta in [
+            BookDelta::Modify {
+                id: OrderId::new(5),
+                side: Side::Bid,
+                price: Price::new(10),
+                remaining: Qty::new(2),
+            },
+            BookDelta::Delete {
+                id: OrderId::new(5),
+                side: Side::Bid,
+                price: Price::new(10),
+            },
+        ] {
+            let event = MarketEvent {
+                seq: 1,
+                ts: Timestamp::ZERO,
+                kind: MarketEventKind::Book(delta),
+            };
+            let bytes = SbeEncoder::new().encode(&event);
+            let (decoded, _) = SbeDecoder::new().decode(&bytes).unwrap();
+            assert_eq!(decoded, event);
+        }
+    }
+
+    #[test]
+    fn decode_all_packed_messages() {
+        let mut buf = BytesMut::new();
+        let enc = SbeEncoder::new();
+        let events = vec![book_event(1), trade_event(2), book_event(3)];
+        for e in &events {
+            enc.encode_into(e, &mut buf);
+        }
+        let decoded = SbeDecoder::new().decode_all(&buf).unwrap();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn truncated_header_fails() {
+        let err = SbeDecoder::new().decode(&[0u8; 3]).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_body_fails() {
+        let bytes = SbeEncoder::new().encode(&book_event(1));
+        let err = SbeDecoder::new().decode(&bytes[..12]).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+    }
+
+    #[test]
+    fn wrong_schema_fails() {
+        let mut bytes = SbeEncoder::new().encode(&book_event(1));
+        bytes[4] = 0xFF; // corrupt schema id
+        let err = SbeDecoder::new().decode(&bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_template_fails() {
+        let mut bytes = SbeEncoder::new().encode(&book_event(1));
+        bytes[2] = 0x77; // corrupt template id
+        let err = SbeDecoder::new().decode(&bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownTemplate(_)));
+    }
+
+    #[test]
+    fn bad_side_enum_fails() {
+        let mut bytes = SbeEncoder::new().encode(&book_event(1));
+        // side byte sits after header(8) + seq(8) + ts(8) + action(1)
+        bytes[25] = 9;
+        let err = SbeDecoder::new().decode(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::BadEnumValue {
+                field: "side",
+                value: 9
+            }
+        );
+    }
+}

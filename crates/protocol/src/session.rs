@@ -1,0 +1,346 @@
+//! The order-entry session layer.
+//!
+//! CME's iLink 3 (and FIX before it) wraps order messages in a session
+//! protocol: a negotiated logon, per-side sequence numbers, heartbeats
+//! ("keep-alive") during quiet periods, and sequence-gap recovery via
+//! retransmit requests. The trading engine cannot put an order on the
+//! wire without this machinery, so the reproduction carries a compact
+//! version of it: [`OrderSession`] is the client-side state machine the
+//! FPGA's TCP path drives.
+
+use crate::ilink::OrderMessage;
+use lt_lob::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Session lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionState {
+    /// No connection established.
+    Disconnected,
+    /// Logon sent, awaiting acknowledgement.
+    AwaitingLogon,
+    /// Established: orders may flow.
+    Established,
+}
+
+/// A message the session wants to put on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionMessage {
+    /// Session negotiation.
+    Logon {
+        /// First sequence number this side will use.
+        next_seq: u64,
+    },
+    /// Keep-alive, sent when the outbound side has been quiet.
+    Heartbeat {
+        /// Sender's next sequence number (lets the peer detect gaps).
+        next_seq: u64,
+    },
+    /// A sequenced business message.
+    Order {
+        /// This message's sequence number.
+        seq: u64,
+        /// The order payload.
+        message: OrderMessage,
+    },
+    /// Ask the peer to retransmit `from..=to`.
+    ResendRequest {
+        /// First missing sequence number.
+        from: u64,
+        /// Last missing sequence number.
+        to: u64,
+    },
+}
+
+/// Counters the runtime driver exposes for the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Orders sequenced and sent.
+    pub orders_sent: u64,
+    /// Heartbeats emitted.
+    pub heartbeats_sent: u64,
+    /// Inbound gaps detected.
+    pub gaps_detected: u64,
+    /// Orders retransmitted on peer request.
+    pub retransmits: u64,
+}
+
+/// The client-side order-entry session.
+///
+/// # Example
+///
+/// ```
+/// use lt_protocol::session::{OrderSession, SessionMessage, SessionState};
+/// use lt_lob::Timestamp;
+///
+/// let mut session = OrderSession::new(std::time::Duration::from_millis(500));
+/// let logon = session.connect(Timestamp::ZERO);
+/// assert!(matches!(logon, SessionMessage::Logon { .. }));
+/// session.on_logon_ack(1, Timestamp::from_millis(1));
+/// assert_eq!(session.state(), SessionState::Established);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrderSession {
+    state: SessionState,
+    /// Next outbound sequence number.
+    next_out: u64,
+    /// Next inbound sequence number expected from the exchange.
+    next_in: u64,
+    /// Outbound messages retained for retransmission.
+    sent: VecDeque<(u64, OrderMessage)>,
+    /// Retention window (messages), bounding memory.
+    retain: usize,
+    heartbeat_interval: Duration,
+    last_sent_at: Timestamp,
+    stats: SessionStats,
+}
+
+impl OrderSession {
+    /// Creates a disconnected session with the given keep-alive interval.
+    pub fn new(heartbeat_interval: Duration) -> Self {
+        OrderSession {
+            state: SessionState::Disconnected,
+            next_out: 1,
+            next_in: 1,
+            sent: VecDeque::new(),
+            retain: 1_024,
+            heartbeat_interval,
+            last_sent_at: Timestamp::ZERO,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Next outbound sequence number.
+    pub fn next_out_seq(&self) -> u64 {
+        self.next_out
+    }
+
+    /// Initiates the logon exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while already connected.
+    pub fn connect(&mut self, now: Timestamp) -> SessionMessage {
+        assert_eq!(
+            self.state,
+            SessionState::Disconnected,
+            "connect on a live session"
+        );
+        self.state = SessionState::AwaitingLogon;
+        self.last_sent_at = now;
+        SessionMessage::Logon {
+            next_seq: self.next_out,
+        }
+    }
+
+    /// Handles the exchange's logon acknowledgement, which carries the
+    /// exchange's next sequence number.
+    pub fn on_logon_ack(&mut self, exchange_next_seq: u64, now: Timestamp) {
+        if self.state == SessionState::AwaitingLogon {
+            self.state = SessionState::Established;
+            self.next_in = exchange_next_seq;
+            self.last_sent_at = now;
+        }
+    }
+
+    /// Sequences an order for transmission.
+    ///
+    /// Returns `None` (and drops nothing — the caller keeps the order)
+    /// when the session is not established.
+    pub fn send_order(&mut self, order: OrderMessage, now: Timestamp) -> Option<SessionMessage> {
+        if self.state != SessionState::Established {
+            return None;
+        }
+        let seq = self.next_out;
+        self.next_out += 1;
+        self.sent.push_back((seq, order));
+        if self.sent.len() > self.retain {
+            self.sent.pop_front();
+        }
+        self.last_sent_at = now;
+        self.stats.orders_sent += 1;
+        Some(SessionMessage::Order {
+            seq,
+            message: order,
+        })
+    }
+
+    /// Called periodically: emits a heartbeat when the outbound side has
+    /// been quiet for a full interval.
+    pub fn poll(&mut self, now: Timestamp) -> Option<SessionMessage> {
+        if self.state != SessionState::Established {
+            return None;
+        }
+        if now.nanos_since(self.last_sent_at) >= self.heartbeat_interval.as_nanos() as u64 {
+            self.last_sent_at = now;
+            self.stats.heartbeats_sent += 1;
+            return Some(SessionMessage::Heartbeat {
+                next_seq: self.next_out,
+            });
+        }
+        None
+    }
+
+    /// Processes an inbound sequenced message (execution report,
+    /// heartbeat, ...): returns a resend request when a gap is detected.
+    pub fn on_inbound_seq(&mut self, seq: u64) -> Option<SessionMessage> {
+        if seq < self.next_in {
+            return None; // duplicate/retransmit already applied
+        }
+        if seq > self.next_in {
+            let request = SessionMessage::ResendRequest {
+                from: self.next_in,
+                to: seq - 1,
+            };
+            self.stats.gaps_detected += 1;
+            self.next_in = seq + 1;
+            return Some(request);
+        }
+        self.next_in += 1;
+        None
+    }
+
+    /// Serves a peer's resend request from the retention buffer.
+    pub fn on_resend_request(&mut self, from: u64, to: u64) -> Vec<SessionMessage> {
+        let mut out = Vec::new();
+        for &(seq, message) in &self.sent {
+            if seq >= from && seq <= to {
+                out.push(SessionMessage::Order { seq, message });
+            }
+        }
+        self.stats.retransmits += out.len() as u64;
+        out
+    }
+
+    /// Tears the session down (voluntary logout or transport loss).
+    pub fn disconnect(&mut self) {
+        self.state = SessionState::Disconnected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_lob::{OrderId, Price, Qty, Side, Symbol};
+
+    fn order(id: u64) -> OrderMessage {
+        OrderMessage::new_limit(
+            OrderId::new(id),
+            Symbol::new("ESU6"),
+            Side::Bid,
+            Price::new(18_000),
+            Qty::new(1),
+        )
+    }
+
+    fn established() -> OrderSession {
+        let mut s = OrderSession::new(Duration::from_millis(500));
+        s.connect(Timestamp::ZERO);
+        s.on_logon_ack(1, Timestamp::from_millis(1));
+        s
+    }
+
+    #[test]
+    fn logon_handshake() {
+        let mut s = OrderSession::new(Duration::from_millis(500));
+        assert_eq!(s.state(), SessionState::Disconnected);
+        assert!(s.send_order(order(1), Timestamp::ZERO).is_none());
+        let m = s.connect(Timestamp::ZERO);
+        assert!(matches!(m, SessionMessage::Logon { next_seq: 1 }));
+        assert_eq!(s.state(), SessionState::AwaitingLogon);
+        s.on_logon_ack(7, Timestamp::from_millis(1));
+        assert_eq!(s.state(), SessionState::Established);
+        // Inbound expectation was synchronized to the exchange's seq.
+        assert!(s.on_inbound_seq(7).is_none());
+    }
+
+    #[test]
+    fn orders_are_sequenced_consecutively() {
+        let mut s = established();
+        for expect in 1..=5u64 {
+            match s.send_order(order(expect), Timestamp::from_millis(expect)) {
+                Some(SessionMessage::Order { seq, .. }) => assert_eq!(seq, expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(s.stats().orders_sent, 5);
+        assert_eq!(s.next_out_seq(), 6);
+    }
+
+    #[test]
+    fn heartbeat_fires_only_when_quiet() {
+        let mut s = established();
+        // Activity at t=1ms; poll at 400ms: quiet 399ms < 500ms -> none.
+        assert!(s.poll(Timestamp::from_millis(400)).is_none());
+        // 501ms after last activity: heartbeat.
+        let hb = s.poll(Timestamp::from_millis(502));
+        assert!(matches!(hb, Some(SessionMessage::Heartbeat { .. })));
+        // Sending an order resets the quiet timer.
+        s.send_order(order(1), Timestamp::from_millis(600));
+        assert!(s.poll(Timestamp::from_millis(900)).is_none());
+        assert_eq!(s.stats().heartbeats_sent, 1);
+    }
+
+    #[test]
+    fn inbound_gap_triggers_resend_request() {
+        let mut s = established();
+        assert!(s.on_inbound_seq(1).is_none());
+        assert!(s.on_inbound_seq(2).is_none());
+        // 3 and 4 lost; 5 arrives.
+        match s.on_inbound_seq(5) {
+            Some(SessionMessage::ResendRequest { from, to }) => {
+                assert_eq!((from, to), (3, 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.stats().gaps_detected, 1);
+        // Stream continues from 6.
+        assert!(s.on_inbound_seq(6).is_none());
+        // Late retransmits of 3/4 are recognized as duplicates.
+        assert!(s.on_inbound_seq(3).is_none());
+    }
+
+    #[test]
+    fn serves_retransmits_from_retention() {
+        let mut s = established();
+        for i in 1..=4u64 {
+            s.send_order(order(i), Timestamp::from_millis(i));
+        }
+        let resent = s.on_resend_request(2, 3);
+        assert_eq!(resent.len(), 2);
+        match &resent[0] {
+            SessionMessage::Order { seq, .. } => assert_eq!(*seq, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.stats().retransmits, 2);
+        // Out-of-retention requests return what exists.
+        assert!(s.on_resend_request(90, 95).is_empty());
+    }
+
+    #[test]
+    fn disconnect_blocks_traffic() {
+        let mut s = established();
+        s.disconnect();
+        assert!(s.send_order(order(1), Timestamp::from_millis(2)).is_none());
+        assert!(s.poll(Timestamp::from_secs(10)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "connect on a live session")]
+    fn double_connect_panics() {
+        let mut s = established();
+        let _ = s.connect(Timestamp::from_millis(5));
+    }
+}

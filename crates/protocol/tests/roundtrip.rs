@@ -1,0 +1,169 @@
+//! Property tests: every codec round-trips arbitrary messages losslessly.
+
+use lt_lob::events::MarketEventKind;
+use lt_lob::{
+    BookDelta, MarketEvent, OrderId, Price, Qty, Side, Symbol, TimeInForce, Timestamp, Trade,
+};
+use lt_protocol::framing::Datagram;
+use lt_protocol::ilink::{OrderMessage, OrderMessageKind};
+use lt_protocol::{FixDecoder, FixEncoder, SbeDecoder, SbeEncoder};
+use proptest::prelude::*;
+
+fn side_strategy() -> impl Strategy<Value = Side> {
+    prop_oneof![Just(Side::Bid), Just(Side::Ask)]
+}
+
+fn tif_strategy() -> impl Strategy<Value = TimeInForce> {
+    prop_oneof![
+        Just(TimeInForce::Gtc),
+        Just(TimeInForce::Ioc),
+        Just(TimeInForce::Fok)
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = MarketEvent> {
+    let book = (
+        any::<u64>(),
+        any::<u64>(),
+        0u8..3,
+        side_strategy(),
+        any::<i64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(seq, ts, action, side, price, qty, id)| {
+            let id = OrderId::new(id);
+            let price = Price::new(price);
+            let delta = match action {
+                0 => BookDelta::Add {
+                    id,
+                    side,
+                    price,
+                    qty: Qty::new(qty),
+                },
+                1 => BookDelta::Modify {
+                    id,
+                    side,
+                    price,
+                    remaining: Qty::new(qty),
+                },
+                _ => BookDelta::Delete { id, side, price },
+            };
+            MarketEvent {
+                seq,
+                ts: Timestamp::from_nanos(ts),
+                kind: MarketEventKind::Book(delta),
+            }
+        });
+    let trade = (
+        any::<u64>(),
+        any::<u64>(),
+        any::<i64>(),
+        any::<u64>(),
+        side_strategy(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(seq, ts, price, qty, aggressor, maker, taker)| MarketEvent {
+                seq,
+                ts: Timestamp::from_nanos(ts),
+                kind: MarketEventKind::Trade(Trade {
+                    taker: OrderId::new(taker),
+                    maker: OrderId::new(maker),
+                    price: Price::new(price),
+                    qty: Qty::new(qty),
+                    aggressor,
+                }),
+            },
+        );
+    prop_oneof![book, trade]
+}
+
+fn order_message_strategy() -> impl Strategy<Value = OrderMessage> {
+    let sym =
+        prop_oneof![Just("ESU6"), Just("NQZ6"), Just("A"), Just("LONGSYM8")].prop_map(Symbol::new);
+    let kind = prop_oneof![
+        (side_strategy(), any::<i64>(), any::<u64>(), tif_strategy()).prop_map(
+            |(side, price, qty, tif)| OrderMessageKind::New {
+                side,
+                price: Price::new(price),
+                qty: Qty::new(qty),
+                tif,
+            }
+        ),
+        (any::<i64>(), any::<u64>()).prop_map(|(price, qty)| OrderMessageKind::Replace {
+            price: Price::new(price),
+            qty: Qty::new(qty),
+        }),
+        Just(OrderMessageKind::Cancel),
+    ];
+    (any::<u64>(), sym, kind).prop_map(|(id, symbol, kind)| OrderMessage {
+        cl_ord_id: OrderId::new(id),
+        symbol,
+        kind,
+    })
+}
+
+proptest! {
+    #[test]
+    fn sbe_round_trips(event in event_strategy()) {
+        let enc = SbeEncoder::new();
+        let bytes = enc.encode(&event);
+        prop_assert_eq!(bytes.len(), enc.encoded_len(&event));
+        let (decoded, used) = SbeDecoder::new().decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, event);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn sbe_decode_all_round_trips(events in proptest::collection::vec(event_strategy(), 0..20)) {
+        let enc = SbeEncoder::new();
+        let mut buf = bytes::BytesMut::new();
+        for e in &events {
+            enc.encode_into(e, &mut buf);
+        }
+        let decoded = SbeDecoder::new().decode_all(&buf).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn ilink_round_trips(msg in order_message_strategy()) {
+        let bytes = msg.encode();
+        let (decoded, used) = OrderMessage::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn fix_round_trips(msg in order_message_strategy()) {
+        let frame = FixEncoder::new().encode(&msg);
+        let decoded = FixDecoder::new().decode(&frame).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn datagram_round_trips(
+        seq in any::<u32>(),
+        ts in any::<u64>(),
+        count in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let d = Datagram::new(seq, Timestamp::from_nanos(ts), count, payload);
+        prop_assert_eq!(Datagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    /// Any single-byte corruption of a datagram payload is caught.
+    #[test]
+    fn datagram_detects_any_payload_flip(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let d = Datagram::new(1, Timestamp::ZERO, 1, payload.clone());
+        let mut bytes = d.encode();
+        let pos = Datagram::HEADER_SIZE + at.index(payload.len());
+        bytes[pos] ^= flip;
+        prop_assert!(Datagram::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! The proactive scheduler: the paper's core algorithmic contribution.
+//!
+//! §III-D defines two cooperating schedulers driven by the
+//! performance-per-watt metric `PPW = batch / (latency · power)`:
+//!
+//! * **Algorithm 1 — workload scheduling** ([`workload`]): whenever an
+//!   accelerator can issue, enumerate every `(dvfs, batch)` pair, keep
+//!   those whose `t_infer + t_trans` fits the available time and whose
+//!   power fits the available budget, and commit the highest-PPW
+//!   candidate; if none fits, defer the oldest input tensor to the
+//!   conventional pipeline.
+//! * **Algorithm 2 — DVFS power distribution** ([`power_dist`]): first
+//!   scale every accelerator down to the slowest point that still meets
+//!   the deadline (saving power), then greedily hand the freed budget to
+//!   the busy accelerator with the highest marginal PPW gain until no
+//!   upgrade fits.
+//!
+//! [`Policy`] selects which of the two run, matching the four
+//! configurations of the paper's Fig. 13 (baseline, WS, DS, WS+DS).
+
+pub mod policy;
+pub mod power_dist;
+pub mod workload;
+
+pub use policy::Policy;
+pub use power_dist::{redistribute_power, scale_down_to_deadline, AccelLoad};
+pub use workload::{schedule_workload, WorkloadDecision, MAX_BATCH};

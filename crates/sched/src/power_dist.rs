@@ -1,0 +1,238 @@
+//! Algorithm 2: DVFS scheduling (power saving + redistribution).
+
+use lt_accel::dvfs::{DvfsTable, OperatingPoint};
+use lt_accel::profile::DeviceProfile;
+use lt_dnn::ModelKind;
+use std::time::Duration;
+
+/// The load one accelerator is carrying, as seen by the DVFS scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelLoad {
+    /// Device id.
+    pub id: usize,
+    /// Model being served.
+    pub kind: ModelKind,
+    /// Batch size in flight (or about to be issued).
+    pub batch: u32,
+    /// Current operating point.
+    pub point: OperatingPoint,
+    /// Deadline budget for this batch.
+    pub t_avail: Duration,
+}
+
+/// Phase 1 of Algorithm 2 ("saving power"): the slowest point at which
+/// `kind`/`batch` still meets `t_avail`. Falls back to the fastest point
+/// when even it misses the deadline (the workload scheduler will then
+/// defer).
+pub fn scale_down_to_deadline(
+    profile: &DeviceProfile,
+    kind: ModelKind,
+    batch: u32,
+    t_avail: Duration,
+    table: &DvfsTable,
+) -> OperatingPoint {
+    table
+        .points()
+        .iter()
+        .find(|p| profile.t_total(kind, batch, **p) <= t_avail)
+        .copied()
+        .unwrap_or_else(|| table.max())
+}
+
+/// Phase 2 of Algorithm 2 ("redistributing power"): greedily upgrade the
+/// non-idle accelerator with the highest marginal PPW gain, one DVFS
+/// notch at a time, while the pool's total power stays within
+/// `total_budget_w`. Idle accelerators contribute their idle draw.
+///
+/// Returns the upgraded loads (same order as the input). The loop runs
+/// until no upgrade fits, exactly as the paper iterates Algorithm 2
+/// "until it can not distribute the available power budget".
+pub fn redistribute_power(
+    profile: &DeviceProfile,
+    loads: &[AccelLoad],
+    idle_draw_w: f64,
+    total_budget_w: f64,
+    table: &DvfsTable,
+) -> Vec<AccelLoad> {
+    let mut loads = loads.to_vec();
+    loop {
+        let consumed: f64 = loads
+            .iter()
+            .map(|l| profile.power_w(l.kind, l.batch, l.point))
+            .sum::<f64>()
+            + idle_draw_w;
+        let power_avail = total_budget_w - consumed;
+        // candidate_queue: (ppw_inc, index, new point).
+        let mut best: Option<(f64, usize, OperatingPoint)> = None;
+        for (i, load) in loads.iter().enumerate() {
+            let Some(new_point) = table.step_up(load.point) else {
+                continue;
+            };
+            // Upgrades must still meet the deadline (a faster clock always
+            // does) and fit the remaining budget.
+            let power_inc = profile.power_w(load.kind, load.batch, new_point)
+                - profile.power_w(load.kind, load.batch, load.point);
+            if power_inc <= power_avail {
+                let ppw_inc = profile.ppw(load.kind, load.batch, new_point)
+                    - profile.ppw(load.kind, load.batch, load.point);
+                if best.map_or(true, |(b, _, _)| ppw_inc > b) {
+                    best = Some((ppw_inc, i, new_point));
+                }
+            }
+        }
+        match best {
+            Some((_, i, new_point)) => loads[i].point = new_point,
+            None => break,
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> DeviceProfile {
+        DeviceProfile::lighttrader()
+    }
+
+    fn table() -> DvfsTable {
+        DvfsTable::evaluation()
+    }
+
+    fn load(id: usize, kind: ModelKind, freq: f64) -> AccelLoad {
+        AccelLoad {
+            id,
+            kind,
+            batch: 1,
+            point: OperatingPoint::at_freq(freq),
+            t_avail: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn scale_down_picks_slowest_feasible() {
+        let p = profile();
+        // A millisecond budget: even 0.8 GHz meets it for the CNN.
+        let pt = scale_down_to_deadline(
+            &p,
+            ModelKind::VanillaCnn,
+            1,
+            Duration::from_millis(1),
+            &table(),
+        );
+        assert!((pt.freq_ghz - 0.8).abs() < 1e-9);
+        // A 150 µs budget needs a fast clock for the CNN (119 µs @ 2.0).
+        let pt = scale_down_to_deadline(
+            &p,
+            ModelKind::VanillaCnn,
+            1,
+            Duration::from_micros(150),
+            &table(),
+        );
+        assert!(pt.freq_ghz >= 1.6);
+        let t = p.t_total(ModelKind::VanillaCnn, 1, pt);
+        assert!(t <= Duration::from_micros(150));
+    }
+
+    #[test]
+    fn scale_down_impossible_deadline_returns_max() {
+        let pt = scale_down_to_deadline(
+            &profile(),
+            ModelKind::DeepLob,
+            1,
+            Duration::from_micros(1),
+            &table(),
+        );
+        assert!((pt.freq_ghz - table().max().freq_ghz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redistribution_spends_available_budget() {
+        // Two busy accelerators at the bottom of the ladder, generous
+        // budget: both should climb to the top.
+        let loads = vec![
+            load(0, ModelKind::VanillaCnn, 0.8),
+            load(1, ModelKind::VanillaCnn, 0.8),
+        ];
+        let out = redistribute_power(&profile(), &loads, 0.0, 55.0, &table());
+        for l in &out {
+            assert!((l.point.freq_ghz - 2.0).abs() < 1e-9, "accel {}", l.id);
+        }
+    }
+
+    #[test]
+    fn redistribution_respects_budget() {
+        let p = profile();
+        let loads = vec![
+            load(0, ModelKind::DeepLob, 0.8),
+            load(1, ModelKind::DeepLob, 0.8),
+        ];
+        let budget = 6.0;
+        let out = redistribute_power(&p, &loads, 0.0, budget, &table());
+        let total: f64 = out
+            .iter()
+            .map(|l| p.power_w(l.kind, l.batch, l.point))
+            .sum();
+        assert!(total <= budget + 1e-9, "total {total} > budget {budget}");
+        // And no further single-notch upgrade fits.
+        for l in &out {
+            if let Some(up) = table().step_up(l.point) {
+                let inc = p.power_w(l.kind, l.batch, up) - p.power_w(l.kind, l.batch, l.point);
+                assert!(total + inc > budget, "upgrade still fits for {}", l.id);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_draw_reduces_headroom() {
+        let p = profile();
+        let loads = vec![load(0, ModelKind::DeepLob, 0.8)];
+        let generous = redistribute_power(&p, &loads, 0.0, 4.0, &table());
+        let squeezed = redistribute_power(&p, &loads, 2.0, 4.0, &table());
+        assert!(
+            squeezed[0].point.freq_ghz < generous[0].point.freq_ghz,
+            "idle draw must eat into the distributable budget"
+        );
+    }
+
+    #[test]
+    fn empty_pool_is_noop() {
+        let out = redistribute_power(&profile(), &[], 1.0, 10.0, &table());
+        assert!(out.is_empty());
+    }
+
+    /// The headline DS mechanism: when only one of many accelerators is
+    /// busy, it may run *faster* than the conservative static plan, which
+    /// had to assume all accelerators draw power simultaneously.
+    #[test]
+    fn lone_busy_accelerator_beats_static_plan() {
+        use lt_accel::{static_plan, PowerCondition};
+        let p = profile();
+        let n = 16;
+        let kind = ModelKind::DeepLob;
+        let plan = static_plan(kind, n, PowerCondition::Sufficient);
+        // 15 idle accelerators at idle draw; one busy.
+        let idle_draw = (n - 1) as f64 * p.idle_power_w(kind);
+        let start = AccelLoad {
+            id: 0,
+            kind,
+            batch: 1,
+            point: table().min(),
+            t_avail: Duration::from_millis(1),
+        };
+        let out = redistribute_power(
+            &p,
+            &[start],
+            idle_draw,
+            PowerCondition::Sufficient.accelerator_budget_w(),
+            &table(),
+        );
+        assert!(
+            out[0].point.freq_ghz > plan.point.freq_ghz,
+            "DS point {:.1} GHz should beat static {:.1} GHz",
+            out[0].point.freq_ghz,
+            plan.point.freq_ghz
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Algorithm 1: PPW-based workload scheduling.
+
+use lt_accel::dvfs::{DvfsTable, OperatingPoint};
+use lt_accel::profile::DeviceProfile;
+use lt_dnn::ModelKind;
+use std::time::Duration;
+
+/// The largest batch the offload engine will coalesce (the DMA descriptor
+/// ring depth).
+pub const MAX_BATCH: u32 = 16;
+
+/// A committed `(dvfs, batch)` choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadDecision {
+    /// Batch size to issue.
+    pub batch: u32,
+    /// DVFS point to run it at.
+    pub point: OperatingPoint,
+    /// The decision's PPW score (diagnostics).
+    pub ppw: f64,
+    /// Predicted `t_infer + t_trans` for the batch.
+    pub t_total: Duration,
+    /// Predicted chip power while running.
+    pub power_w: f64,
+}
+
+/// Algorithm 1 (§III-D): selects the highest-PPW `(dvfs, batch)` pair
+/// whose predicted `t_total` fits `t_avail` and whose power fits
+/// `power_avail`.
+///
+/// `queued` is the number of input tensors waiting in the offload engine
+/// (`batch_options` ranges over `1..=min(queued, MAX_BATCH)`). Returns
+/// `None` when no candidate satisfies both constraints — the caller must
+/// then "remove the oldest input tensor in the offload engine" (defer it
+/// to the conventional pipeline) exactly as the algorithm prescribes.
+///
+/// # Example
+///
+/// ```
+/// use lt_sched::schedule_workload;
+/// use lt_accel::{DeviceProfile, DvfsTable};
+/// use lt_dnn::ModelKind;
+/// use std::time::Duration;
+///
+/// let profile = DeviceProfile::lighttrader();
+/// let table = DvfsTable::evaluation();
+/// let d = schedule_workload(
+///     &profile, ModelKind::VanillaCnn, 4,
+///     Duration::from_millis(1), 10.0, &table,
+/// ).expect("ample time and power");
+/// assert!(d.batch >= 1);
+/// ```
+pub fn schedule_workload(
+    profile: &DeviceProfile,
+    kind: ModelKind,
+    queued: u32,
+    t_avail: Duration,
+    power_avail: f64,
+    table: &DvfsTable,
+) -> Option<WorkloadDecision> {
+    if queued == 0 {
+        return None;
+    }
+    let mut best: Option<WorkloadDecision> = None;
+    for &point in table.points() {
+        for batch in 1..=queued.min(MAX_BATCH) {
+            let t_total = profile.t_total(kind, batch, point);
+            let power = profile.power_w(kind, batch, point);
+            if t_total <= t_avail && power <= power_avail {
+                let ppw = profile.ppw(kind, batch, point);
+                if best.map_or(true, |b| ppw > b.ppw) {
+                    best = Some(WorkloadDecision {
+                        batch,
+                        point,
+                        ppw,
+                        t_total,
+                        power_w: power,
+                    });
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_accel::PowerModel;
+
+    fn profile() -> DeviceProfile {
+        DeviceProfile::lighttrader()
+    }
+
+    fn table() -> DvfsTable {
+        DvfsTable::evaluation()
+    }
+
+    const KIND: ModelKind = ModelKind::VanillaCnn;
+
+    #[test]
+    fn empty_queue_schedules_nothing() {
+        let d = schedule_workload(
+            &profile(),
+            KIND,
+            0,
+            Duration::from_millis(10),
+            55.0,
+            &table(),
+        );
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn ample_resources_prefer_large_batches() {
+        // PPW rises with batch, so with loose constraints the scheduler
+        // batches everything available.
+        let d = schedule_workload(
+            &profile(),
+            KIND,
+            16,
+            Duration::from_millis(50),
+            55.0,
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(d.batch, 16);
+    }
+
+    #[test]
+    fn batch_capped_by_queue_depth_and_ring() {
+        let d = schedule_workload(
+            &profile(),
+            KIND,
+            3,
+            Duration::from_millis(50),
+            55.0,
+            &table(),
+        )
+        .unwrap();
+        assert!(d.batch <= 3);
+        let d = schedule_workload(
+            &profile(),
+            KIND,
+            100,
+            Duration::from_millis(50),
+            55.0,
+            &table(),
+        )
+        .unwrap();
+        assert!(d.batch <= MAX_BATCH);
+    }
+
+    #[test]
+    fn tight_deadline_shrinks_batch_or_raises_clock() {
+        // 200 µs only fits small batches at high clocks.
+        let d = schedule_workload(
+            &profile(),
+            KIND,
+            16,
+            Duration::from_micros(200),
+            55.0,
+            &table(),
+        )
+        .unwrap();
+        assert!(d.t_total <= Duration::from_micros(200));
+        assert!(d.batch < 16);
+    }
+
+    #[test]
+    fn impossible_deadline_defers() {
+        // 10 µs is below even the fixed latency floor.
+        let d = schedule_workload(
+            &profile(),
+            KIND,
+            4,
+            Duration::from_micros(10),
+            55.0,
+            &table(),
+        );
+        assert!(d.is_none(), "caller must drop the oldest tensor");
+    }
+
+    #[test]
+    fn power_constraint_is_respected() {
+        // With a 2 W cap, only low-frequency points fit the CNN.
+        let d = schedule_workload(&profile(), KIND, 4, Duration::from_millis(5), 2.0, &table())
+            .unwrap();
+        assert!(d.power_w <= 2.0);
+        assert!(d.point.freq_ghz < 2.0, "high clocks exceed 2 W");
+    }
+
+    #[test]
+    fn zero_power_defers() {
+        let d = schedule_workload(&profile(), KIND, 4, Duration::from_millis(5), 0.1, &table());
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn selected_candidate_maximizes_ppw() {
+        // Exhaustively verify optimality against a brute-force scan.
+        let p = profile();
+        let t_avail = Duration::from_micros(700);
+        let power_avail = 4.0;
+        let d = schedule_workload(&p, KIND, 8, t_avail, power_avail, &table()).unwrap();
+        for &point in table().points() {
+            for batch in 1..=8u32 {
+                let t = p.t_total(KIND, batch, point);
+                let w = p.power_w(KIND, batch, point);
+                if t <= t_avail && w <= power_avail {
+                    assert!(
+                        p.ppw(KIND, batch, point) <= d.ppw + 1e-12,
+                        "missed better candidate b{batch}@{point}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_pressure_prefers_higher_clock_than_ppw_alone() {
+        // With a loose deadline the best-PPW point is slow; with a tight
+        // one the scheduler must climb the frequency ladder.
+        let p = profile();
+        let loose =
+            schedule_workload(&p, KIND, 1, Duration::from_millis(10), 55.0, &table()).unwrap();
+        let tight =
+            schedule_workload(&p, KIND, 1, Duration::from_micros(130), 55.0, &table()).unwrap();
+        assert!(tight.point.freq_ghz > loose.point.freq_ghz);
+    }
+
+    #[test]
+    fn decision_fields_are_consistent() {
+        let p = profile();
+        let d = schedule_workload(&p, KIND, 4, Duration::from_millis(5), 10.0, &table()).unwrap();
+        assert_eq!(d.t_total, p.t_total(KIND, d.batch, d.point));
+        assert_eq!(d.power_w, p.power_w(KIND, d.batch, d.point));
+        assert!((d.ppw - p.ppw(KIND, d.batch, d.point)).abs() < 1e-12);
+        // Power model agrees the decision stays within Table I limits.
+        assert!(d.power_w <= lt_accel::AccelSpec::TABLE1.max_power_w);
+        let _ = PowerModel::calibrated();
+    }
+}

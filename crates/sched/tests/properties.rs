@@ -1,0 +1,123 @@
+//! Property tests for the two scheduling algorithms.
+
+use lt_accel::dvfs::{DvfsTable, OperatingPoint};
+use lt_accel::DeviceProfile;
+use lt_dnn::ModelKind;
+use lt_sched::{redistribute_power, scale_down_to_deadline, schedule_workload, AccelLoad};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn kind_strategy() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::VanillaCnn),
+        Just(ModelKind::TransLob),
+        Just(ModelKind::DeepLob),
+    ]
+}
+
+proptest! {
+    /// Every committed decision satisfies both of Algorithm 1's
+    /// constraints and is PPW-optimal over the candidate grid.
+    #[test]
+    fn algorithm1_commitments_are_feasible_and_optimal(
+        kind in kind_strategy(),
+        queued in 1u32..40,
+        t_avail_us in 50u64..10_000,
+        power_avail in 0.5f64..55.0,
+    ) {
+        let profile = DeviceProfile::lighttrader();
+        let table = DvfsTable::evaluation();
+        let t_avail = Duration::from_micros(t_avail_us);
+        if let Some(d) = schedule_workload(&profile, kind, queued, t_avail, power_avail, &table) {
+            prop_assert!(d.t_total <= t_avail);
+            prop_assert!(d.power_w <= power_avail);
+            prop_assert!(d.batch >= 1 && d.batch <= queued.min(lt_sched::MAX_BATCH));
+            // Optimality over the full candidate grid.
+            for &point in table.points() {
+                for batch in 1..=queued.min(lt_sched::MAX_BATCH) {
+                    let t = profile.t_total(kind, batch, point);
+                    let w = profile.power_w(kind, batch, point);
+                    if t <= t_avail && w <= power_avail {
+                        prop_assert!(
+                            profile.ppw(kind, batch, point) <= d.ppw + 1e-9,
+                            "missed candidate b{} @ {}", batch, point
+                        );
+                    }
+                }
+            }
+        } else {
+            // None means genuinely no feasible candidate at batch 1.
+            for &point in table.points() {
+                let t = profile.t_total(kind, 1, point);
+                let w = profile.power_w(kind, 1, point);
+                prop_assert!(
+                    t > t_avail || w > power_avail,
+                    "feasible b1 @ {} was rejected", point
+                );
+            }
+        }
+    }
+
+    /// Scale-down never violates the deadline when any point can meet it,
+    /// and always returns the slowest such point.
+    #[test]
+    fn scale_down_is_slowest_feasible(
+        kind in kind_strategy(),
+        batch in 1u32..8,
+        t_avail_us in 50u64..20_000,
+    ) {
+        let profile = DeviceProfile::lighttrader();
+        let table = DvfsTable::evaluation();
+        let t_avail = Duration::from_micros(t_avail_us);
+        let point = scale_down_to_deadline(&profile, kind, batch, t_avail, &table);
+        let feasible_at = |p: OperatingPoint| profile.t_total(kind, batch, p) <= t_avail;
+        if feasible_at(table.max()) {
+            prop_assert!(feasible_at(point));
+            if let Some(down) = table.step_down(point) {
+                prop_assert!(!feasible_at(down), "a slower feasible point exists");
+            }
+        } else {
+            prop_assert!((point.freq_ghz - table.max().freq_ghz).abs() < 1e-9);
+        }
+    }
+
+    /// Redistribution never exceeds the budget and never downgrades.
+    #[test]
+    fn redistribution_is_budget_safe_and_monotone(
+        kind in kind_strategy(),
+        n in 1usize..8,
+        start_tenths in 8u64..20,
+        idle_draw in 0.0f64..10.0,
+        budget in 5.0f64..55.0,
+    ) {
+        let profile = DeviceProfile::lighttrader();
+        let table = DvfsTable::evaluation();
+        let start = OperatingPoint::at_freq(start_tenths as f64 / 10.0);
+        let loads: Vec<AccelLoad> = (0..n)
+            .map(|id| AccelLoad {
+                id,
+                kind,
+                batch: 1,
+                point: start,
+                t_avail: Duration::from_millis(1),
+            })
+            .collect();
+        let initial: f64 = loads
+            .iter()
+            .map(|l| profile.power_w(l.kind, l.batch, l.point))
+            .sum::<f64>() + idle_draw;
+        let out = redistribute_power(&profile, &loads, idle_draw, budget, &table);
+        let total: f64 = out
+            .iter()
+            .map(|l| profile.power_w(l.kind, l.batch, l.point))
+            .sum::<f64>() + idle_draw;
+        // Budget respected unless it was already blown at entry.
+        if initial <= budget {
+            prop_assert!(total <= budget + 1e-9, "total {total} > budget {budget}");
+        }
+        // Monotone: points never go down.
+        for (before, after) in loads.iter().zip(&out) {
+            prop_assert!(after.point.freq_ghz >= before.point.freq_ghz - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Back-test configuration.
+
+use lt_accel::PowerCondition;
+use lt_dnn::ModelKind;
+use lt_sched::Policy;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of one LightTrader back-test run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BacktestConfig {
+    /// The DNN benchmark being served.
+    pub kind: ModelKind,
+    /// Number of AI accelerators on the card (1–16 in the evaluation).
+    pub n_accels: usize,
+    /// Co-location power condition.
+    pub condition: PowerCondition,
+    /// Active scheduling schemes.
+    pub policy: Policy,
+    /// Available time per query (prediction-horizon validity window).
+    pub t_avail: Duration,
+    /// Offload-engine tensor queue capacity.
+    pub queue_capacity: usize,
+    /// Feature-window length (ticks) before queries start.
+    pub window: usize,
+}
+
+impl BacktestConfig {
+    /// The evaluation defaults for `kind` with `n_accels` accelerators.
+    pub fn new(kind: ModelKind, n_accels: usize, condition: PowerCondition) -> Self {
+        BacktestConfig {
+            kind,
+            n_accels,
+            condition,
+            policy: Policy::Baseline,
+            t_avail: crate::traffic::evaluation_deadline(),
+            queue_capacity: 64,
+            window: 100,
+        }
+    }
+
+    /// Sets the scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the per-query available time.
+    #[must_use]
+    pub fn with_t_avail(mut self, t_avail: Duration) -> Self {
+        self.t_avail = t_avail;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero accelerators, zero capacity, or a zero window.
+    pub fn validate(&self) {
+        assert!(self.n_accels > 0, "need at least one accelerator");
+        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+        assert!(self.window > 0, "window must be positive");
+        assert!(self.t_avail > Duration::ZERO, "t_avail must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited)
+            .with_policy(Policy::Both)
+            .with_t_avail(Duration::from_millis(2));
+        assert_eq!(cfg.kind, ModelKind::DeepLob);
+        assert_eq!(cfg.n_accels, 4);
+        assert_eq!(cfg.policy, Policy::Both);
+        assert_eq!(cfg.t_avail, Duration::from_millis(2));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one accelerator")]
+    fn zero_accels_invalid() {
+        let mut cfg = BacktestConfig::new(ModelKind::VanillaCnn, 1, PowerCondition::Sufficient);
+        cfg.n_accels = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,33 @@
+//! The back-test simulation framework (§IV-A).
+//!
+//! "Because evaluating the HFT systems under real-time stock traffic is
+//! difficult, it is imperative to set up a reliable and re-runnable
+//! simulation environment." This crate is that environment: a
+//! discrete-event simulator that replays a [`lt_feed::TickTrace`] through
+//! a system model, tracks every query's tick-to-trade against the
+//! available time, and reports response/miss rates — with a power-
+//! constraint option for the co-location scenarios.
+//!
+//! Three system models are provided, matching the paper's evaluation:
+//!
+//! * [`lighttrader`] — the full system: offload-engine queue, 1–16
+//!   accelerators with DVFS state, and the four scheduling policies of
+//!   Fig. 13 (baseline / WS / DS / WS+DS);
+//! * [`baseline`] — the GPU-based (CPU + NIC + V100) and FPGA-based
+//!   (CPU + Alveo U250) comparison systems, profiled per §IV-B;
+//! * [`traffic`] — the calibrated market-traffic preset and deadline
+//!   whose single-accelerator response rates land on Fig. 11(b).
+
+pub mod baseline;
+pub mod config;
+pub mod lighttrader;
+pub mod metrics;
+pub mod sweep;
+pub mod traffic;
+
+pub use baseline::{run_single_device, SingleDeviceSystem};
+pub use config::BacktestConfig;
+pub use lighttrader::run_lighttrader;
+pub use metrics::BacktestMetrics;
+pub use sweep::run_sweep;
+pub use traffic::{evaluation_deadline, evaluation_trace, EVALUATION_SEED};

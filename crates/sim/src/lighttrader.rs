@@ -1,0 +1,696 @@
+//! The LightTrader system model: the discrete-event back-test core.
+//!
+//! Scheduling semantics (§III-D), as implemented:
+//!
+//! * **Baseline** — batch 1, every accelerator pinned at the Table III
+//!   static clock, exact stale management.
+//! * **Workload scheduling (Algorithm 1)** — on every issue opportunity,
+//!   enumerate `(dvfs, batch)` pairs, keep the deadline- and power-
+//!   feasible ones, commit the max-PPW candidate; when the oldest tensor
+//!   cannot meet its deadline at any affordable speed, defer it to the
+//!   conventional pipeline ("remove oldest input tensor"). Two
+//!   risk-management refinements the bursty traffic forces: candidate
+//!   DVFS options never drop below the static plan (under-clocking
+//!   gambles on no burst arriving during the longer occupancy), and a
+//!   power-blocked queue *waits* for the next completion instead of
+//!   deferring (power frees within one batch; the deadline might not).
+//! * **DVFS scheduling (Algorithm 2)** — power is accounted by *claims*:
+//!   busy chips claim `max(actual draw, reservation)` and idle chips a
+//!   reservation equal to their static-plan draw, so the sum of claims
+//!   never exceeds the pool budget and a burst activating every chip can
+//!   always start at the Table III clock — DVFS scheduling strictly
+//!   boosts relative to the baseline. An issue may spend the pool's
+//!   unclaimed power on a faster point (including the 2.0–2.2 GHz
+//!   headroom the conservative static grid leaves unused), and completed
+//!   batches return their excess, which is the save/redistribute cycle
+//!   of Algorithm 2 in steady state; a `rebalance` pass
+//!   additionally climbs running batches by maximal marginal PPW when
+//!   budget frees mid-flight.
+//!
+//! Every DVFS change pays the PMIC switching delay (and dwell-time
+//! penalty) through [`Accelerator::set_point`]; an issue sticks with the
+//! accelerator's current point when the chosen one is within a single
+//! notch, and mid-flight climbs require at least two notches — "frequent
+//! changing in DVFS policy ... increases the risk of a power failure as
+//! well as the overall latency" (§III-D).
+
+use crate::config::BacktestConfig;
+use crate::metrics::BacktestMetrics;
+use lt_accel::dvfs::{static_plan, DvfsTable, OperatingPoint};
+use lt_accel::{Accelerator, DeviceProfile};
+use lt_dnn::ModelKind;
+use lt_feed::{NormStats, TickTrace};
+use lt_lob::Timestamp;
+use lt_pipeline::{OffloadEngine, PipelineLatencies, TensorTicket};
+use lt_sched::schedule_workload;
+use std::time::Duration;
+
+/// One batch in flight on an accelerator.
+#[derive(Debug, Clone)]
+struct InFlight {
+    completion: Timestamp,
+    /// Start of the current power segment (issue or last rescale).
+    segment_start: Timestamp,
+    /// Energy consumed by finished segments of this batch.
+    energy_j: f64,
+    batch: u32,
+    point: OperatingPoint,
+    tickets: Vec<TensorTicket>,
+}
+
+/// The mutable simulation state.
+struct SimState {
+    profile: DeviceProfile,
+    /// Full candidate table for DVFS decisions.
+    table: DvfsTable,
+    /// Table restricted to clocks >= the static plan (the WS risk guard).
+    ws_table: DvfsTable,
+    kind: ModelKind,
+    policy: lt_sched::Policy,
+    t_avail: Duration,
+    egress: Duration,
+    /// Deadline budget for the DNN pipeline (t_avail minus egress).
+    dnn_budget: Duration,
+    /// Stale-drop budget (dnn_budget minus the fastest possible service).
+    stale_budget: Duration,
+    static_point: OperatingPoint,
+    pool_budget_w: f64,
+    per_accel_budget_w: f64,
+    accels: Vec<Accelerator>,
+    in_flight: Vec<Option<InFlight>>,
+    offload: OffloadEngine,
+    metrics: BacktestMetrics,
+}
+
+impl SimState {
+    /// Rescales a busy accelerator to `target` at time `now`, stretching
+    /// or shrinking the remaining compute by the clock ratio and charging
+    /// the PMIC switch delay.
+    fn rescale(&mut self, aid: usize, target: OperatingPoint, now: Timestamp) {
+        let kind = self.kind;
+        let profile = self.profile;
+        let switch = {
+            let flight = self.in_flight[aid]
+                .as_ref()
+                .expect("rescale needs a busy accel");
+            if (flight.point.freq_ghz - target.freq_ghz).abs() < 1e-12 {
+                return;
+            }
+            let _ = flight;
+            self.accels[aid].set_point(target, now)
+        };
+        let flight = self.in_flight[aid].as_mut().expect("still busy");
+        // Close the current power segment.
+        let seg_start = flight.segment_start.min(now);
+        flight.energy_j +=
+            now.since(seg_start).as_secs_f64() * profile.power_w(kind, flight.batch, flight.point);
+        let remaining = if flight.completion > now {
+            flight.completion.since(now)
+        } else {
+            Duration::ZERO
+        };
+        let ratio = flight.point.freq_ghz / target.freq_ghz;
+        let stretched = Duration::from_secs_f64(remaining.as_secs_f64() * ratio);
+        flight.point = target;
+        flight.segment_start = now;
+        flight.completion = now + switch + stretched;
+    }
+
+    /// The power reserved for an idle accelerator: its batch-1 draw at
+    /// the Table III static clock. Charging this reservation for every
+    /// idle chip means a burst that activates the whole pool always
+    /// finds at least the no-scheduling configuration startable — DVFS
+    /// scheduling can only ever *boost* relative to the baseline, never
+    /// starve it (the conservative stance the co-location power
+    /// constraint demands).
+    fn idle_reservation(&self) -> f64 {
+        self.profile
+            .idle_power_w(self.kind)
+            .max(self.profile.power_w(self.kind, 1, self.static_point))
+    }
+
+    /// Distributable power for an issue on `aid`: the pool budget minus
+    /// every other accelerator's *claim* — busy chips claim the larger of
+    /// their actual draw and the reservation, idle chips their
+    /// reservation. Granting at most this keeps the sum of claims within
+    /// budget, so a burst activating the whole pool can always start
+    /// everyone at the static plan: DVFS scheduling only ever boosts
+    /// relative to the baseline. When boosted neighbours leave less than
+    /// one reservation of headroom, the issue may still proceed at the
+    /// static plan provided the pool's *actual* draw allows it (the
+    /// boosted batch finishes shortly and returns its excess).
+    fn power_avail_for(&self, aid: usize) -> f64 {
+        let reservation = self.idle_reservation();
+        let mut claims = 0.0;
+        let mut actual = 0.0;
+        for i in (0..self.accels.len()).filter(|&i| i != aid) {
+            match &self.in_flight[i] {
+                Some(f) => {
+                    let draw = self.profile.power_w(self.kind, f.batch, f.point);
+                    claims += draw.max(reservation);
+                    actual += draw;
+                }
+                None => {
+                    claims += reservation;
+                    actual += self.profile.idle_power_w(self.kind);
+                }
+            }
+        }
+        let by_claims = self.pool_budget_w - claims;
+        if by_claims >= reservation {
+            return by_claims;
+        }
+        let by_actual = self.pool_budget_w - actual;
+        if by_actual >= reservation {
+            reservation
+        } else {
+            by_claims.max(0.0)
+        }
+    }
+
+    /// Algorithm 2's redistribution, applied to running batches when
+    /// budget frees up: climb the busy accelerator with the highest
+    /// marginal PPW gain while the pool (with idle reservations) stays
+    /// within budget. Down-rescales never happen mid-flight — stretching
+    /// a running batch risks the very deadline it was scheduled against —
+    /// and climbs are applied with hysteresis (at least two DVFS notches)
+    /// because "frequent changing in DVFS policy ... increases the risk
+    /// of a power failure as well as the overall latency" (§III-D).
+    fn rebalance(&mut self, now: Timestamp) {
+        // Pure computation first: desired points per busy accelerator.
+        let n = self.accels.len();
+        let mut desired: Vec<Option<(u32, OperatingPoint)>> = (0..n)
+            .map(|aid| match &self.in_flight[aid] {
+                Some(f) if f.completion > now => Some((f.batch, f.point)),
+                _ => None,
+            })
+            .collect();
+        let power_at = |state: &SimState, d: &Option<(u32, OperatingPoint)>| match d {
+            Some((batch, point)) => state.profile.power_w(state.kind, *batch, *point),
+            None => state.idle_reservation(),
+        };
+        loop {
+            let total: f64 = desired.iter().map(|d| power_at(self, d)).sum();
+            let avail = self.pool_budget_w - total;
+            let mut best: Option<(f64, usize, OperatingPoint)> = None;
+            for (aid, d) in desired.iter().enumerate() {
+                let Some((batch, point)) = d else {
+                    continue;
+                };
+                let Some(up) = self.table.step_up(*point) else {
+                    continue;
+                };
+                let inc = self.profile.power_w(self.kind, *batch, up)
+                    - self.profile.power_w(self.kind, *batch, *point);
+                if inc <= avail {
+                    let ppw_inc = self.profile.ppw(self.kind, *batch, up)
+                        - self.profile.ppw(self.kind, *batch, *point);
+                    if best.map_or(true, |(b, _, _)| ppw_inc > b) {
+                        best = Some((ppw_inc, aid, up));
+                    }
+                }
+            }
+            match best {
+                Some((_, aid, up)) => {
+                    desired[aid] = desired[aid].map(|(b, _)| (b, up));
+                }
+                None => break,
+            }
+        }
+        // Apply with hysteresis: one jump per accelerator, >= 2 notches.
+        for aid in 0..n {
+            if let (Some(flight), Some((_, target))) = (&self.in_flight[aid], desired[aid]) {
+                if target.freq_ghz - flight.point.freq_ghz > 0.15 {
+                    self.rescale(aid, target, now);
+                }
+            }
+        }
+    }
+
+    /// Settles one completed batch: scores every ticket against the
+    /// available time.
+    fn settle(&mut self, flight: InFlight) {
+        let seg_start = flight.segment_start.min(flight.completion);
+        self.metrics.energy_j += flight.energy_j
+            + flight.completion.since(seg_start).as_secs_f64()
+                * self.profile.power_w(self.kind, flight.batch, flight.point);
+        for ticket in flight.tickets {
+            let order_out = flight.completion + self.egress;
+            if order_out <= ticket.tick_ts + self.t_avail {
+                self.metrics
+                    .record_response(order_out.since(ticket.tick_ts));
+            } else {
+                self.metrics.late += 1;
+            }
+        }
+    }
+
+    /// Issues work onto every idle accelerator at `now`.
+    fn try_issue(&mut self, now: Timestamp) {
+        'accels: for aid in 0..self.accels.len() {
+            if self.in_flight[aid].is_some() {
+                continue;
+            }
+            loop {
+                // Stale management before every scheduling attempt.
+                let stale = self.offload.drop_stale(now, self.stale_budget);
+                self.metrics.dropped_stale += stale.len() as u64;
+                let Some(oldest) = self.offload.oldest() else {
+                    break 'accels; // queue empty: nothing for any accel
+                };
+                let deadline = oldest.tick_ts + self.dnn_budget;
+                let effective_now = now.max(oldest.ready_at);
+                let t_remaining = deadline.since(effective_now.min(deadline));
+                let queued = self.offload.queue_len() as u32;
+
+                let decision = self.decide(aid, queued, t_remaining).map(|(batch, point)| {
+                    let current = self.accels[aid].point();
+                    let near = (current.freq_ghz - point.freq_ghz).abs() <= 0.15;
+                    let in_range = !self.policy.workload_enabled()
+                        || current.freq_ghz >= self.ws_table.min().freq_ghz - 1e-9;
+                    if near
+                        && in_range
+                        && (current.freq_ghz - point.freq_ghz).abs() > 1e-12
+                        && self.profile.t_total(self.kind, batch, current) <= t_remaining
+                    {
+                        // Staying put is one notch worse at most but
+                        // skips the PMIC switch + dwell cost.
+                        (batch, current)
+                    } else {
+                        (batch, point)
+                    }
+                });
+                match decision {
+                    Some((batch, point)) => {
+                        let switch = self.accels[aid].set_point(point, effective_now);
+                        let tickets = self.offload.pop_batch(batch as usize);
+                        debug_assert_eq!(tickets.len(), batch as usize);
+                        let ready = tickets
+                            .iter()
+                            .map(|t| t.ready_at)
+                            .max()
+                            .expect("non-empty batch");
+                        let start = effective_now.max(ready) + switch;
+                        let completion = start + self.profile.t_total(self.kind, batch, point);
+                        self.accels[aid].start_batch(start, completion);
+                        self.in_flight[aid] = Some(InFlight {
+                            completion,
+                            segment_start: start,
+                            energy_j: 0.0,
+                            batch,
+                            point,
+                            tickets,
+                        });
+                        self.metrics.batches += 1;
+                        self.metrics.batched_queries += u64::from(batch);
+                        continue 'accels;
+                    }
+                    None if self.hopeless(aid, t_remaining) => {
+                        // The oldest tensor cannot make its deadline at
+                        // any affordable speed — defer it to the
+                        // conventional pipeline (Algorithm 1's "remove
+                        // oldest input tensor") and reschedule.
+                        if self.offload.defer_oldest().is_some() {
+                            self.metrics.deferred += 1;
+                            continue;
+                        }
+                        break 'accels;
+                    }
+                    None => {
+                        // Power headroom is momentarily insufficient;
+                        // the tensor stays queued until a completion
+                        // frees budget.
+                        continue 'accels;
+                    }
+                }
+            }
+        }
+        if self.policy.dvfs_enabled() {
+            self.rebalance(now);
+        }
+    }
+
+    /// True when the oldest tensor cannot meet its deadline even at the
+    /// fastest point the *currently affordable* power allows on `aid` —
+    /// the signal to drop it rather than waste accelerator time (or block
+    /// the queue) on a doomed query. A power-blocked state (no point
+    /// affordable at all) is not hopeless: budget frees at the next
+    /// completion.
+    fn hopeless(&self, aid: usize, t_remaining: Duration) -> bool {
+        if t_remaining.is_zero() {
+            return true;
+        }
+        let grant = if self.policy.dvfs_enabled() {
+            self.power_avail_for(aid).max(self.idle_reservation())
+        } else {
+            self.per_accel_budget_w
+        };
+        let candidates = if self.policy.workload_enabled() {
+            &self.ws_table
+        } else {
+            &self.table
+        };
+        let best = candidates
+            .points()
+            .iter()
+            .rev()
+            .find(|p| self.profile.power_w(self.kind, 1, **p) <= grant);
+        match best {
+            Some(p) => self.profile.t_total(self.kind, 1, *p) > t_remaining,
+            None => false,
+        }
+    }
+
+    /// Picks `(batch, point)` for accelerator `aid` under the active
+    /// policy, or `None` when nothing can be issued.
+    fn decide(
+        &mut self,
+        aid: usize,
+        queued: u32,
+        t_remaining: Duration,
+    ) -> Option<(u32, OperatingPoint)> {
+        if t_remaining.is_zero() && self.policy.workload_enabled() {
+            // The oldest query is at its deadline: Algorithm 1 defers it.
+            return None;
+        }
+        let power_avail = if self.policy.dvfs_enabled() {
+            self.power_avail_for(aid)
+        } else {
+            self.per_accel_budget_w
+        };
+        if self.policy.workload_enabled() {
+            let d = schedule_workload(
+                &self.profile,
+                self.kind,
+                queued,
+                t_remaining,
+                power_avail,
+                &self.ws_table,
+            )?;
+            if self.policy.dvfs_enabled() {
+                // Algorithm 2 runs after workload scheduling: boost the
+                // chosen point to the fastest one the distributable
+                // budget allows ("maximize the performance of AI
+                // accelerators while fully consuming the constrained
+                // power"), keeping the batch.
+                let boosted = self
+                    .table
+                    .points()
+                    .iter()
+                    .rev()
+                    .find(|p| {
+                        p.freq_ghz >= d.point.freq_ghz - 1e-12
+                            && self.profile.power_w(self.kind, d.batch, **p) <= power_avail
+                    })
+                    .copied()
+                    .unwrap_or(d.point);
+                return Some((d.batch, boosted));
+            }
+            Some((d.batch, d.point))
+        } else if self.policy.dvfs_enabled() {
+            // DS without WS: batch stays 1; issue at the fastest point the
+            // distributable budget allows (performance-maximizing use of
+            // the freed power). The idle reservations guarantee at least
+            // the slowest point is always affordable.
+            let point = self
+                .table
+                .points()
+                .iter()
+                .rev()
+                .find(|p| self.profile.power_w(self.kind, 1, **p) <= power_avail)
+                .copied()?;
+            if self.profile.t_total(self.kind, 1, point) > t_remaining {
+                return None; // doomed at achievable speed -> None arm
+            }
+            Some((1, point))
+        } else {
+            Some((1, self.static_point))
+        }
+    }
+
+    /// Index and completion time of the next batch to finish.
+    fn next_completion(&self) -> Option<(usize, Timestamp)> {
+        self.in_flight
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|f| (i, f.completion)))
+            .min_by_key(|&(_, t)| t)
+    }
+
+    /// Processes every completion up to `now`.
+    fn drain_completions(&mut self, now: Timestamp) {
+        while let Some((aid, completion)) = self.next_completion() {
+            if completion > now {
+                break;
+            }
+            let flight = self.in_flight[aid].take().expect("in flight");
+            self.accels[aid].finish_batch();
+            self.settle(flight);
+            self.try_issue(completion);
+        }
+    }
+}
+
+/// Replays `trace` through a LightTrader configuration and reports the
+/// back-test metrics.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`BacktestConfig::validate`]).
+pub fn run_lighttrader(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetrics {
+    cfg.validate();
+    let profile = DeviceProfile::lighttrader();
+    // The static (conservative) grid is capped at 2.0 GHz — Table III
+    // never exceeds it — but the chip itself reaches 2.2 GHz (Table I).
+    // DVFS scheduling, which tracks the pool's actual draw, may exploit
+    // that headroom; the baseline and plain WS stay within the
+    // conservative cap.
+    let table = if cfg.policy.dvfs_enabled() {
+        DvfsTable::full_range()
+    } else {
+        DvfsTable::evaluation()
+    };
+    let stages = PipelineLatencies::fpga();
+    let plan = static_plan(cfg.kind, cfg.n_accels, cfg.condition);
+    let egress = stages.egress();
+    // The WS risk guard: never under-clock below the static plan.
+    let ws_table = table.at_least(plan.point.freq_ghz);
+    // A query is hopeless once even the fastest *affordable* service
+    // misses its deadline. "Affordable" depends on the policy: the static
+    // share for baseline/WS, or the lone-boost grant (pool budget minus
+    // every other accelerator's reservation) when DVFS scheduling can
+    // concentrate power.
+    let reservation = profile
+        .idle_power_w(cfg.kind)
+        .max(profile.power_w(cfg.kind, 1, plan.point));
+    let best_share = if cfg.policy.dvfs_enabled() {
+        cfg.condition.accelerator_budget_w() - (cfg.n_accels as f64 - 1.0) * reservation
+    } else {
+        plan.per_accel_power_w
+    };
+    let candidate_table = if cfg.policy.workload_enabled() {
+        &ws_table
+    } else {
+        &table
+    };
+    let fastest_point = candidate_table
+        .points()
+        .iter()
+        .rev()
+        .find(|p| profile.power_w(cfg.kind, 1, **p) <= best_share + 1e-9)
+        .copied()
+        .unwrap_or(plan.point);
+    let fastest = profile.t_total(cfg.kind, 1, fastest_point);
+    let dnn_budget = cfg.t_avail.saturating_sub(egress);
+    let stale_budget = dnn_budget
+        .saturating_sub(fastest)
+        .max(Duration::from_nanos(1));
+
+    let mut state = SimState {
+        profile,
+        table,
+        ws_table,
+        kind: cfg.kind,
+        policy: cfg.policy,
+        t_avail: cfg.t_avail,
+        egress,
+        dnn_budget,
+        stale_budget,
+        static_point: plan.point,
+        pool_budget_w: cfg.condition.accelerator_budget_w(),
+        per_accel_budget_w: cfg.condition.accelerator_budget_w() / cfg.n_accels as f64,
+        accels: (0..cfg.n_accels)
+            .map(|i| Accelerator::new(i, plan.point))
+            .collect(),
+        in_flight: vec![None; cfg.n_accels],
+        offload: OffloadEngine::new(NormStats::identity(10), cfg.window, cfg.queue_capacity),
+        metrics: BacktestMetrics::new(),
+    };
+
+    let ingress = stages.ingress();
+    for tick in trace {
+        let now = tick.ts;
+        state.drain_completions(now);
+        let before_full = state.offload.dropped_full();
+        let ready_at = now + ingress;
+        state.offload.on_tick(&tick.snapshot, ready_at);
+        state.metrics.dropped_full += state.offload.dropped_full() - before_full;
+        state.try_issue(now);
+    }
+    // Drain everything still in flight or queued.
+    while let Some((_, t)) = state.next_completion() {
+        state.drain_completions(t);
+    }
+    // Any tensors still queued at session end can never be answered.
+    let leftover = state.offload.queue_len() as u64;
+    state.metrics.dropped_stale += leftover;
+    state.metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{evaluation_trace, scheduling_deadline};
+    use lt_accel::PowerCondition;
+    use lt_feed::SessionBuilder;
+    use lt_sched::Policy;
+
+    fn quick_trace() -> TickTrace {
+        evaluation_trace(8.0, 7)
+    }
+
+    #[test]
+    fn every_query_is_accounted() {
+        let trace = quick_trace();
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 2, PowerCondition::Sufficient);
+        let m = run_lighttrader(&trace, &cfg);
+        let expected = trace.len() as u64 - (cfg.window as u64 - 1);
+        assert_eq!(m.total(), expected, "{m}");
+    }
+
+    #[test]
+    fn calm_traffic_achieves_high_response() {
+        let trace = SessionBuilder::calm_traffic()
+            .duration_secs(5.0)
+            .seed(3)
+            .build()
+            .trace;
+        let cfg = BacktestConfig::new(ModelKind::VanillaCnn, 4, PowerCondition::Sufficient);
+        let m = run_lighttrader(&trace, &cfg);
+        assert!(m.response_rate() > 0.95, "{m}");
+    }
+
+    #[test]
+    fn more_accelerators_do_not_hurt_under_sufficient_power() {
+        let trace = quick_trace();
+        let rate = |n| {
+            let cfg = BacktestConfig::new(ModelKind::DeepLob, n, PowerCondition::Sufficient);
+            run_lighttrader(&trace, &cfg).response_rate()
+        };
+        let r1 = rate(1);
+        let r4 = rate(4);
+        assert!(r4 >= r1, "1 accel {r1:.3} vs 4 accels {r4:.3}");
+    }
+
+    #[test]
+    fn workload_scheduling_batches_under_bursts() {
+        // The CNN's short service leaves deadline room for batches; the
+        // scheduler must exploit it and reduce the miss rate.
+        let trace = quick_trace();
+        let base = BacktestConfig::new(ModelKind::VanillaCnn, 1, PowerCondition::Sufficient)
+            .with_t_avail(scheduling_deadline());
+        let ws = base.with_policy(Policy::WorkloadScheduling);
+        let m_base = run_lighttrader(&trace, &base);
+        let m_ws = run_lighttrader(&trace, &ws);
+        assert!(m_base.mean_batch() <= 1.0 + 1e-9);
+        assert!(m_ws.mean_batch() > 1.05, "WS never batched: {m_ws}");
+        assert!(
+            m_ws.miss_rate() < m_base.miss_rate(),
+            "WS {:.4} vs baseline {:.4}",
+            m_ws.miss_rate(),
+            m_base.miss_rate()
+        );
+    }
+
+    #[test]
+    fn workload_scheduling_never_hurts_deeplob() {
+        // DeepLOB's 296 µs service leaves little batching room inside the
+        // prediction horizon; WS must degrade gracefully to the baseline.
+        let trace = quick_trace();
+        let base = BacktestConfig::new(ModelKind::DeepLob, 1, PowerCondition::Sufficient)
+            .with_t_avail(scheduling_deadline());
+        let ws = base.with_policy(Policy::WorkloadScheduling);
+        let m_base = run_lighttrader(&trace, &base);
+        let m_ws = run_lighttrader(&trace, &ws);
+        assert!(
+            m_ws.miss_rate() <= m_base.miss_rate() + 0.005,
+            "WS {:.4} vs baseline {:.4}",
+            m_ws.miss_rate(),
+            m_base.miss_rate()
+        );
+    }
+
+    #[test]
+    fn dvfs_scheduling_helps_at_many_accelerators() {
+        let trace = quick_trace();
+        let base = BacktestConfig::new(ModelKind::TransLob, 8, PowerCondition::Limited)
+            .with_t_avail(scheduling_deadline());
+        let ds = base.with_policy(Policy::DvfsScheduling);
+        let m_base = run_lighttrader(&trace, &base);
+        let m_ds = run_lighttrader(&trace, &ds);
+        assert!(
+            m_ds.miss_rate() <= m_base.miss_rate() + 1e-9,
+            "DS {:.4} vs baseline {:.4}",
+            m_ds.miss_rate(),
+            m_base.miss_rate()
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let trace = quick_trace();
+        let cfg = BacktestConfig::new(ModelKind::TransLob, 4, PowerCondition::Limited)
+            .with_policy(Policy::Both)
+            .with_t_avail(scheduling_deadline());
+        let a = run_lighttrader(&trace, &cfg);
+        let b = run_lighttrader(&trace, &cfg);
+        assert_eq!(a.responded, b.responded);
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded_by_budget() {
+        let trace = quick_trace();
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited);
+        let m = run_lighttrader(&trace, &cfg);
+        assert!(m.energy_j > 0.0);
+        // Busy energy can never exceed budget x wall-clock.
+        let wall = trace.duration().as_secs_f64() + 1.0;
+        assert!(m.energy_j <= cfg.condition.accelerator_budget_w() * wall);
+    }
+
+    #[test]
+    fn deadline_of_zero_slack_misses_everything() {
+        let trace = quick_trace();
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Sufficient)
+            .with_t_avail(Duration::from_micros(50));
+        let m = run_lighttrader(&trace, &cfg);
+        assert_eq!(m.responded, 0, "{m}");
+        assert!(m.total() > 0);
+    }
+
+    /// DS must never let the pool exceed the power budget.
+    #[test]
+    fn ds_respects_budget_at_sixteen_accels() {
+        let trace = quick_trace();
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 16, PowerCondition::Limited)
+            .with_policy(Policy::DvfsScheduling)
+            .with_t_avail(scheduling_deadline());
+        let m = run_lighttrader(&trace, &cfg);
+        let wall = trace.duration().as_secs_f64() + 1.0;
+        assert!(m.energy_j <= 20.0 * wall, "{} J over {wall} s", m.energy_j);
+        assert!(m.total() > 0);
+    }
+}

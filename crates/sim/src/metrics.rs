@@ -1,0 +1,179 @@
+//! Back-test outcome accounting.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Aggregated results of one back-test run.
+///
+/// Every tick that produces an inference query (i.e. every tick after the
+/// feature window warms up) ends in exactly one of the outcome buckets;
+/// `responded` is the only success. The paper's **response rate** is
+/// `responded / total`; its **miss rate** is the complement.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BacktestMetrics {
+    /// Queries answered within the available time.
+    pub responded: u64,
+    /// Queries whose answer arrived after the deadline.
+    pub late: u64,
+    /// Queries dropped at admission (offload queue full).
+    pub dropped_full: u64,
+    /// Queries dropped while queued (deadline lapsed before issue).
+    pub dropped_stale: u64,
+    /// Queries deferred to the conventional pipeline by Algorithm 1.
+    pub deferred: u64,
+    /// Tick-to-trade latencies of answered (in-time) queries, in nanos.
+    latencies_ns: Vec<u64>,
+    /// Total energy the accelerator pool consumed, in joules.
+    pub energy_j: f64,
+    /// Total batches issued.
+    pub batches: u64,
+    /// Sum of issued batch sizes (for mean batch size).
+    pub batched_queries: u64,
+}
+
+impl BacktestMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an in-time response with its tick-to-trade latency.
+    pub fn record_response(&mut self, tick_to_trade: Duration) {
+        self.responded += 1;
+        self.latencies_ns.push(tick_to_trade.as_nanos() as u64);
+    }
+
+    /// Total queries across all outcome buckets.
+    pub fn total(&self) -> u64 {
+        self.responded + self.late + self.dropped_full + self.dropped_stale + self.deferred
+    }
+
+    /// Fraction of queries answered in time (Fig. 11(b)/Fig. 12 metric).
+    pub fn response_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.responded as f64 / self.total() as f64
+    }
+
+    /// Fraction of queries missed (Fig. 13 metric).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.response_rate()
+    }
+
+    /// Mean batch size over all issued batches.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_queries as f64 / self.batches as f64
+    }
+
+    /// Mean tick-to-trade of in-time responses.
+    pub fn mean_latency(&self) -> Duration {
+        if self.latencies_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u64 = self.latencies_ns.iter().sum();
+        Duration::from_nanos(sum / self.latencies_ns.len() as u64)
+    }
+
+    /// The `q`-quantile (0.0–1.0) of in-time tick-to-trade latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.latencies_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Duration::from_nanos(sorted[idx])
+    }
+
+    /// Number of recorded response latencies (equals [`Self::responded`]).
+    pub fn latency_samples(&self) -> usize {
+        self.latencies_ns.len()
+    }
+}
+
+impl std::fmt::Display for BacktestMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries: {:.1}% responded (late {}, full {}, stale {}, deferred {}), \
+             mean t2t {:?}, mean batch {:.2}",
+            self.total(),
+            self.response_rate() * 100.0,
+            self.late,
+            self.dropped_full,
+            self.dropped_stale,
+            self.deferred,
+            self.mean_latency(),
+            self.mean_batch(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_sum_to_one() {
+        let mut m = BacktestMetrics::new();
+        m.record_response(Duration::from_micros(100));
+        m.record_response(Duration::from_micros(200));
+        m.late = 1;
+        m.dropped_full = 1;
+        m.dropped_stale = 1;
+        m.deferred = 1;
+        assert_eq!(m.total(), 6);
+        assert!((m.response_rate() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((m.response_rate() + m.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = BacktestMetrics::new();
+        assert_eq!(m.response_rate(), 0.0);
+        assert_eq!(m.miss_rate(), 0.0);
+        assert_eq!(m.mean_latency(), Duration::ZERO);
+        assert_eq!(m.latency_quantile(0.99), Duration::ZERO);
+        assert_eq!(m.mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut m = BacktestMetrics::new();
+        for us in [100u64, 200, 300, 400, 500] {
+            m.record_response(Duration::from_micros(us));
+        }
+        assert_eq!(m.mean_latency(), Duration::from_micros(300));
+        assert_eq!(m.latency_quantile(0.0), Duration::from_micros(100));
+        assert_eq!(m.latency_quantile(1.0), Duration::from_micros(500));
+        assert_eq!(m.latency_quantile(0.5), Duration::from_micros(300));
+        assert_eq!(m.latency_samples(), 5);
+    }
+
+    #[test]
+    fn mean_batch_accounts_issued_sizes() {
+        let mut m = BacktestMetrics::new();
+        m.batches = 2;
+        m.batched_queries = 6;
+        assert_eq!(m.mean_batch(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let m = BacktestMetrics::new();
+        let _ = m.latency_quantile(1.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Parallel back-test sweeps.
+//!
+//! The evaluation explores hundreds of configurations (3 models x 5
+//! accelerator counts x 2 power conditions x 4 policies x seeds); this
+//! module fans a batch of [`BacktestConfig`]s out across worker threads
+//! with crossbeam's scoped threads, preserving input order in the
+//! results. Runs stay deterministic: each configuration replays the same
+//! shared trace.
+
+use crate::config::BacktestConfig;
+use crate::lighttrader::run_lighttrader;
+use crate::metrics::BacktestMetrics;
+use lt_feed::TickTrace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs every configuration against `trace`, in parallel, returning the
+/// metrics in input order.
+///
+/// `workers` caps the thread count (0 means one worker per available
+/// CPU, bounded by the job count).
+///
+/// # Panics
+///
+/// Panics if any individual back-test panics (invalid configuration).
+pub fn run_sweep(
+    trace: &TickTrace,
+    configs: &[BacktestConfig],
+    workers: usize,
+) -> Vec<BacktestMetrics> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        workers
+    }
+    .min(configs.len());
+
+    let mut results: Vec<Option<BacktestMetrics>> = vec![None; configs.len()];
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, BacktestMetrics)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let metrics = run_lighttrader(trace, &configs[i]);
+                tx.send((i, metrics)).expect("collector alive");
+            });
+        }
+        drop(tx);
+        for (i, metrics) in rx {
+            results[i] = Some(metrics);
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_accel::PowerCondition;
+    use lt_dnn::ModelKind;
+    use lt_feed::SessionBuilder;
+    use lt_sched::Policy;
+
+    fn trace() -> TickTrace {
+        SessionBuilder::calm_traffic()
+            .duration_secs(1.0)
+            .seed(3)
+            .build()
+            .trace
+    }
+
+    fn configs() -> Vec<BacktestConfig> {
+        let mut out = Vec::new();
+        for kind in ModelKind::ALL {
+            for n in [1usize, 2, 4] {
+                for policy in [Policy::Baseline, Policy::Both] {
+                    out.push(
+                        BacktestConfig::new(kind, n, PowerCondition::Limited).with_policy(policy),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let trace = trace();
+        let configs = configs();
+        let parallel = run_sweep(&trace, &configs, 4);
+        for (cfg, par) in configs.iter().zip(&parallel) {
+            let serial = run_lighttrader(&trace, cfg);
+            assert_eq!(par.responded, serial.responded, "{cfg:?}");
+            assert_eq!(par.total(), serial.total());
+            assert_eq!(par.batches, serial.batches);
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let trace = trace();
+        let configs = configs();
+        let a = run_sweep(&trace, &configs, 3);
+        let b = run_sweep(&trace, &configs, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.responded, y.responded);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_worker() {
+        let trace = trace();
+        assert!(run_sweep(&trace, &[], 4).is_empty());
+        let one = vec![BacktestConfig::new(
+            ModelKind::VanillaCnn,
+            1,
+            PowerCondition::Sufficient,
+        )];
+        let out = run_sweep(&trace, &one, 1);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].total() > 0);
+    }
+
+    #[test]
+    fn zero_workers_means_auto() {
+        let trace = trace();
+        let out = run_sweep(&trace, &configs()[..4], 0);
+        assert_eq!(out.len(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: from exchange matching to generated orders,
+//! across the full crate stack.
+
+use lighttrader::prelude::*;
+use lighttrader::protocol::framing::Datagram;
+use lighttrader::protocol::sbe::SbeEncoder;
+use lighttrader::protocol::FixDecoder;
+
+/// Drives a real matching engine, serializes its tick data through the
+/// SBE/UDP codecs, parses it back inside LightTrader, runs inference,
+/// and checks the generated orders decode on both wire formats.
+#[test]
+fn exchange_to_order_round_trip() {
+    let mut system = LightTrader::builder(ModelKind::VanillaCnn).seed(7).build();
+    let mut exchange = MatchingEngine::new(Symbol::new("ESU6"));
+    let encoder = SbeEncoder::new();
+    let fix = FixDecoder::new();
+    let mut orders = Vec::new();
+
+    for i in 0..200u64 {
+        let ts = Timestamp::from_micros(50 * (i + 1));
+        let side = if i % 2 == 0 { Side::Bid } else { Side::Ask };
+        let price = if i % 11 == 10 {
+            Price::new(18_000)
+        } else if side == Side::Bid {
+            Price::new(18_000 - 1 - (i % 5) as i64)
+        } else {
+            Price::new(18_000 + 1 + (i % 5) as i64)
+        };
+        let out = exchange.submit(
+            NewOrder::limit(OrderId::new(i + 1), side, price, Qty::new(2)),
+            ts,
+        );
+        let mut payload = Vec::new();
+        for event in &out.events {
+            payload.extend_from_slice(&encoder.encode(event));
+        }
+        let datagram = Datagram::new(i as u32, ts, out.events.len() as u16, payload);
+        for outcome in system.on_datagram(&datagram.encode()) {
+            if let TickOutcome::Order { order, .. } = outcome {
+                orders.push(order);
+            }
+        }
+    }
+
+    let stats = system.parser_stats();
+    assert_eq!(stats.corrupt, 0);
+    assert_eq!(stats.gap_packets, 0);
+    assert_eq!(stats.packets, 200);
+    assert!(system.inferences() > 150, "{}", system.inferences());
+    assert!(!orders.is_empty(), "strategy never fired");
+
+    // Every order survives both wire encodings.
+    let fix_enc = lighttrader::protocol::FixEncoder::new();
+    for order in &orders {
+        let (bin, used) =
+            lighttrader::protocol::ilink::OrderMessage::decode(&order.encode()).unwrap();
+        assert_eq!(&bin, order);
+        assert_eq!(used, order.encode().len());
+        assert_eq!(&fix.decode(&fix_enc.encode(order)).unwrap(), order);
+    }
+    // Risk cap was respected throughout.
+    assert!(system.position().unsigned_abs() <= 50);
+}
+
+/// A lossy feed (dropped datagrams) is survived: gaps are counted and the
+/// pipeline keeps producing inferences.
+#[test]
+fn survives_packet_loss() {
+    let mut system = LightTrader::builder(ModelKind::TransLob).seed(3).build();
+    let mut exchange = MatchingEngine::new(Symbol::new("ESU6"));
+    let encoder = SbeEncoder::new();
+
+    let mut dropped = 0u64;
+    for i in 0..120u64 {
+        let ts = Timestamp::from_micros(80 * (i + 1));
+        let side = if i % 2 == 0 { Side::Bid } else { Side::Ask };
+        let price = if side == Side::Bid {
+            Price::new(17_999)
+        } else {
+            Price::new(18_001)
+        };
+        let out = exchange.submit(
+            NewOrder::limit(OrderId::new(i + 1), side, price, Qty::new(1)),
+            ts,
+        );
+        if i % 7 == 3 {
+            dropped += 1;
+            continue; // datagram lost on the wire
+        }
+        let mut payload = Vec::new();
+        for event in &out.events {
+            payload.extend_from_slice(&encoder.encode(event));
+        }
+        let datagram = Datagram::new(i as u32, ts, out.events.len() as u16, payload);
+        system.on_datagram(&datagram.encode());
+    }
+    let stats = system.parser_stats();
+    assert_eq!(stats.gap_packets, dropped);
+    assert!(stats.packets > 90);
+    assert!(system.inferences() > 80);
+}
+
+/// The replay path processes a generated session deterministically.
+#[test]
+fn replay_is_deterministic_end_to_end() {
+    let session = SessionBuilder::normal_traffic()
+        .duration_secs(0.4)
+        .seed(5)
+        .build();
+    let run = || {
+        let mut system = LightTrader::builder(ModelKind::DeepLob)
+            .seed(9)
+            .normalization(session.norm.clone())
+            .build();
+        let orders = system.replay(&session.trace);
+        (orders, system.inferences(), system.position())
+    };
+    let (orders_a, inf_a, pos_a) = run();
+    let (orders_b, inf_b, pos_b) = run();
+    assert_eq!(orders_a, orders_b);
+    assert_eq!(inf_a, inf_b);
+    assert_eq!(pos_a, pos_b);
+    assert!(inf_a > 0);
+}
+
+/// All three benchmark models run through the same back-test harness and
+/// produce consistent accounting.
+#[test]
+fn backtest_accounting_consistency() {
+    let trace = lighttrader::sim::traffic::evaluation_trace(4.0, 99);
+    for kind in ModelKind::ALL {
+        for policy in Policy::ALL {
+            let cfg = BacktestConfig::new(kind, 2, PowerCondition::Limited).with_policy(policy);
+            let m = run_lighttrader(&trace, &cfg);
+            assert_eq!(
+                m.total(),
+                m.responded + m.late + m.dropped_full + m.dropped_stale + m.deferred,
+                "{kind}/{policy}"
+            );
+            assert_eq!(m.latency_samples() as u64, m.responded);
+            assert!(m.response_rate() >= 0.0 && m.response_rate() <= 1.0);
+            assert!((m.response_rate() + m.miss_rate() - 1.0).abs() < 1e-12);
+            assert!(m.batched_queries >= m.batches);
+        }
+    }
+}

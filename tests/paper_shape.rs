@@ -1,0 +1,206 @@
+//! Paper-shape assertions: the qualitative results of every table and
+//! figure must hold on a fresh medium-length session. (EXPERIMENTS.md
+//! records the full-length quantitative runs.)
+
+use lighttrader::accel::PowerCondition;
+use lighttrader::dnn::ModelKind;
+use lighttrader::experiments::{fig11, fig12, fig13, fig8, table2, table3};
+use lighttrader::sched::Policy;
+
+const SECS: f64 = 12.0;
+const SEED: u64 = 20230225;
+
+/// Table II: the analytic op counter lands on the paper's numbers.
+#[test]
+fn table2_shape() {
+    for row in table2() {
+        let err = (row.computed_ops as f64 - row.paper_ops as f64).abs() / row.paper_ops as f64;
+        assert!(err < 0.001, "{row:?}");
+    }
+}
+
+/// Table III: the full frequency grid matches the paper cell-for-cell.
+#[test]
+fn table3_shape() {
+    let expect: [(PowerCondition, usize, [f64; 3]); 10] = [
+        (PowerCondition::Sufficient, 1, [2.0, 2.0, 2.0]),
+        (PowerCondition::Sufficient, 2, [2.0, 2.0, 2.0]),
+        (PowerCondition::Sufficient, 4, [2.0, 2.0, 2.0]),
+        (PowerCondition::Sufficient, 8, [2.0, 2.0, 2.0]),
+        (PowerCondition::Sufficient, 16, [1.9, 1.7, 1.6]),
+        (PowerCondition::Limited, 1, [2.0, 2.0, 2.0]),
+        (PowerCondition::Limited, 2, [2.0, 2.0, 2.0]),
+        (PowerCondition::Limited, 4, [2.0, 1.9, 1.9]),
+        (PowerCondition::Limited, 8, [1.6, 1.5, 1.4]),
+        (PowerCondition::Limited, 16, [1.2, 1.0, 1.0]),
+    ];
+    let rows = table3();
+    for (condition, n, freqs) in expect {
+        let row = rows
+            .iter()
+            .find(|r| r.condition == condition && r.n_accels == n)
+            .expect("row exists");
+        assert_eq!(row.freq_ghz, freqs, "{condition} x{n}");
+    }
+}
+
+/// Fig. 8: response rate falls monotonically with model complexity.
+#[test]
+fn fig8_shape() {
+    let rows = fig8(SECS, SEED);
+    for pair in rows.windows(2) {
+        assert!(
+            pair[0].response_rate >= pair[1].response_rate - 0.01,
+            "{pair:?}"
+        );
+    }
+    assert!(rows[0].response_rate - rows[4].response_rate > 0.05);
+}
+
+/// Fig. 11: LightTrader wins on latency, response rate, and TFLOPS/W for
+/// every benchmark, and the headline ratios land on the paper's.
+#[test]
+fn fig11_shape() {
+    let f = fig11(SECS, SEED);
+    for kind in ModelKind::ALL {
+        let get = |sys: &str| {
+            f.rows
+                .iter()
+                .find(|r| r.system == sys && r.kind == kind)
+                .expect("row")
+        };
+        let lt = get("LightTrader");
+        let gpu = get("GPU-based");
+        let fpga = get("FPGA-based");
+        assert!(lt.latency_us < fpga.latency_us && fpga.latency_us < gpu.latency_us);
+        assert!(lt.response_rate > fpga.response_rate, "{kind}");
+        assert!(fpga.response_rate > gpu.response_rate, "{kind}");
+        assert!(lt.tflops_per_watt > fpga.tflops_per_watt);
+        assert!(fpga.tflops_per_watt > gpu.tflops_per_watt);
+    }
+    // The exact speed-ups are calibration constants; assert them tightly.
+    assert!(
+        (f.speedup_vs_gpu - 13.92).abs() < 0.05,
+        "{}",
+        f.speedup_vs_gpu
+    );
+    assert!(
+        (f.speedup_vs_fpga - 7.28).abs() < 0.05,
+        "{}",
+        f.speedup_vs_fpga
+    );
+    // Energy-efficiency ratios land near the paper's 23.6x / 11.6x.
+    assert!(
+        (f.efficiency_vs_gpu - 23.6).abs() / 23.6 < 0.15,
+        "{}",
+        f.efficiency_vs_gpu
+    );
+    assert!(
+        (f.efficiency_vs_fpga - 11.6).abs() / 11.6 < 0.15,
+        "{}",
+        f.efficiency_vs_fpga
+    );
+    // And the response rates land near Fig. 11(b)'s absolute values.
+    let lt_rates = [0.942, 0.919, 0.871];
+    for (kind, paper) in ModelKind::ALL.into_iter().zip(lt_rates) {
+        let got = f
+            .rows
+            .iter()
+            .find(|r| r.system == "LightTrader" && r.kind == kind)
+            .unwrap()
+            .response_rate;
+        assert!(
+            (got - paper).abs() < 0.06,
+            "{kind}: {got:.3} vs paper {paper}"
+        );
+    }
+}
+
+/// Fig. 12: response rate improves with accelerator count up to the
+/// saturation point, and the limited condition saturates earlier (or
+/// lower) than the sufficient one.
+#[test]
+fn fig12_shape() {
+    let rows = fig12(SECS, SEED);
+    let rate = |cond, kind, n| {
+        rows.iter()
+            .find(|r| r.condition == cond && r.kind == kind && r.n_accels == n)
+            .unwrap()
+            .response_rate
+    };
+    for kind in ModelKind::ALL {
+        for cond in [PowerCondition::Sufficient, PowerCondition::Limited] {
+            assert!(
+                rate(cond, kind, 4) >= rate(cond, kind, 1) - 1e-9,
+                "{kind} {cond}"
+            );
+            assert!(
+                rate(cond, kind, 8) >= rate(cond, kind, 2) - 1e-9,
+                "{kind} {cond}"
+            );
+        }
+        // Eight sufficient-power accelerators reach the high nineties
+        // (paper: 99.5 / 98.7 / 95.9 %).
+        assert!(
+            rate(PowerCondition::Sufficient, kind, 8) > 0.93,
+            "{kind}: {}",
+            rate(PowerCondition::Sufficient, kind, 8)
+        );
+        // Limited power is never better than sufficient at 16 accels.
+        assert!(
+            rate(PowerCondition::Limited, kind, 16)
+                <= rate(PowerCondition::Sufficient, kind, 16) + 1e-9
+        );
+    }
+}
+
+/// Fig. 13: the scheduling story — WS reduces misses at small N, WS+DS is
+/// at least as good as the baseline everywhere that matters, and the
+/// aggregate reductions are meaningfully positive.
+#[test]
+fn fig13_shape() {
+    let f = fig13(SECS, SEED);
+    // WS helps the CNN and TransLOB at small accelerator counts (the
+    // paper's strongest WS rows).
+    for kind in [ModelKind::VanillaCnn, ModelKind::TransLob] {
+        for n in [1usize, 2] {
+            for cond in [PowerCondition::Sufficient, PowerCondition::Limited] {
+                let get = |p: Policy| {
+                    f.rows
+                        .iter()
+                        .find(|r| {
+                            r.condition == cond
+                                && r.kind == kind
+                                && r.n_accels == n
+                                && r.policy == p
+                        })
+                        .unwrap()
+                        .miss_rate
+                };
+                assert!(
+                    get(Policy::WorkloadScheduling) < get(Policy::Baseline),
+                    "{kind} x{n} {cond}: WS must beat baseline"
+                );
+                assert!(
+                    get(Policy::Both) <= get(Policy::WorkloadScheduling) + 0.01,
+                    "{kind} x{n} {cond}: WS+DS must not regress vs WS"
+                );
+            }
+        }
+    }
+    // Aggregate relative reductions: positive for WS at small N on the
+    // lighter models, non-catastrophic everywhere.
+    assert!(
+        f.ws_small_n_reduction[0] > 0.05,
+        "{:?}",
+        f.ws_small_n_reduction
+    );
+    assert!(
+        f.ws_small_n_reduction[1] > 0.03,
+        "{:?}",
+        f.ws_small_n_reduction
+    );
+    for v in f.both_all_n_reduction {
+        assert!(v > -0.05, "WS+DS must not meaningfully regress: {v}");
+    }
+}
