@@ -150,9 +150,9 @@ impl SystolicArray {
         }
         // Drain: read the stationary accumulators (overlapped with the
         // next tile's weight load in hardware, so not charged here).
-        for r in 0..tile_m {
-            for c in 0..tile_n {
-                out.set(&[row0 + r, col0 + c], acc[r][c]);
+        for (r, acc_row) in acc.iter().enumerate().take(tile_m) {
+            for (c, &v) in acc_row.iter().enumerate().take(tile_n) {
+                out.set(&[row0 + r, col0 + c], v);
             }
         }
         total

@@ -1,0 +1,114 @@
+//! Fast-vs-naive kernel benchmarks: each group times a layer's naive
+//! `forward_reference` against the im2col / blocked-GEMM / register-tiled
+//! `forward_scratch` path (with a reused scratch pad, the steady-state
+//! regime), plus the three benchmark models' full forward passes.
+//!
+//! For the machine-readable speedup report see the `bench_kernels`
+//! binary, which emits `BENCH_kernels.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lighttrader::dnn::models::{CnnSpec, DeepLobSpec, QuantizedCnn, TransLobSpec};
+use lighttrader::dnn::ops::{Conv2d, Linear, LinearInt8, Lstm, MultiHeadAttention};
+use lighttrader::dnn::{Model, ScratchPad, Tensor};
+
+fn bench_conv2d(c: &mut Criterion) {
+    // DeepLOB-trunk-shaped: temporal k=4 over a 16-channel map.
+    let conv = Conv2d::new(16, 16, (4, 1), (1, 1), (0, 0), 1);
+    let x = Tensor::random(&[16, 64, 10], 1.0, 2);
+    let mut g = c.benchmark_group("kernels/conv2d");
+    g.bench_function("naive", |b| b.iter(|| conv.forward_reference(&x)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| b.iter(|| conv.forward_scratch(&x, &mut pad)));
+    g.finish();
+}
+
+fn bench_linear(c: &mut Criterion) {
+    let layer = Linear::new(256, 128, 1);
+    let x = Tensor::random(&[256], 1.0, 2);
+    let mut g = c.benchmark_group("kernels/linear");
+    g.bench_function("naive", |b| b.iter(|| layer.forward_reference(&x)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| b.iter(|| layer.forward_scratch(&x, &mut pad)));
+    g.finish();
+}
+
+fn bench_linear_int8(c: &mut Criterion) {
+    let layer = LinearInt8::from_linear(&Linear::new(256, 128, 1));
+    let x = Tensor::random(&[256], 1.0, 2);
+    let mut g = c.benchmark_group("kernels/linear_int8");
+    g.bench_function("naive", |b| b.iter(|| layer.forward_reference(&x)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| b.iter(|| layer.forward_scratch(&x, &mut pad)));
+    g.finish();
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let lstm = Lstm::new(48, 64, 1);
+    let x = Tensor::random(&[16, 48], 1.0, 2);
+    let mut g = c.benchmark_group("kernels/lstm");
+    g.bench_function("naive", |b| b.iter(|| lstm.forward_reference(&x)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| b.iter(|| lstm.forward_scratch(&x, &mut pad)));
+    g.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mha = MultiHeadAttention::new(64, 4, 1);
+    let x = Tensor::random(&[32, 64], 1.0, 2);
+    let mut g = c.benchmark_group("kernels/attention");
+    g.bench_function("naive", |b| b.iter(|| mha.forward_reference(&x)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| b.iter(|| mha.forward_scratch(&x, &mut pad)));
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let vanilla = CnnSpec::tiny().build(3);
+    let quant = QuantizedCnn::from_float(&vanilla);
+    let deeplob = DeepLobSpec::tiny().build(3);
+    let translob = TransLobSpec::tiny().build(3);
+    let x20 = Tensor::random(&[20, 40], 1.0, 5);
+    let x24 = Tensor::random(&[24, 40], 1.0, 5);
+    let x16 = Tensor::random(&[16, 40], 1.0, 5);
+
+    let mut g = c.benchmark_group("models/vanilla_cnn");
+    g.bench_function("naive", |b| b.iter(|| vanilla.forward_reference(&x20)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| {
+        b.iter(|| vanilla.forward_scratch(&x20, &mut pad))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("models/quantized_cnn");
+    g.bench_function("naive", |b| b.iter(|| quant.forward_reference(&x20)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| b.iter(|| quant.forward_scratch(&x20, &mut pad)));
+    g.finish();
+
+    let mut g = c.benchmark_group("models/deeplob");
+    g.bench_function("naive", |b| b.iter(|| deeplob.forward_reference(&x24)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| {
+        b.iter(|| deeplob.forward_scratch(&x24, &mut pad))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("models/translob");
+    g.bench_function("naive", |b| b.iter(|| translob.forward_reference(&x16)));
+    let mut pad = ScratchPad::new();
+    g.bench_function("fast", |b| {
+        b.iter(|| translob.forward_scratch(&x16, &mut pad))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_conv2d,
+    bench_linear,
+    bench_linear_int8,
+    bench_lstm,
+    bench_attention,
+    bench_models
+);
+criterion_main!(kernels);

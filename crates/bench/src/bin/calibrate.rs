@@ -77,7 +77,7 @@ fn main() {
                     }
                     report.push_str(&format!("err={err:.4}"));
                     println!("{report}");
-                    if best.as_ref().map_or(true, |(b, _)| err < *b) {
+                    if best.as_ref().is_none_or(|(b, _)| err < *b) {
                         best = Some((err, report));
                     }
                 }

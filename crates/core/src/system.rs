@@ -8,11 +8,13 @@
 //! response rates, or scheduling studies instead.
 
 use lt_dnn::models::build_tiny;
-use lt_dnn::{Model, ModelKind, Prediction};
+use lt_dnn::{Model, ModelKind, Prediction, ScratchPad};
 use lt_feed::NormStats;
 use lt_lob::{MarketEvent, Symbol, Timestamp};
 use lt_pipeline::trading::NoOrderReason;
-use lt_pipeline::{KillSwitch, LocalBook, OffloadEngine, OrderRateLimiter, PacketParser, RiskLimits, TradingEngine};
+use lt_pipeline::{
+    KillSwitch, LocalBook, OffloadEngine, OrderRateLimiter, PacketParser, RiskLimits, TradingEngine,
+};
 use lt_protocol::ilink::OrderMessage;
 
 /// What one tick produced end to end.
@@ -127,6 +129,7 @@ impl LightTraderBuilder {
                 .loss_floor_ticks
                 .map(|floor| KillSwitch::new(floor, 10)),
             inferences: 0,
+            scratch: ScratchPad::new(),
             model,
         }
     }
@@ -142,6 +145,9 @@ pub struct LightTrader {
     limiter: Option<OrderRateLimiter>,
     kill: Option<KillSwitch>,
     inferences: u64,
+    /// Buffer pool reused across inferences: after the first (warm-up)
+    /// forward pass, steady-state inference is allocation-free.
+    scratch: ScratchPad,
 }
 
 impl LightTrader {
@@ -215,7 +221,7 @@ impl LightTrader {
         // Consume the ticket this tick enqueued: the host answers
         // immediately, so the queue never backs up.
         self.offload.pop_batch(usize::MAX);
-        let prediction = self.model.forward(&tensor);
+        let prediction = self.model.forward_scratch(&tensor, &mut self.scratch);
         self.inferences += 1;
         self.gated_decision(&prediction, &snapshot, event.ts)
     }
@@ -253,11 +259,9 @@ impl LightTrader {
                     let bid = snapshot.best_bid();
                     let ask = snapshot.best_ask();
                     match (bid, ask) {
-                        (Some(b), Some(a)) => Some(
-                            self.trading.mark_to_market(lt_lob::Price::new(
-                                (b.price.ticks() + a.price.ticks()) / 2,
-                            )),
-                        ),
+                        (Some(b), Some(a)) => Some(self.trading.mark_to_market(
+                            lt_lob::Price::new((b.price.ticks() + a.price.ticks()) / 2),
+                        )),
                         _ => None,
                     }
                 }) {
@@ -286,7 +290,7 @@ impl LightTrader {
             }
             let tensor = self.offload.latest_tensor();
             self.offload.pop_batch(usize::MAX);
-            let prediction = self.model.forward(&tensor);
+            let prediction = self.model.forward_scratch(&tensor, &mut self.scratch);
             self.inferences += 1;
             if let TickOutcome::Order { order, .. } =
                 self.gated_decision(&prediction, &tick.snapshot, tick.ts)
@@ -372,7 +376,10 @@ mod tests {
 
     #[test]
     fn rate_limiter_gates_orders() {
-        let session = SessionBuilder::normal_traffic().duration_secs(0.3).seed(3).build();
+        let session = SessionBuilder::normal_traffic()
+            .duration_secs(0.3)
+            .seed(3)
+            .build();
         // An aggressive strategy (no confidence gate, huge position cap)
         // fires on nearly every non-stationary prediction.
         let aggressive = RiskLimits {
@@ -402,7 +409,10 @@ mod tests {
 
     #[test]
     fn kill_switch_halts_after_losses() {
-        let session = SessionBuilder::normal_traffic().duration_secs(0.3).seed(3).build();
+        let session = SessionBuilder::normal_traffic()
+            .duration_secs(0.3)
+            .seed(3)
+            .build();
         // A zero-loss floor trips on the first negative mark.
         let mut system = LightTrader::builder(ModelKind::VanillaCnn)
             .seed(7)

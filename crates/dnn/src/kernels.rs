@@ -1,0 +1,632 @@
+//! Cache-friendly inference kernels, bit-identical to the naive layers.
+//!
+//! The naive layer implementations in [`crate::ops`] index every element
+//! through `Tensor::at` (rank assert + bounds checks + index arithmetic
+//! per multiply). These kernels compute the same contractions over raw
+//! slices with register tiling and cache blocking, which is where the
+//! fast `forward_scratch` paths get their speed.
+//!
+//! # The bit-exactness contract
+//!
+//! Floating-point addition is not associative, so a "faster but
+//! approximately equal" kernel would silently change every prediction
+//! downstream. Every kernel here therefore preserves the naive path's
+//! **per-output-element accumulation order** exactly:
+//!
+//! * each accumulator is seeded with the bias (or `0.0`) exactly as the
+//!   naive loop seeds it, accumulates in the same increasing-`k` order,
+//!   and is rounded (BF16) at most once, at the same point;
+//! * tiling only ever splits the *output* dimensions (M/N). The `k`
+//!   reduction is never split, reordered, or vectorized with partial
+//!   sums — register tiling computes several independent accumulator
+//!   chains in parallel, each of which is order-identical to naive;
+//! * [`im2col`] materializes zero entries where the naive convolution
+//!   *skips* padded taps. Adding `w * 0.0` instead of skipping can only
+//!   flip the sign of an exact zero (`-0.0 + 0.0 == +0.0`), which `f32`
+//!   equality and every downstream consumer treat as identical.
+//!
+//! The `kernel_equivalence` integration test property-checks these
+//! guarantees against the `forward_reference` implementations across
+//! randomized shapes, strides, and paddings.
+
+use crate::bf16::bf16_round;
+
+/// Register-tile width: independent accumulator chains per inner loop.
+const MR: usize = 4;
+/// Cache-block width over the GEMM `n` dimension, sized so an f32 block
+/// of typical `k` stays resident in L1 while every `m` row streams by.
+const NB: usize = 64;
+
+/// Unfolds a `[in_c, h, w]` input into im2col patch rows.
+///
+/// `out` must hold `oh * ow * in_c * kh * kw` elements and is written as
+/// a row-major `[oh * ow, in_c * kh * kw]` matrix: one row per output
+/// position (scanning `oy` then `ox`), columns ordered `ic → ky → kx` to
+/// match the naive convolution's accumulation order. Taps that fall in
+/// the zero-padding region are stored as `0.0`.
+///
+/// # Panics
+///
+/// Panics if `x` or `out` have the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    x: &[f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let k = in_c * kh * kw;
+    assert_eq!(x.len(), in_c * h * w, "im2col input length");
+    assert_eq!(out.len(), oh * ow * k, "im2col patch-buffer length");
+    let (ph, pw) = padding;
+    let mut row = 0usize;
+    for oy in 0..oh {
+        let base_y = oy * stride.0;
+        for ox in 0..ow {
+            let base_x = ox * stride.1;
+            let patch = &mut out[row..row + k];
+            let mut col = 0usize;
+            for ic in 0..in_c {
+                let chan = &x[ic * h * w..(ic + 1) * h * w];
+                for ky in 0..kh {
+                    let iy = base_y + ky;
+                    if iy < ph || iy - ph >= h {
+                        patch[col..col + kw].fill(0.0);
+                        col += kw;
+                        continue;
+                    }
+                    let src = &chan[(iy - ph) * w..(iy - ph + 1) * w];
+                    if pw == 0 && base_x + kw <= w {
+                        // Common case (no horizontal padding): one memcpy.
+                        patch[col..col + kw].copy_from_slice(&src[base_x..base_x + kw]);
+                        col += kw;
+                    } else {
+                        for kx in 0..kw {
+                            let ix = base_x + kx;
+                            patch[col] = if ix < pw || ix - pw >= w {
+                                0.0
+                            } else {
+                                src[ix - pw]
+                            };
+                            col += 1;
+                        }
+                    }
+                }
+            }
+            row += k;
+        }
+    }
+}
+
+/// `out[m][n] = bf16(bias[m] + dot(a[m], b[n]))` — GEMM against a
+/// transposed B, bias indexed by the A row.
+///
+/// `a` is `[m, k]` row-major (convolution kernels), `b` is `[n, k]`
+/// row-major (im2col patches), `out` is `[m, n]` row-major — exactly the
+/// `[out_c, oh * ow]` layout of a convolution output. Blocked over `n`
+/// and register-tiled over `m`; each output's accumulation order matches
+/// the naive triple loop.
+pub fn gemm_bt_bias_rows_bf16(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm A length");
+    assert_eq!(b.len(), n * k, "gemm B length");
+    assert_eq!(bias.len(), m, "gemm bias length");
+    assert_eq!(out.len(), m * n, "gemm output length");
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + NB).min(n);
+        let mut i = 0;
+        while i + MR <= m {
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let a2 = &a[(i + 2) * k..(i + 3) * k];
+            let a3 = &a[(i + 3) * k..(i + 4) * k];
+            for j in j0..j1 {
+                let bj = &b[j * k..(j + 1) * k];
+                let mut acc0 = bias[i];
+                let mut acc1 = bias[i + 1];
+                let mut acc2 = bias[i + 2];
+                let mut acc3 = bias[i + 3];
+                for t in 0..k {
+                    let x = bj[t];
+                    acc0 += a0[t] * x;
+                    acc1 += a1[t] * x;
+                    acc2 += a2[t] * x;
+                    acc3 += a3[t] * x;
+                }
+                out[i * n + j] = bf16_round(acc0);
+                out[(i + 1) * n + j] = bf16_round(acc1);
+                out[(i + 2) * n + j] = bf16_round(acc2);
+                out[(i + 3) * n + j] = bf16_round(acc3);
+            }
+            i += MR;
+        }
+        for r in i..m {
+            let ar = &a[r * k..(r + 1) * k];
+            for j in j0..j1 {
+                let bj = &b[j * k..(j + 1) * k];
+                let mut acc = bias[r];
+                for t in 0..k {
+                    acc += ar[t] * bj[t];
+                }
+                out[r * n + j] = bf16_round(acc);
+            }
+        }
+        j0 = j1;
+    }
+}
+
+/// `out[o] = bf16(bias[o] + dot(w[o], x))` — dense layer on one input row.
+///
+/// `w` is `[n, k]` row-major. Register-tiled over output neurons so four
+/// accumulator chains share each `x` load; per-output accumulation order
+/// matches the naive loop.
+pub fn matvec_bias_bf16(w: &[f32], bias: &[f32], x: &[f32], n: usize, k: usize, out: &mut [f32]) {
+    assert_eq!(w.len(), n * k, "matvec weight length");
+    assert_eq!(bias.len(), n, "matvec bias length");
+    assert_eq!(x.len(), k, "matvec input length");
+    assert_eq!(out.len(), n, "matvec output length");
+    let mut o = 0;
+    while o + MR <= n {
+        let w0 = &w[o * k..(o + 1) * k];
+        let w1 = &w[(o + 1) * k..(o + 2) * k];
+        let w2 = &w[(o + 2) * k..(o + 3) * k];
+        let w3 = &w[(o + 3) * k..(o + 4) * k];
+        let mut acc0 = bias[o];
+        let mut acc1 = bias[o + 1];
+        let mut acc2 = bias[o + 2];
+        let mut acc3 = bias[o + 3];
+        for t in 0..k {
+            let xv = x[t];
+            acc0 += w0[t] * xv;
+            acc1 += w1[t] * xv;
+            acc2 += w2[t] * xv;
+            acc3 += w3[t] * xv;
+        }
+        out[o] = bf16_round(acc0);
+        out[o + 1] = bf16_round(acc1);
+        out[o + 2] = bf16_round(acc2);
+        out[o + 3] = bf16_round(acc3);
+        o += MR;
+    }
+    for r in o..n {
+        let wr = &w[r * k..(r + 1) * k];
+        let mut acc = bias[r];
+        for t in 0..k {
+            acc += wr[t] * x[t];
+        }
+        out[r] = bf16_round(acc);
+    }
+}
+
+/// INT8 dense layer: `out[o] = (Σ w[o][i] * x[i]) as f32 * w_scale
+/// * x_scale + bias[o]`, with an `i32` accumulator.
+///
+/// The float epilogue multiplies the two scales in the same order as the
+/// naive loop (`acc * w_scale * x_scale + bias`), so results are
+/// bit-identical; the integer dot itself is exact in any order.
+#[allow(clippy::too_many_arguments)]
+pub fn matvec_i8_bias(
+    w: &[i8],
+    x: &[i8],
+    bias: &[f32],
+    n: usize,
+    k: usize,
+    w_scale: f32,
+    x_scale: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(w.len(), n * k, "int8 matvec weight length");
+    assert_eq!(x.len(), k, "int8 matvec input length");
+    assert_eq!(bias.len(), n, "int8 matvec bias length");
+    assert_eq!(out.len(), n, "int8 matvec output length");
+    let mut o = 0;
+    while o + MR <= n {
+        let w0 = &w[o * k..(o + 1) * k];
+        let w1 = &w[(o + 1) * k..(o + 2) * k];
+        let w2 = &w[(o + 2) * k..(o + 3) * k];
+        let w3 = &w[(o + 3) * k..(o + 4) * k];
+        let mut acc0: i32 = 0;
+        let mut acc1: i32 = 0;
+        let mut acc2: i32 = 0;
+        let mut acc3: i32 = 0;
+        for t in 0..k {
+            let xv = x[t] as i32;
+            acc0 += w0[t] as i32 * xv;
+            acc1 += w1[t] as i32 * xv;
+            acc2 += w2[t] as i32 * xv;
+            acc3 += w3[t] as i32 * xv;
+        }
+        out[o] = acc0 as f32 * w_scale * x_scale + bias[o];
+        out[o + 1] = acc1 as f32 * w_scale * x_scale + bias[o + 1];
+        out[o + 2] = acc2 as f32 * w_scale * x_scale + bias[o + 2];
+        out[o + 3] = acc3 as f32 * w_scale * x_scale + bias[o + 3];
+        o += MR;
+    }
+    for r in o..n {
+        let wr = &w[r * k..(r + 1) * k];
+        let mut acc: i32 = 0;
+        for t in 0..k {
+            acc += wr[t] as i32 * x[t] as i32;
+        }
+        out[r] = acc as f32 * w_scale * x_scale + bias[r];
+    }
+}
+
+/// Fused LSTM gate pre-activations for one timestep:
+/// `gates[g] = bias[g] + dot(wx[g], xt) + dot(wh[g], h)`.
+///
+/// `wx` is `[4 * hidden, input]`, `wh` is `[4 * hidden, hidden]`. The two
+/// dots run sequentially per gate (input weights first), matching the
+/// naive per-gate loop; no rounding is applied here.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_gates(
+    wx: &[f32],
+    wh: &[f32],
+    bias: &[f32],
+    xt: &[f32],
+    h: &[f32],
+    input: usize,
+    hidden: usize,
+    gates: &mut [f32],
+) {
+    let n = 4 * hidden;
+    assert_eq!(wx.len(), n * input, "lstm wx length");
+    assert_eq!(wh.len(), n * hidden, "lstm wh length");
+    assert_eq!(bias.len(), n, "lstm bias length");
+    assert_eq!(xt.len(), input, "lstm input length");
+    assert_eq!(h.len(), hidden, "lstm hidden length");
+    assert_eq!(gates.len(), n, "lstm gates length");
+    let mut g = 0;
+    while g + MR <= n {
+        let wx0 = &wx[g * input..(g + 1) * input];
+        let wx1 = &wx[(g + 1) * input..(g + 2) * input];
+        let wx2 = &wx[(g + 2) * input..(g + 3) * input];
+        let wx3 = &wx[(g + 3) * input..(g + 4) * input];
+        let mut acc0 = bias[g];
+        let mut acc1 = bias[g + 1];
+        let mut acc2 = bias[g + 2];
+        let mut acc3 = bias[g + 3];
+        for i in 0..input {
+            let xv = xt[i];
+            acc0 += wx0[i] * xv;
+            acc1 += wx1[i] * xv;
+            acc2 += wx2[i] * xv;
+            acc3 += wx3[i] * xv;
+        }
+        let wh0 = &wh[g * hidden..(g + 1) * hidden];
+        let wh1 = &wh[(g + 1) * hidden..(g + 2) * hidden];
+        let wh2 = &wh[(g + 2) * hidden..(g + 3) * hidden];
+        let wh3 = &wh[(g + 3) * hidden..(g + 4) * hidden];
+        for j in 0..hidden {
+            let hv = h[j];
+            acc0 += wh0[j] * hv;
+            acc1 += wh1[j] * hv;
+            acc2 += wh2[j] * hv;
+            acc3 += wh3[j] * hv;
+        }
+        gates[g] = acc0;
+        gates[g + 1] = acc1;
+        gates[g + 2] = acc2;
+        gates[g + 3] = acc3;
+        g += MR;
+    }
+    for r in g..n {
+        let mut acc = bias[r];
+        let wxr = &wx[r * input..(r + 1) * input];
+        for i in 0..input {
+            acc += wxr[i] * xt[i];
+        }
+        let whr = &wh[r * hidden..(r + 1) * hidden];
+        for j in 0..hidden {
+            acc += whr[j] * h[j];
+        }
+        gates[r] = acc;
+    }
+}
+
+/// Attention scores for one head: `out[i][j] = dot(q_i, k_j) * scale`
+/// over the head's column slice `[off, off + d_head)` of `[t, d_model]`
+/// Q/K matrices.
+///
+/// The dot starts at `0.0` and the scale is applied after the full
+/// reduction, matching the naive `iter().zip().sum()` followed by
+/// `dot * scale`. No rounding. Register-tiled over `j` so four score
+/// chains share each `q` load.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_scores(
+    q: &[f32],
+    k: &[f32],
+    t: usize,
+    d_model: usize,
+    off: usize,
+    d_head: usize,
+    scale: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(q.len(), t * d_model, "attn q length");
+    assert_eq!(k.len(), t * d_model, "attn k length");
+    assert_eq!(out.len(), t * t, "attn scores length");
+    assert!(off + d_head <= d_model, "attn head slice out of range");
+    for i in 0..t {
+        let qi = &q[i * d_model + off..i * d_model + off + d_head];
+        let orow = &mut out[i * t..(i + 1) * t];
+        let mut j = 0;
+        while j + MR <= t {
+            let k0 = &k[j * d_model + off..j * d_model + off + d_head];
+            let k1 = &k[(j + 1) * d_model + off..(j + 1) * d_model + off + d_head];
+            let k2 = &k[(j + 2) * d_model + off..(j + 2) * d_model + off + d_head];
+            let k3 = &k[(j + 3) * d_model + off..(j + 3) * d_model + off + d_head];
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            let mut acc2 = 0.0f32;
+            let mut acc3 = 0.0f32;
+            for d in 0..d_head {
+                let qv = qi[d];
+                acc0 += qv * k0[d];
+                acc1 += qv * k1[d];
+                acc2 += qv * k2[d];
+                acc3 += qv * k3[d];
+            }
+            orow[j] = acc0 * scale;
+            orow[j + 1] = acc1 * scale;
+            orow[j + 2] = acc2 * scale;
+            orow[j + 3] = acc3 * scale;
+            j += MR;
+        }
+        for jj in j..t {
+            let kj = &k[jj * d_model + off..jj * d_model + off + d_head];
+            let mut acc = 0.0f32;
+            for d in 0..d_head {
+                acc += qi[d] * kj[d];
+            }
+            orow[jj] = acc * scale;
+        }
+    }
+}
+
+/// Attention context for one head:
+/// `ctx[i][off + d] = Σ_j scores[i][j] * v[j][off + d]`.
+///
+/// Accumulates over `j` in increasing order starting from `0.0` (as the
+/// naive loop does) and writes into the head's column slice of the
+/// `[t, d_model]` context. Tiled over `d` so four accumulator chains
+/// share each score load and the `v` loads are contiguous.
+pub fn attn_context(
+    scores: &[f32],
+    v: &[f32],
+    t: usize,
+    d_model: usize,
+    off: usize,
+    d_head: usize,
+    ctx: &mut [f32],
+) {
+    assert_eq!(scores.len(), t * t, "attn scores length");
+    assert_eq!(v.len(), t * d_model, "attn v length");
+    assert_eq!(ctx.len(), t * d_model, "attn context length");
+    assert!(off + d_head <= d_model, "attn head slice out of range");
+    for i in 0..t {
+        let srow = &scores[i * t..(i + 1) * t];
+        let mut d = 0;
+        while d + MR <= d_head {
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            let mut acc2 = 0.0f32;
+            let mut acc3 = 0.0f32;
+            for (j, &sv) in srow.iter().enumerate() {
+                let vrow = &v[j * d_model + off + d..j * d_model + off + d + MR];
+                acc0 += sv * vrow[0];
+                acc1 += sv * vrow[1];
+                acc2 += sv * vrow[2];
+                acc3 += sv * vrow[3];
+            }
+            let base = i * d_model + off + d;
+            ctx[base] = acc0;
+            ctx[base + 1] = acc1;
+            ctx[base + 2] = acc2;
+            ctx[base + 3] = acc3;
+            d += MR;
+        }
+        for dd in d..d_head {
+            let mut acc = 0.0f32;
+            for (j, &sv) in srow.iter().enumerate() {
+                acc += sv * v[j * d_model + off + dd];
+            }
+            ctx[i * d_model + off + dd] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar model of the naive convolution accumulation, for one output.
+    #[allow(clippy::too_many_arguments)]
+    fn naive_conv_cell(
+        x: &[f32],
+        kern: &[f32],
+        bias: f32,
+        (in_c, h, w): (usize, usize, usize),
+        (kh, kw): (usize, usize),
+        stride: (usize, usize),
+        (ph, pw): (usize, usize),
+        (oy, ox): (usize, usize),
+        oc: usize,
+    ) -> f32 {
+        let mut acc = bias;
+        let (base_y, base_x) = (oy * stride.0, ox * stride.1);
+        for ic in 0..in_c {
+            for ky in 0..kh {
+                let iy = base_y + ky;
+                if iy < ph || iy - ph >= h {
+                    continue;
+                }
+                for kx in 0..kw {
+                    let ix = base_x + kx;
+                    if ix < pw || ix - pw >= w {
+                        continue;
+                    }
+                    acc += kern[((oc * in_c + ic) * kh + ky) * kw + kx]
+                        * x[(ic * h + iy - ph) * w + ix - pw];
+                }
+            }
+        }
+        bf16_round(acc)
+    }
+
+    #[test]
+    fn im2col_gemm_matches_naive_conv_with_padding() {
+        let (in_c, h, w) = (2usize, 4usize, 3usize);
+        let (kh, kw) = (3usize, 2usize);
+        let (stride, padding) = ((1usize, 1usize), (1usize, 1usize));
+        let (oh, ow) = (4usize, 4usize); // (h + 2*1 - 3) + 1, (w + 2*1 - 2) + 1
+        let out_c = 3usize;
+        let k = in_c * kh * kw;
+        let x: Vec<f32> = (0..in_c * h * w).map(|i| (i as f32 - 7.0) * 0.3).collect();
+        let kern: Vec<f32> = (0..out_c * k)
+            .map(|i| ((i % 11) as f32 - 5.0) * 0.1)
+            .collect();
+        let bias = vec![0.25, -0.5, 1.0];
+        let mut patches = vec![0.0; oh * ow * k];
+        im2col(
+            &x,
+            in_c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            padding,
+            oh,
+            ow,
+            &mut patches,
+        );
+        let mut out = vec![0.0; out_c * oh * ow];
+        gemm_bt_bias_rows_bf16(&kern, &patches, &bias, out_c, oh * ow, k, &mut out);
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let want = naive_conv_cell(
+                        &x,
+                        &kern,
+                        bias[oc],
+                        (in_c, h, w),
+                        (kh, kw),
+                        stride,
+                        padding,
+                        (oy, ox),
+                        oc,
+                    );
+                    assert_eq!(
+                        out[(oc * oh + oy) * ow + ox],
+                        want,
+                        "oc={oc} oy={oy} ox={ox}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_scalar_loop() {
+        let (n, k) = (7usize, 13usize); // odd n exercises the remainder path
+        let w: Vec<f32> = (0..n * k).map(|i| (i as f32).sin()).collect();
+        let x: Vec<f32> = (0..k).map(|i| (i as f32).cos()).collect();
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.1).collect();
+        let mut out = vec![0.0; n];
+        matvec_bias_bf16(&w, &bias, &x, n, k, &mut out);
+        for o in 0..n {
+            let mut acc = bias[o];
+            for t in 0..k {
+                acc += w[o * k + t] * x[t];
+            }
+            assert_eq!(out[o], bf16_round(acc), "neuron {o}");
+        }
+    }
+
+    #[test]
+    fn int8_matvec_matches_scalar_loop() {
+        let (n, k) = (5usize, 9usize);
+        let w: Vec<i8> = (0..n * k).map(|i| ((i * 37) % 255) as i8).collect();
+        let x: Vec<i8> = (0..k).map(|i| ((i * 91) % 255) as i8).collect();
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 - 2.0).collect();
+        let (ws, xs) = (0.03f32, 0.07f32);
+        let mut out = vec![0.0; n];
+        matvec_i8_bias(&w, &x, &bias, n, k, ws, xs, &mut out);
+        for o in 0..n {
+            let mut acc: i32 = 0;
+            for t in 0..k {
+                acc += w[o * k + t] as i32 * x[t] as i32;
+            }
+            assert_eq!(out[o], acc as f32 * ws * xs + bias[o], "neuron {o}");
+        }
+    }
+
+    #[test]
+    fn lstm_gates_match_scalar_loop() {
+        let (input, hidden) = (5usize, 3usize); // 4*hidden = 12 = 3 tiles
+        let n = 4 * hidden;
+        let wx: Vec<f32> = (0..n * input).map(|i| (i as f32 * 0.7).sin()).collect();
+        let wh: Vec<f32> = (0..n * hidden).map(|i| (i as f32 * 1.3).cos()).collect();
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.05).collect();
+        let xt: Vec<f32> = (0..input).map(|i| i as f32 * 0.2 - 0.4).collect();
+        let h: Vec<f32> = (0..hidden).map(|i| 0.1 * i as f32).collect();
+        let mut gates = vec![0.0; n];
+        lstm_gates(&wx, &wh, &bias, &xt, &h, input, hidden, &mut gates);
+        for g in 0..n {
+            let mut acc = bias[g];
+            for i in 0..input {
+                acc += wx[g * input + i] * xt[i];
+            }
+            for j in 0..hidden {
+                acc += wh[g * hidden + j] * h[j];
+            }
+            assert_eq!(gates[g], acc, "gate {g}");
+        }
+    }
+
+    #[test]
+    fn attn_kernels_match_scalar_loops() {
+        let (t, d_model, off, d_head) = (5usize, 8usize, 2usize, 6usize);
+        let q: Vec<f32> = (0..t * d_model).map(|i| (i as f32 * 0.31).sin()).collect();
+        let k: Vec<f32> = (0..t * d_model).map(|i| (i as f32 * 0.17).cos()).collect();
+        let v: Vec<f32> = (0..t * d_model).map(|i| (i as f32 * 0.11).sin()).collect();
+        let scale = 1.0 / (d_head as f32).sqrt();
+        let mut scores = vec![0.0; t * t];
+        attn_scores(&q, &k, t, d_model, off, d_head, scale, &mut scores);
+        for i in 0..t {
+            for j in 0..t {
+                let qi = &q[i * d_model + off..i * d_model + off + d_head];
+                let kj = &k[j * d_model + off..j * d_model + off + d_head];
+                let dot: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum();
+                assert_eq!(scores[i * t + j], dot * scale, "score {i},{j}");
+            }
+        }
+        let mut ctx = vec![0.0; t * d_model];
+        attn_context(&scores, &v, t, d_model, off, d_head, &mut ctx);
+        for i in 0..t {
+            for d in 0..d_head {
+                let mut acc = 0.0f32;
+                for j in 0..t {
+                    acc += scores[i * t + j] * v[j * d_model + off + d];
+                }
+                assert_eq!(ctx[i * d_model + off + d], acc, "ctx {i},{d}");
+            }
+        }
+    }
+}

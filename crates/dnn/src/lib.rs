@@ -18,6 +18,10 @@
 //! * [`ops`] — linear, conv2d, LSTM, multi-head attention, layer norm,
 //!   pooling, and activations, each with an analytic MAC counter used by
 //!   the latency model;
+//! * [`kernels`] — the im2col + blocked-GEMM fast paths behind the ops'
+//!   `forward_scratch` methods, bit-identical to the naive references;
+//! * [`scratch`] — the [`ScratchPad`] buffer pool that makes steady-state
+//!   inference allocation-free;
 //! * [`models`] — [`VanillaCnn`],
 //!   [`TransLob`], and [`DeepLob`],
 //!   each in two sizes: a `paper()` configuration whose analytic op count
@@ -29,12 +33,15 @@
 //! round-trips, ...).
 
 pub mod bf16;
+pub mod kernels;
 pub mod model;
 pub mod models;
 pub mod ops;
+pub mod scratch;
 pub mod tensor;
 
 pub use bf16::{bf16_round, quantize_int8, Precision};
 pub use model::{Model, ModelKind, Prediction, PriceDirection};
 pub use models::{DeepLob, TransLob, VanillaCnn};
+pub use scratch::ScratchPad;
 pub use tensor::Tensor;

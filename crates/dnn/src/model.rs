@@ -1,6 +1,7 @@
 //! The model abstraction shared by the pipeline, scheduler, and simulator.
 
 use crate::ops::count::macs_to_ops;
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -156,7 +157,21 @@ pub trait Model: Send + Sync {
     fn features(&self) -> usize;
 
     /// Runs inference on a `[window, features]` input feature map.
-    fn forward(&self, input: &Tensor) -> Prediction;
+    ///
+    /// Provided: delegates to [`Self::forward_scratch`] with a throwaway
+    /// [`ScratchPad`]. Long-lived callers (the trading system, the
+    /// simulator) should hold a pad and call `forward_scratch` directly
+    /// so steady-state inference never touches the allocator.
+    fn forward(&self, input: &Tensor) -> Prediction {
+        self.forward_scratch(input, &mut ScratchPad::new())
+    }
+
+    /// Runs inference drawing every intermediate buffer from `pad`.
+    ///
+    /// After a warm-up call with the same input shape, the pad's free
+    /// list covers every buffer the network needs and this performs zero
+    /// heap allocations (asserted by the `zero_alloc` integration test).
+    fn forward_scratch(&self, input: &Tensor, pad: &mut ScratchPad) -> Prediction;
 
     /// Analytic multiply-accumulate count of one forward pass.
     fn total_macs(&self) -> u64;

@@ -11,6 +11,7 @@ use crate::model::{Model, ModelKind, Prediction};
 use crate::ops::activation::{leaky_relu, softmax_last_dim};
 use crate::ops::count::{conv2d_macs, linear_macs, lstm_macs, macs_to_ops};
 use crate::ops::{Conv2d, Linear, Lstm};
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -168,10 +169,56 @@ impl DeepLob {
         self.spec
     }
 
-    fn conv_act(conv: &Conv2d, x: &Tensor) -> Tensor {
-        let mut y = conv.forward(x);
+    fn conv_act_reference(conv: &Conv2d, x: &Tensor) -> Tensor {
+        let mut y = conv.forward_reference(x);
         leaky_relu(&mut y, LEAK);
         y
+    }
+
+    fn conv_act_scratch(conv: &Conv2d, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
+        let mut y = conv.forward_scratch(x, pad);
+        leaky_relu(&mut y, LEAK);
+        y
+    }
+
+    /// The naive reference forward pass, built entirely from the layers'
+    /// `forward_reference` paths (kept for equivalence tests and the
+    /// benchmark baseline). Bit-identical to [`Model::forward`].
+    pub fn forward_reference(&self, input: &Tensor) -> Prediction {
+        let (t, f) = (self.spec.window, self.spec.features);
+        assert_eq!(input.shape(), [t, f], "input must be [window, features]");
+        let x = input.clone().reshape(&[1, t, f]);
+        let x = Self::conv_act_reference(&self.b1a, &x);
+        let x = Self::conv_act_reference(&self.b1b, &x);
+        let x = Self::conv_act_reference(&self.b1c, &x);
+        let x = Self::conv_act_reference(&self.b2a, &x);
+        let x = Self::conv_act_reference(&self.b2b, &x);
+        let x = Self::conv_act_reference(&self.b2c, &x);
+        let x = Self::conv_act_reference(&self.b3a, &x);
+        let x = Self::conv_act_reference(&self.b3b, &x);
+        let x = Self::conv_act_reference(&self.b3c, &x);
+        // Inception over [C, steps, 1].
+        let br1 = Self::conv_act_reference(&self.inc1, &x);
+        let br2 = Self::conv_act_reference(&self.inc2b, &Self::conv_act_reference(&self.inc2a, &x));
+        let br3 = Self::conv_act_reference(&self.inc3b, &Self::conv_act_reference(&self.inc3a, &x));
+        let c = self.spec.channels;
+        let steps = self.spec.lstm_steps();
+        // Concatenate channels and flip to sequence-major [steps, 3C].
+        let mut seq = Tensor::zeros(&[steps, 3 * c]);
+        for s in 0..steps {
+            for ch in 0..c {
+                seq.set(&[s, ch], br1.at(&[ch, s, 0]));
+                seq.set(&[s, c + ch], br2.at(&[ch, s, 0]));
+                seq.set(&[s, 2 * c + ch], br3.at(&[ch, s, 0]));
+            }
+        }
+        let all = self.lstm.forward_reference(&seq);
+        let last = all.shape()[0] - 1;
+        let hidden = Tensor::from_vec(all.row(last).to_vec(), &[self.lstm.hidden_dim()]);
+        let mut logits = self.fc.forward_reference(&hidden);
+        softmax_last_dim(&mut logits);
+        let out = logits.data();
+        Prediction::new([out[0], out[1], out[2]])
     }
 }
 
@@ -188,39 +235,58 @@ impl Model for DeepLob {
         self.spec.features
     }
 
-    fn forward(&self, input: &Tensor) -> Prediction {
+    fn forward_scratch(&self, input: &Tensor, pad: &mut ScratchPad) -> Prediction {
         let (t, f) = (self.spec.window, self.spec.features);
         assert_eq!(input.shape(), [t, f], "input must be [window, features]");
-        let x = input.clone().reshape(&[1, t, f]);
-        let x = Self::conv_act(&self.b1a, &x);
-        let x = Self::conv_act(&self.b1b, &x);
-        let x = Self::conv_act(&self.b1c, &x);
-        let x = Self::conv_act(&self.b2a, &x);
-        let x = Self::conv_act(&self.b2b, &x);
-        let x = Self::conv_act(&self.b2c, &x);
-        let x = Self::conv_act(&self.b3a, &x);
-        let x = Self::conv_act(&self.b3b, &x);
-        let x = Self::conv_act(&self.b3c, &x);
+        let mut x = pad.take_tensor(&[1, t, f]);
+        x.data_mut().copy_from_slice(input.data());
+        for conv in [
+            &self.b1a, &self.b1b, &self.b1c, &self.b2a, &self.b2b, &self.b2c, &self.b3a, &self.b3b,
+            &self.b3c,
+        ] {
+            let y = Self::conv_act_scratch(conv, &x, pad);
+            pad.give_tensor(x);
+            x = y;
+        }
         // Inception over [C, steps, 1].
-        let br1 = Self::conv_act(&self.inc1, &x);
-        let br2 = Self::conv_act(&self.inc2b, &Self::conv_act(&self.inc2a, &x));
-        let br3 = Self::conv_act(&self.inc3b, &Self::conv_act(&self.inc3a, &x));
+        let br1 = Self::conv_act_scratch(&self.inc1, &x, pad);
+        let mid2 = Self::conv_act_scratch(&self.inc2a, &x, pad);
+        let br2 = Self::conv_act_scratch(&self.inc2b, &mid2, pad);
+        pad.give_tensor(mid2);
+        let mid3 = Self::conv_act_scratch(&self.inc3a, &x, pad);
+        let br3 = Self::conv_act_scratch(&self.inc3b, &mid3, pad);
+        pad.give_tensor(mid3);
+        pad.give_tensor(x);
         let c = self.spec.channels;
         let steps = self.spec.lstm_steps();
         // Concatenate channels and flip to sequence-major [steps, 3C].
-        let mut seq = Tensor::zeros(&[steps, 3 * c]);
-        for s in 0..steps {
-            for ch in 0..c {
-                seq.set(&[s, ch], br1.at(&[ch, s, 0]));
-                seq.set(&[s, c + ch], br2.at(&[ch, s, 0]));
-                seq.set(&[s, 2 * c + ch], br3.at(&[ch, s, 0]));
+        // Branch layout is [C, steps, 1] row-major, so channel `ch` at
+        // step `s` lives at flat index `ch * steps + s`.
+        let mut seq = pad.take_tensor(&[steps, 3 * c]);
+        {
+            let seq_data = seq.data_mut();
+            let (d1, d2, d3) = (br1.data(), br2.data(), br3.data());
+            for s in 0..steps {
+                let row = &mut seq_data[s * 3 * c..(s + 1) * 3 * c];
+                for ch in 0..c {
+                    row[ch] = d1[ch * steps + s];
+                    row[c + ch] = d2[ch * steps + s];
+                    row[2 * c + ch] = d3[ch * steps + s];
+                }
             }
         }
-        let hidden = self.lstm.last_hidden(&seq);
-        let mut logits = self.fc.forward(&hidden);
+        pad.give_tensor(br1);
+        pad.give_tensor(br2);
+        pad.give_tensor(br3);
+        let hidden = self.lstm.last_hidden_scratch(&seq, pad);
+        pad.give_tensor(seq);
+        let mut logits = self.fc.forward_scratch(&hidden, pad);
+        pad.give_tensor(hidden);
         softmax_last_dim(&mut logits);
         let out = logits.data();
-        Prediction::new([out[0], out[1], out[2]])
+        let p = Prediction::new([out[0], out[1], out[2]]);
+        pad.give_tensor(logits);
+        p
     }
 
     fn total_macs(&self) -> u64 {

@@ -14,6 +14,7 @@ use crate::model::{Model, ModelKind, Prediction};
 use crate::models::vanilla_cnn::{CnnSpec, VanillaCnn};
 use crate::ops::activation::{relu, softmax_last_dim};
 use crate::ops::{Conv2d, LinearInt8};
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 
 /// An INT8-quantized Vanilla CNN.
@@ -50,6 +51,34 @@ impl QuantizedCnn {
     pub fn spec(&self) -> CnnSpec {
         self.spec
     }
+
+    /// The naive reference forward pass, built entirely from the layers'
+    /// `forward_reference` paths (kept for equivalence tests and the
+    /// benchmark baseline). Bit-identical to [`Model::forward`].
+    pub fn forward_reference(&self, input: &Tensor) -> Prediction {
+        assert_eq!(
+            input.shape(),
+            [self.spec.window, self.spec.features],
+            "input must be [window, features]"
+        );
+        let x = input
+            .clone()
+            .reshape(&[1, self.spec.window, self.spec.features]);
+        let mut x = self.conv1.forward_reference(&x);
+        relu(&mut x);
+        let mut x = self.conv2.forward_reference(&x);
+        relu(&mut x);
+        let mut x = self.conv3.forward_reference(&x);
+        relu(&mut x);
+        let flat_len = x.len();
+        let flat = x.reshape(&[flat_len]);
+        let mut h = self.fc1.forward_reference(&flat);
+        relu(&mut h);
+        let mut logits = self.fc2.forward_reference(&h);
+        softmax_last_dim(&mut logits);
+        let d = logits.data();
+        Prediction::new([d[0], d[1], d[2]])
+    }
 }
 
 impl Model for QuantizedCnn {
@@ -65,29 +94,35 @@ impl Model for QuantizedCnn {
         self.spec.features
     }
 
-    fn forward(&self, input: &Tensor) -> Prediction {
+    fn forward_scratch(&self, input: &Tensor, pad: &mut ScratchPad) -> Prediction {
         assert_eq!(
             input.shape(),
             [self.spec.window, self.spec.features],
             "input must be [window, features]"
         );
-        let x = input
-            .clone()
-            .reshape(&[1, self.spec.window, self.spec.features]);
-        let mut x = self.conv1.forward(&x);
+        let mut x0 = pad.take_tensor(&[1, self.spec.window, self.spec.features]);
+        x0.data_mut().copy_from_slice(input.data());
+        let mut x = self.conv1.forward_scratch(&x0, pad);
+        pad.give_tensor(x0);
         relu(&mut x);
-        let mut x = self.conv2.forward(&x);
-        relu(&mut x);
-        let mut x = self.conv3.forward(&x);
-        relu(&mut x);
-        let flat_len = x.len();
-        let flat = x.reshape(&[flat_len]);
-        let mut h = self.fc1.forward(&flat);
+        let mut y = self.conv2.forward_scratch(&x, pad);
+        pad.give_tensor(x);
+        relu(&mut y);
+        let mut z = self.conv3.forward_scratch(&y, pad);
+        pad.give_tensor(y);
+        relu(&mut z);
+        let flat_len = z.len();
+        let flat = z.reshape(&[flat_len]);
+        let mut h = self.fc1.forward_scratch(&flat, pad);
+        pad.give_tensor(flat);
         relu(&mut h);
-        let mut logits = self.fc2.forward(&h);
+        let mut logits = self.fc2.forward_scratch(&h, pad);
+        pad.give_tensor(h);
         softmax_last_dim(&mut logits);
         let d = logits.data();
-        Prediction::new([d[0], d[1], d[2]])
+        let p = Prediction::new([d[0], d[1], d[2]]);
+        pad.give_tensor(logits);
+        p
     }
 
     fn total_macs(&self) -> u64 {

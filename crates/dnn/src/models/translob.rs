@@ -10,6 +10,7 @@ use crate::model::{Model, ModelKind, Prediction};
 use crate::ops::activation::{relu, softmax_last_dim};
 use crate::ops::count::{attention_macs, conv2d_macs, ffn_macs, linear_macs, macs_to_ops};
 use crate::ops::{Conv2d, LayerNorm, Linear, MultiHeadAttention};
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -135,21 +136,50 @@ struct TransformerBlock {
 }
 
 impl TransformerBlock {
-    fn forward(&self, x: &Tensor) -> Tensor {
+    /// The naive reference path (clones for the residual; naive sublayers).
+    fn forward_reference(&self, x: &Tensor) -> Tensor {
         // x = x + attn(ln1(x))
-        let a = self.attn.forward(&self.ln1.forward(x));
+        let a = self.attn.forward_reference(&self.ln1.forward_reference(x));
         let mut x1 = x.clone();
         for (v, add) in x1.data_mut().iter_mut().zip(a.data()) {
             *v += add;
         }
         // x = x + ffn(ln2(x))
-        let mut h = self.ffn1.forward(&self.ln2.forward(&x1));
+        let mut h = self
+            .ffn1
+            .forward_reference(&self.ln2.forward_reference(&x1));
         relu(&mut h);
-        let f = self.ffn2.forward(&h);
+        let f = self.ffn2.forward_reference(&h);
         for (v, add) in x1.data_mut().iter_mut().zip(f.data()) {
             *v += add;
         }
         x1
+    }
+
+    /// The fast path: takes `x` by value and accumulates both residuals
+    /// into it, drawing every intermediate from `pad`. Bit-identical to
+    /// [`Self::forward_reference`].
+    fn forward_scratch(&self, mut x: Tensor, pad: &mut ScratchPad) -> Tensor {
+        // x = x + attn(ln1(x))
+        let n1 = self.ln1.forward_scratch(&x, pad);
+        let a = self.attn.forward_scratch(&n1, pad);
+        pad.give_tensor(n1);
+        for (v, add) in x.data_mut().iter_mut().zip(a.data()) {
+            *v += add;
+        }
+        pad.give_tensor(a);
+        // x = x + ffn(ln2(x))
+        let n2 = self.ln2.forward_scratch(&x, pad);
+        let mut h = self.ffn1.forward_scratch(&n2, pad);
+        pad.give_tensor(n2);
+        relu(&mut h);
+        let f = self.ffn2.forward_scratch(&h, pad);
+        pad.give_tensor(h);
+        for (v, add) in x.data_mut().iter_mut().zip(f.data()) {
+            *v += add;
+        }
+        pad.give_tensor(f);
+        x
     }
 }
 
@@ -182,6 +212,52 @@ impl TransLob {
     pub fn spec(&self) -> TransLobSpec {
         self.spec
     }
+
+    /// The naive reference forward pass, built entirely from the layers'
+    /// `forward_reference` paths (kept for equivalence tests and the
+    /// benchmark baseline). Bit-identical to [`Model::forward`].
+    pub fn forward_reference(&self, input: &Tensor) -> Prediction {
+        let (t, f) = (self.spec.window, self.spec.features);
+        assert_eq!(input.shape(), [t, f], "input must be [window, features]");
+        // To channels-first [F, T, 1] for the convolution stack.
+        let mut x = Tensor::zeros(&[f, t, 1]);
+        for ti in 0..t {
+            for fi in 0..f {
+                x.set(&[fi, ti, 0], input.at(&[ti, fi]));
+            }
+        }
+        for conv in &self.convs {
+            x = conv.forward_reference(&x);
+            relu(&mut x);
+        }
+        // Back to sequence-major [T, C].
+        let c = self.spec.conv_channels;
+        let mut seq = Tensor::zeros(&[t, c]);
+        for ti in 0..t {
+            for ci in 0..c {
+                seq.set(&[ti, ci], x.at(&[ci, ti, 0]));
+            }
+        }
+        let mut tokens = self.proj.forward_reference(&seq);
+        for (v, p) in tokens.data_mut().iter_mut().zip(self.pos.data()) {
+            *v += p;
+        }
+        for block in &self.blocks {
+            tokens = block.forward_reference(&tokens);
+        }
+        // Mean pool over time.
+        let d = self.spec.d_model;
+        let mut pooled = vec![0.0f32; d];
+        for ti in 0..t {
+            for (acc, v) in pooled.iter_mut().zip(tokens.row(ti)) {
+                *acc += v / t as f32;
+            }
+        }
+        let mut logits = self.head.forward_reference(&Tensor::from_vec(pooled, &[d]));
+        softmax_last_dim(&mut logits);
+        let out = logits.data();
+        Prediction::new([out[0], out[1], out[2]])
+    }
 }
 
 impl Model for TransLob {
@@ -197,47 +273,64 @@ impl Model for TransLob {
         self.spec.features
     }
 
-    fn forward(&self, input: &Tensor) -> Prediction {
+    fn forward_scratch(&self, input: &Tensor, pad: &mut ScratchPad) -> Prediction {
         let (t, f) = (self.spec.window, self.spec.features);
         assert_eq!(input.shape(), [t, f], "input must be [window, features]");
-        // To channels-first [F, T, 1] for the convolution stack.
-        let mut x = Tensor::zeros(&[f, t, 1]);
-        for ti in 0..t {
-            for fi in 0..f {
-                x.set(&[fi, ti, 0], input.at(&[ti, fi]));
+        // To channels-first [F, T, 1] for the convolution stack: the input
+        // is [T, F] row-major, so feature `fi` at tick `ti` reads from flat
+        // index `ti * f + fi` and lands at `fi * t + ti`.
+        let mut x = pad.take_tensor(&[f, t, 1]);
+        {
+            let (xd, id) = (x.data_mut(), input.data());
+            for ti in 0..t {
+                for fi in 0..f {
+                    xd[fi * t + ti] = id[ti * f + fi];
+                }
             }
         }
         for conv in &self.convs {
-            x = conv.forward(&x);
-            relu(&mut x);
+            let mut y = conv.forward_scratch(&x, pad);
+            relu(&mut y);
+            pad.give_tensor(x);
+            x = y;
         }
         // Back to sequence-major [T, C].
         let c = self.spec.conv_channels;
-        let mut seq = Tensor::zeros(&[t, c]);
-        for ti in 0..t {
-            for ci in 0..c {
-                seq.set(&[ti, ci], x.at(&[ci, ti, 0]));
+        let mut seq = pad.take_tensor(&[t, c]);
+        {
+            let (sd, xd) = (seq.data_mut(), x.data());
+            for ti in 0..t {
+                for ci in 0..c {
+                    sd[ti * c + ci] = xd[ci * t + ti];
+                }
             }
         }
-        let mut tokens = self.proj.forward(&seq);
+        pad.give_tensor(x);
+        let mut tokens = self.proj.forward_scratch(&seq, pad);
+        pad.give_tensor(seq);
         for (v, p) in tokens.data_mut().iter_mut().zip(self.pos.data()) {
             *v += p;
         }
         for block in &self.blocks {
-            tokens = block.forward(&tokens);
+            tokens = block.forward_scratch(tokens, pad);
         }
-        // Mean pool over time.
+        // Mean pool over time (take_tensor zero-fills, matching the
+        // reference path's `vec![0.0; d]` accumulator).
         let d = self.spec.d_model;
-        let mut pooled = vec![0.0f32; d];
+        let mut pooled = pad.take_tensor(&[d]);
         for ti in 0..t {
-            for (acc, v) in pooled.iter_mut().zip(tokens.row(ti)) {
+            for (acc, v) in pooled.data_mut().iter_mut().zip(tokens.row(ti)) {
                 *acc += v / t as f32;
             }
         }
-        let mut logits = self.head.forward(&Tensor::from_vec(pooled, &[d]));
+        pad.give_tensor(tokens);
+        let mut logits = self.head.forward_scratch(&pooled, pad);
+        pad.give_tensor(pooled);
         softmax_last_dim(&mut logits);
         let out = logits.data();
-        Prediction::new([out[0], out[1], out[2]])
+        let p = Prediction::new([out[0], out[1], out[2]]);
+        pad.give_tensor(logits);
+        p
     }
 
     fn total_macs(&self) -> u64 {

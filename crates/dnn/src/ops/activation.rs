@@ -50,7 +50,13 @@ pub fn softmax_last_dim(t: &mut Tensor) {
             unreachable!()
         }
     };
-    let data = t.data_mut();
+    softmax_rows(t.data_mut(), rows, cols);
+}
+
+/// [`softmax_last_dim`] over a raw `rows x cols` slice (used by the
+/// scratch-pad attention path; identical arithmetic).
+pub fn softmax_rows(data: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(data.len(), rows * cols);
     for r in 0..rows {
         let row = &mut data[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);

@@ -1,9 +1,11 @@
 //! Multi-head self-attention (the TransLOB building block).
 
-use crate::ops::activation::softmax_last_dim;
+use crate::kernels::{attn_context, attn_scores};
+use crate::ops::activation::{softmax_last_dim, softmax_rows};
 use crate::ops::count::attention_macs;
 use crate::ops::expect_rank;
 use crate::ops::linear::Linear;
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -53,17 +55,81 @@ impl MultiHeadAttention {
 
     /// Applies self-attention to a `[T, D]` sequence.
     ///
+    /// Runs the tiled fast path on a throwaway [`ScratchPad`]; use
+    /// [`Self::forward_scratch`] to reuse buffers.
+    ///
     /// # Panics
     ///
     /// Panics if the input is not rank 2 of width `d_model`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_scratch(x, &mut ScratchPad::new())
+    }
+
+    /// Applies self-attention with the tiled score/context kernels,
+    /// drawing every intermediate (Q/K/V, scores, context) from `pad`.
+    /// Bit-identical to [`Self::forward_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 2 of width `d_model`.
+    pub fn forward_scratch(&self, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
         expect_rank(x, 2, "MultiHeadAttention");
         assert_eq!(x.shape()[1], self.d_model, "width mismatch");
         let t = x.shape()[0];
         let d_head = self.d_model / self.heads;
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
+        let q = self.wq.forward_scratch(x, pad);
+        let k = self.wk.forward_scratch(x, pad);
+        let v = self.wv.forward_scratch(x, pad);
+        let scale = 1.0 / (d_head as f32).sqrt();
+        let mut context = pad.take_tensor(&[t, self.d_model]);
+        let mut scores = pad.take(t * t);
+        for h in 0..self.heads {
+            let off = h * d_head;
+            attn_scores(
+                q.data(),
+                k.data(),
+                t,
+                self.d_model,
+                off,
+                d_head,
+                scale,
+                &mut scores,
+            );
+            softmax_rows(&mut scores, t, t);
+            attn_context(
+                &scores,
+                v.data(),
+                t,
+                self.d_model,
+                off,
+                d_head,
+                context.data_mut(),
+            );
+        }
+        pad.give(scores);
+        pad.give_tensor(q);
+        pad.give_tensor(k);
+        pad.give_tensor(v);
+        let out = self.wo.forward_scratch(&context, pad);
+        pad.give_tensor(context);
+        out
+    }
+
+    /// The naive reference implementation (kept for equivalence tests
+    /// and the benchmark baseline): `Tensor::at`-indexed loops over
+    /// naive Q/K/V/O projections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 2 of width `d_model`.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
+        expect_rank(x, 2, "MultiHeadAttention");
+        assert_eq!(x.shape()[1], self.d_model, "width mismatch");
+        let t = x.shape()[0];
+        let d_head = self.d_model / self.heads;
+        let q = self.wq.forward_reference(x);
+        let k = self.wk.forward_reference(x);
+        let v = self.wv.forward_reference(x);
         let scale = 1.0 / (d_head as f32).sqrt();
         let mut context = Tensor::zeros(&[t, self.d_model]);
         for h in 0..self.heads {
@@ -89,7 +155,7 @@ impl MultiHeadAttention {
                 }
             }
         }
-        self.wo.forward(&context)
+        self.wo.forward_reference(&context)
     }
 
     /// MACs of a forward pass over a length-`seq` sequence.

@@ -1,8 +1,10 @@
 //! 2-D convolution over `[C, H, W]` feature maps.
 
 use crate::bf16::bf16_round;
+use crate::kernels::{gemm_bt_bias_rows_bf16, im2col};
 use crate::ops::count::{conv2d_macs, conv_out_len};
 use crate::ops::expect_rank;
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -89,10 +91,70 @@ impl Conv2d {
 
     /// Applies the convolution; outputs are BF16-rounded.
     ///
+    /// Runs the fast im2col + blocked-GEMM path on a throwaway
+    /// [`ScratchPad`]; use [`Self::forward_scratch`] to reuse buffers
+    /// across calls.
+    ///
     /// # Panics
     ///
     /// Panics if the input is not rank 3 or its channel count mismatches.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_scratch(x, &mut ScratchPad::new())
+    }
+
+    /// Applies the convolution via im2col + cache-blocked GEMM, drawing
+    /// the patch buffer and output from `pad`.
+    ///
+    /// Bit-identical to [`Self::forward_reference`] (see
+    /// [`crate::kernels`] for the accumulation-order contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 3 or its channel count mismatches.
+    pub fn forward_scratch(&self, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
+        expect_rank(x, 3, "Conv2d");
+        let [in_c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2]];
+        assert_eq!(in_c, self.in_channels(), "input channel mismatch");
+        let (kh, kw) = (self.kernel.shape()[2], self.kernel.shape()[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let out_c = self.out_channels();
+        let k = in_c * kh * kw;
+        let positions = oh * ow;
+        let mut patches = pad.take(positions * k);
+        im2col(
+            x.data(),
+            in_c,
+            h,
+            w,
+            kh,
+            kw,
+            self.stride,
+            self.padding,
+            oh,
+            ow,
+            &mut patches,
+        );
+        let mut out = pad.take_tensor(&[out_c, oh, ow]);
+        gemm_bt_bias_rows_bf16(
+            self.kernel.data(),
+            &patches,
+            &self.bias,
+            out_c,
+            positions,
+            k,
+            out.data_mut(),
+        );
+        pad.give(patches);
+        out
+    }
+
+    /// The naive reference convolution (kept for equivalence tests and
+    /// the benchmark baseline); outputs are BF16-rounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 3 or its channel count mismatches.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         expect_rank(x, 3, "Conv2d");
         let [in_c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2]];
         assert_eq!(in_c, self.in_channels(), "input channel mismatch");

@@ -1,7 +1,9 @@
 //! Dense (fully connected) layers in BF16 and INT8.
 
-use crate::bf16::{bf16_round, quantize_int8};
+use crate::bf16::{bf16_round, quantize_int8, quantize_int8_into};
+use crate::kernels::{matvec_bias_bf16, matvec_i8_bias};
 use crate::ops::count::linear_macs;
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -48,10 +50,63 @@ impl Linear {
 
     /// Applies the layer; outputs are BF16-rounded.
     ///
+    /// Runs the register-tiled matvec path on a throwaway
+    /// [`ScratchPad`]; use [`Self::forward_scratch`] to reuse buffers.
+    ///
     /// # Panics
     ///
     /// Panics if the input's last dimension is not [`Self::input_dim`].
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_scratch(x, &mut ScratchPad::new())
+    }
+
+    /// Applies the layer via the register-tiled matvec kernel, drawing
+    /// the output from `pad`. Bit-identical to
+    /// [`Self::forward_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's last dimension is not [`Self::input_dim`].
+    pub fn forward_scratch(&self, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
+        let (rows, input) = match x.shape() {
+            [n] => (1usize, *n),
+            [rows, n] => (*rows, *n),
+            other => panic!("Linear expects rank 1 or 2 input, got {other:?}"),
+        };
+        assert_eq!(
+            input,
+            self.input_dim(),
+            "input width {} != layer input {}",
+            input,
+            self.input_dim()
+        );
+        let output = self.output_dim();
+        let mut out = if x.shape().len() == 1 {
+            pad.take_tensor(&[output])
+        } else {
+            pad.take_tensor(&[rows, output])
+        };
+        for r in 0..rows {
+            let xin = &x.data()[r * input..(r + 1) * input];
+            matvec_bias_bf16(
+                self.weight.data(),
+                &self.bias,
+                xin,
+                output,
+                input,
+                &mut out.data_mut()[r * output..(r + 1) * output],
+            );
+        }
+        out
+    }
+
+    /// The naive reference implementation (kept for equivalence tests
+    /// and the benchmark baseline); outputs are BF16-rounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's last dimension is not [`Self::input_dim`].
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         let (rows, input) = match x.shape() {
             [n] => (1usize, *n),
             [rows, n] => (*rows, *n),
@@ -123,16 +178,52 @@ impl LinearInt8 {
     ///
     /// Panics if the input width mismatches.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_scratch(x, &mut ScratchPad::new())
+    }
+
+    /// Applies the quantized layer, drawing the activation-quantization
+    /// buffer and output from `pad`. Bit-identical to
+    /// [`Self::forward_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches.
+    pub fn forward_scratch(&self, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
+        assert_eq!(x.shape(), [self.input], "LinearInt8 expects rank-1 input");
+        let mut x_q = pad.take_i8(self.input);
+        let x_scale = quantize_int8_into(x.data(), &mut x_q);
+        let mut out = pad.take_tensor(&[self.output]);
+        matvec_i8_bias(
+            &self.weight_q,
+            &x_q,
+            &self.bias,
+            self.output,
+            self.input,
+            self.weight_scale,
+            x_scale,
+            out.data_mut(),
+        );
+        pad.give_i8(x_q);
+        out
+    }
+
+    /// The naive reference implementation (kept for equivalence tests
+    /// and the benchmark baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape(), [self.input], "LinearInt8 expects rank-1 input");
         let (x_q, x_scale) = quantize_int8(x.data());
         let mut out = vec![0.0f32; self.output];
-        for o in 0..self.output {
+        for (o, slot) in out.iter_mut().enumerate() {
             let w = &self.weight_q[o * self.input..(o + 1) * self.input];
             let mut acc: i32 = 0;
             for i in 0..self.input {
                 acc += w[i] as i32 * x_q[i] as i32;
             }
-            out[o] = acc as f32 * self.weight_scale * x_scale + self.bias[o];
+            *slot = acc as f32 * self.weight_scale * x_scale + self.bias[o];
         }
         Tensor::from_vec(out, &[self.output])
     }

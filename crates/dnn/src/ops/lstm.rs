@@ -1,9 +1,11 @@
 //! A long short-term memory layer.
 
 use crate::bf16::bf16_round;
+use crate::kernels::lstm_gates;
 use crate::ops::activation::sigmoid;
 use crate::ops::count::lstm_macs;
 use crate::ops::expect_rank;
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -51,10 +53,68 @@ impl Lstm {
 
     /// Runs the sequence, returning all hidden states as `[T, hidden]`.
     ///
+    /// Runs the fused-gate fast path on a throwaway [`ScratchPad`]; use
+    /// [`Self::forward_scratch`] to reuse buffers.
+    ///
     /// # Panics
     ///
     /// Panics if the input is not `[T, input]`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_scratch(x, &mut ScratchPad::new())
+    }
+
+    /// Runs the sequence with the fused register-tiled gate kernel,
+    /// drawing state and output buffers from `pad`. Bit-identical to
+    /// [`Self::forward_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[T, input]`.
+    pub fn forward_scratch(&self, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
+        expect_rank(x, 2, "Lstm");
+        assert_eq!(x.shape()[1], self.input, "input width mismatch");
+        let t_steps = x.shape()[0];
+        let h_dim = self.hidden;
+        let mut h = pad.take(h_dim);
+        let mut c = pad.take(h_dim);
+        let mut gates = pad.take(4 * h_dim);
+        let mut out = pad.take_tensor(&[t_steps, h_dim]);
+        for t in 0..t_steps {
+            let xt = x.row(t);
+            lstm_gates(
+                self.wx.data(),
+                self.wh.data(),
+                &self.bias,
+                xt,
+                &h,
+                self.input,
+                h_dim,
+                &mut gates,
+            );
+            let orow = &mut out.data_mut()[t * h_dim..(t + 1) * h_dim];
+            for j in 0..h_dim {
+                let i_g = sigmoid(gates[j]);
+                let f_g = sigmoid(gates[h_dim + j]);
+                let g_g = gates[2 * h_dim + j].tanh();
+                let o_g = sigmoid(gates[3 * h_dim + j]);
+                c[j] = bf16_round(f_g * c[j] + i_g * g_g);
+                h[j] = bf16_round(o_g * c[j].tanh());
+                orow[j] = h[j];
+            }
+        }
+        pad.give(h);
+        pad.give(c);
+        pad.give(gates);
+        out
+    }
+
+    /// The naive reference implementation (kept for equivalence tests
+    /// and the benchmark baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[T, input]`.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         expect_rank(x, 2, "Lstm");
         assert_eq!(x.shape()[1], self.input, "input width mismatch");
         let t_steps = x.shape()[0];
@@ -65,7 +125,7 @@ impl Lstm {
         let mut gates = vec![0.0f32; 4 * h_dim];
         for t in 0..t_steps {
             let xt = x.row(t);
-            for g in 0..4 * h_dim {
+            for (g, gate) in gates.iter_mut().enumerate() {
                 let mut acc = self.bias[g];
                 let wx_row = self.wx.row(g);
                 for i in 0..self.input {
@@ -75,7 +135,7 @@ impl Lstm {
                 for j in 0..h_dim {
                     acc += wh_row[j] * h[j];
                 }
-                gates[g] = acc;
+                *gate = acc;
             }
             for j in 0..h_dim {
                 let i_g = sigmoid(gates[j]);
@@ -95,6 +155,16 @@ impl Lstm {
         let all = self.forward(x);
         let t = all.shape()[0];
         Tensor::from_vec(all.row(t - 1).to_vec(), &[self.hidden])
+    }
+
+    /// [`Self::last_hidden`] drawing every buffer from `pad`.
+    pub fn last_hidden_scratch(&self, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
+        let all = self.forward_scratch(x, pad);
+        let t = all.shape()[0];
+        let mut out = pad.take_tensor(&[self.hidden]);
+        out.data_mut().copy_from_slice(all.row(t - 1));
+        pad.give_tensor(all);
+        out
     }
 
     /// MACs of a forward pass over `steps` timesteps.

@@ -14,7 +14,7 @@ pub mod lstm;
 pub mod norm;
 pub mod pool;
 
-pub use activation::{leaky_relu, relu, sigmoid, softmax_last_dim, tanh_inplace};
+pub use activation::{leaky_relu, relu, sigmoid, softmax_last_dim, softmax_rows, tanh_inplace};
 pub use attention::MultiHeadAttention;
 pub use conv::Conv2d;
 pub use linear::{Linear, LinearInt8};

@@ -1,6 +1,7 @@
 //! Layer normalization (used by the transformer blocks).
 
 use crate::ops::expect_rank;
+use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,40 @@ impl LayerNorm {
     ///
     /// Panics if the input is not rank 2 of width [`Self::dim`].
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_scratch(x, &mut ScratchPad::new())
+    }
+
+    /// [`Self::forward`] drawing the output from `pad` and writing rows
+    /// through slices. Bit-identical to [`Self::forward_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 2 of width [`Self::dim`].
+    pub fn forward_scratch(&self, x: &Tensor, pad: &mut ScratchPad) -> Tensor {
+        expect_rank(x, 2, "LayerNorm");
+        let (t, d) = (x.shape()[0], x.shape()[1]);
+        assert_eq!(d, self.dim(), "width mismatch");
+        let mut out = pad.take_tensor(&[t, d]);
+        for r in 0..t {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            let orow = &mut out.data_mut()[r * d..(r + 1) * d];
+            for c in 0..d {
+                orow[c] = (row[c] - mean) * inv * self.gamma[c] + self.beta[c];
+            }
+        }
+        out
+    }
+
+    /// The naive reference implementation (kept for equivalence tests
+    /// and the benchmark baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 2 of width [`Self::dim`].
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         expect_rank(x, 2, "LayerNorm");
         let (t, d) = (x.shape()[0], x.shape()[1]);
         assert_eq!(d, self.dim(), "width mismatch");
@@ -44,11 +79,8 @@ impl LayerNorm {
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
             let inv = 1.0 / (var + self.eps).sqrt();
-            for c in 0..d {
-                out.set(
-                    &[r, c],
-                    (row[c] - mean) * inv * self.gamma[c] + self.beta[c],
-                );
+            for (c, &v) in row.iter().enumerate() {
+                out.set(&[r, c], (v - mean) * inv * self.gamma[c] + self.beta[c]);
             }
         }
         out

@@ -1,0 +1,201 @@
+//! A reusable buffer arena for allocation-free inference.
+//!
+//! Every layer's fast path ([`Conv2d::forward_scratch`] and friends)
+//! draws its intermediate buffers and output tensors from a
+//! [`ScratchPad`] instead of the global allocator. The pad keeps a
+//! free list of retired buffers; once a model has run a couple of
+//! forward passes the pool holds a buffer for every shape the network
+//! produces and steady-state inference performs **zero heap
+//! allocations** (asserted by the `zero_alloc` integration test with a
+//! counting global allocator).
+//!
+//! Ownership protocol:
+//!
+//! * `take` / `take_tensor` hand out a **zero-filled** buffer of the
+//!   exact requested length (matching `Tensor::zeros` semantics).
+//! * The caller owns the buffer until it returns it with `give` /
+//!   `give_tensor`; buffers are never reclaimed implicitly, so holding
+//!   two live tensors from the same pad is always safe.
+//! * A buffer that cannot be satisfied from the free list is allocated
+//!   fresh and counted in [`ScratchPad::misses`]; after warm-up the
+//!   miss counter must stop growing.
+//!
+//! [`Conv2d::forward_scratch`]: crate::ops::Conv2d::forward_scratch
+
+use crate::tensor::Tensor;
+
+/// A best-fit free-list pool of `f32` and `i8` buffers.
+#[derive(Debug, Default)]
+pub struct ScratchPad {
+    f32_pool: Vec<Vec<f32>>,
+    i8_pool: Vec<Vec<i8>>,
+    misses: u64,
+}
+
+impl ScratchPad {
+    /// Creates an empty pad (no allocation until the first `take`).
+    pub fn new() -> Self {
+        ScratchPad::default()
+    }
+
+    /// Takes a zero-filled `f32` buffer of exactly `len` elements.
+    ///
+    /// Reuses the smallest pooled buffer whose capacity fits (best fit);
+    /// allocates — and counts a miss — only when none fits.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = match best_fit(&self.f32_pool, len) {
+            Some(i) => self.f32_pool.swap_remove(i),
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns an `f32` buffer to the pool.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.f32_pool.push(buf);
+        }
+    }
+
+    /// Takes a zero-filled tensor of `shape` backed by a pooled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn take_tensor(&mut self, shape: &[usize]) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(self.take(len), shape)
+    }
+
+    /// Returns a tensor's storage to the pool.
+    pub fn give_tensor(&mut self, t: Tensor) {
+        self.give(t.into_vec());
+    }
+
+    /// Takes a zero-filled `i8` buffer of exactly `len` elements (used by
+    /// the INT8 activation-quantization path).
+    pub fn take_i8(&mut self, len: usize) -> Vec<i8> {
+        let mut buf = match best_fit(&self.i8_pool, len) {
+            Some(i) => self.i8_pool.swap_remove(i),
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns an `i8` buffer to the pool.
+    pub fn give_i8(&mut self, buf: Vec<i8>) {
+        if buf.capacity() > 0 {
+            self.i8_pool.push(buf);
+        }
+    }
+
+    /// How many `take`s could not be served from the pool (each miss is
+    /// one heap allocation). Stable across calls once warmed up.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn pooled_buffers(&self) -> usize {
+        self.f32_pool.len() + self.i8_pool.len()
+    }
+}
+
+/// Index of the smallest pooled buffer with capacity >= `len`.
+fn best_fit<T>(pool: &[Vec<T>], len: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, v) in pool.iter().enumerate() {
+        let cap = v.capacity();
+        if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+            best = Some((i, cap));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_and_sized() {
+        let mut pad = ScratchPad::new();
+        let mut b = pad.take(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&v| v == 0.0));
+        b[3] = 5.0;
+        pad.give(b);
+        // Reuse must re-zero.
+        let b2 = pad.take(8);
+        assert!(b2.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reuse_does_not_miss() {
+        let mut pad = ScratchPad::new();
+        let b = pad.take(16);
+        assert_eq!(pad.misses(), 1);
+        pad.give(b);
+        let b2 = pad.take(16);
+        assert_eq!(pad.misses(), 1, "second take of same size must hit");
+        assert_eq!(b2.capacity(), 16);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate() {
+        let mut pad = ScratchPad::new();
+        let small = pad.take(4);
+        let big = pad.take(100);
+        pad.give(big);
+        pad.give(small);
+        let b = pad.take(3);
+        assert!(b.capacity() < 100, "must pick the 4-capacity buffer");
+        assert_eq!(pad.misses(), 2);
+    }
+
+    #[test]
+    fn smaller_pooled_buffer_does_not_serve_larger_take() {
+        let mut pad = ScratchPad::new();
+        pad.give(pad_buf(4));
+        let b = pad.take(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(pad.misses(), 1);
+    }
+
+    fn pad_buf(len: usize) -> Vec<f32> {
+        vec![0.0; len]
+    }
+
+    #[test]
+    fn tensor_round_trip_reuses_storage() {
+        let mut pad = ScratchPad::new();
+        let t = pad.take_tensor(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        let ptr = t.data().as_ptr();
+        pad.give_tensor(t);
+        let t2 = pad.take_tensor(&[3, 2]);
+        assert_eq!(t2.data().as_ptr(), ptr, "same buffer, new shape");
+        assert_eq!(pad.misses(), 1);
+    }
+
+    #[test]
+    fn i8_pool_is_separate() {
+        let mut pad = ScratchPad::new();
+        let q = pad.take_i8(10);
+        assert_eq!(q.len(), 10);
+        pad.give_i8(q);
+        let _ = pad.take_i8(10);
+        assert_eq!(pad.misses(), 1);
+        assert_eq!(pad.pooled_buffers(), 0);
+    }
+}

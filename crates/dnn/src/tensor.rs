@@ -5,10 +5,49 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Maximum tensor rank supported by the inline shape representation.
+///
+/// The deepest shape any layer uses is the rank-4 convolution kernel
+/// `[out_c, in_c, k_h, k_w]`; storing dimensions inline (instead of in a
+/// heap-allocated `Vec`) is what lets [`crate::scratch::ScratchPad`] hand
+/// out tensors without touching the allocator.
+pub const MAX_RANK: usize = 4;
+
+/// Inline shape: up to [`MAX_RANK`] dimensions, no heap storage.
+///
+/// Unused trailing slots are always zero so derived `PartialEq` compares
+/// shapes of equal rank correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    fn from_slice(shape: &[usize]) -> Self {
+        assert!(
+            shape.len() <= MAX_RANK,
+            "shape {shape:?} exceeds the maximum supported rank {MAX_RANK}"
+        );
+        let mut dims = [0; MAX_RANK];
+        dims[..shape.len()].copy_from_slice(shape);
+        Shape {
+            dims,
+            rank: shape.len() as u8,
+        }
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+}
+
 /// A dense tensor with row-major storage.
 ///
 /// Kept deliberately small: fixed `f32` element type, owned storage, and
-/// only the shape algebra the layers in [`crate::ops`] need.
+/// only the shape algebra the layers in [`crate::ops`] need. The shape is
+/// stored inline (max rank [`MAX_RANK`]) so constructing a tensor from an
+/// existing buffer never allocates.
 ///
 /// # Example
 ///
@@ -20,7 +59,7 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
 }
 
@@ -33,7 +72,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let len = Self::checked_len(shape);
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data: vec![0.0; len],
         }
     }
@@ -53,7 +92,7 @@ impl Tensor {
             shape
         );
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         }
     }
@@ -66,7 +105,7 @@ impl Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         let data = (0..len).map(|_| rng.gen_range(-scale..=scale)).collect();
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         }
     }
@@ -82,7 +121,7 @@ impl Tensor {
 
     /// The tensor's shape.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Total element count.
@@ -130,22 +169,23 @@ impl Tensor {
     }
 
     fn offset(&self, index: &[usize]) -> usize {
+        let shape = self.shape.as_slice();
         assert_eq!(
             index.len(),
-            self.shape.len(),
+            shape.len(),
             "index rank {} != tensor rank {}",
             index.len(),
-            self.shape.len()
+            shape.len()
         );
         let mut off = 0;
-        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+        for (i, (&ix, &dim)) in index.iter().zip(shape).enumerate() {
             assert!(ix < dim, "index {ix} out of range for dim {i} (size {dim})");
             off = off * dim + ix;
         }
         off
     }
 
-    /// Returns the same storage under a new shape.
+    /// Returns the same storage under a new shape (no copy, no allocation).
     ///
     /// # Panics
     ///
@@ -157,12 +197,12 @@ impl Tensor {
             self.data.len(),
             len,
             "cannot reshape {:?} ({} elems) to {:?} ({} elems)",
-            self.shape,
+            self.shape.as_slice(),
             self.data.len(),
             shape,
             len
         );
-        self.shape = shape.to_vec();
+        self.shape = Shape::from_slice(shape);
         self
     }
 
@@ -195,9 +235,9 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or `r` is out of range.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert_eq!(self.shape.len(), 2, "row() requires a rank-2 tensor");
-        let cols = self.shape[1];
-        assert!(r < self.shape[0], "row {r} out of range");
+        assert_eq!(self.shape().len(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dims[1];
+        assert!(r < self.shape.dims[0], "row {r} out of range");
         &self.data[r * cols..(r + 1) * cols]
     }
 }
@@ -255,6 +295,25 @@ mod tests {
     }
 
     #[test]
+    fn rank_four_round_trips() {
+        let t = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(t.shape(), &[2, 3, 4, 5]);
+        assert_eq!(t.len(), 120);
+        let r = t.reshape(&[120]);
+        assert_eq!(r.shape(), &[120]);
+    }
+
+    #[test]
+    fn from_vec_does_not_copy_storage() {
+        let data = vec![1.0f32, 2.0, 3.0, 4.0];
+        let ptr = data.as_ptr();
+        let t = Tensor::from_vec(data, &[2, 2]);
+        assert_eq!(t.data().as_ptr(), ptr, "from_vec must reuse the buffer");
+        let back = t.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "into_vec must reuse the buffer");
+    }
+
+    #[test]
     #[should_panic(expected = "does not match shape")]
     fn from_vec_length_mismatch_panics() {
         let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
@@ -277,5 +336,11 @@ mod tests {
     #[should_panic(expected = "cannot reshape")]
     fn bad_reshape_panics() {
         let _ = Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the maximum supported rank")]
+    fn rank_five_rejected() {
+        let _ = Tensor::zeros(&[1, 1, 1, 1, 1]);
     }
 }

@@ -1,0 +1,154 @@
+//! Bit-exactness property tests: every fast (im2col / blocked-GEMM /
+//! register-tiled) `forward_scratch` path must produce **bit-identical**
+//! output to its naive `forward_reference` counterpart, across randomized
+//! shapes, strides, and paddings.
+//!
+//! Equality is asserted with `Tensor`'s derived `PartialEq` (elementwise
+//! f32 `==`), so even a one-ulp accumulation-order difference fails.
+//! Every property runs each fast path twice with the same [`ScratchPad`]
+//! so pooled-buffer reuse (the steady-state regime) is covered too.
+
+use lt_dnn::models::{CnnSpec, DeepLobSpec, QuantizedCnn, TransLobSpec};
+use lt_dnn::ops::{Conv2d, LayerNorm, Linear, LinearInt8, Lstm, MultiHeadAttention};
+use lt_dnn::{Model, ScratchPad, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Conv2d: im2col + blocked GEMM == naive sliding window, across
+    /// channel counts, kernel sizes, strides, and paddings (including
+    /// padding > 0, which exercises the zero-filled im2col edge rows).
+    #[test]
+    fn conv_fast_matches_reference(
+        (in_c, out_c, kh, kw) in (1usize..=3, 1usize..=4, 1usize..=3, 1usize..=3),
+        (extra_h, extra_w, sh, sw) in (0usize..=4, 0usize..=4, 1usize..=2, 1usize..=2),
+        (ph, pw, seed) in (0usize..=2, 0usize..=2, 0u64..1000),
+    ) {
+        let (h, w) = (kh + extra_h, kw + extra_w);
+        let conv = Conv2d::new(in_c, out_c, (kh, kw), (sh, sw), (ph, pw), seed);
+        let x = Tensor::random(&[in_c, h, w], 1.0, seed.wrapping_add(1));
+        let reference = conv.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(&conv.forward_scratch(&x, &mut pad), &reference);
+        // Second pass reuses pooled buffers; must still be identical.
+        prop_assert_eq!(&conv.forward_scratch(&x, &mut pad), &reference);
+    }
+
+    /// Linear: register-tiled matvec == naive loop, rank-1 and rank-2.
+    #[test]
+    fn linear_fast_matches_reference(
+        (input, output, rows, seed) in (1usize..=33, 1usize..=17, 1usize..=5, 0u64..1000),
+    ) {
+        let layer = Linear::new(input, output, seed);
+        let mut pad = ScratchPad::new();
+        let x1 = Tensor::random(&[input], 1.0, seed.wrapping_add(1));
+        let r1 = layer.forward_reference(&x1);
+        prop_assert_eq!(&layer.forward_scratch(&x1, &mut pad), &r1);
+        let x2 = Tensor::random(&[rows, input], 1.0, seed.wrapping_add(2));
+        let r2 = layer.forward_reference(&x2);
+        prop_assert_eq!(&layer.forward_scratch(&x2, &mut pad), &r2);
+        prop_assert_eq!(&layer.forward_scratch(&x2, &mut pad), &r2);
+    }
+
+    /// LinearInt8: the i32-accumulating tiled kernel == naive loop,
+    /// including the scale-multiplication order of the epilogue.
+    #[test]
+    fn linear_int8_fast_matches_reference(
+        (input, output, seed) in (1usize..=33, 1usize..=17, 0u64..1000),
+    ) {
+        let layer = LinearInt8::from_linear(&Linear::new(input, output, seed));
+        let x = Tensor::random(&[input], 1.0, seed.wrapping_add(1));
+        let reference = layer.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(&layer.forward_scratch(&x, &mut pad), &reference);
+        prop_assert_eq!(&layer.forward_scratch(&x, &mut pad), &reference);
+    }
+
+    /// LSTM: the fused tiled gate kernel == naive per-gate loops across
+    /// the whole recurrence.
+    #[test]
+    fn lstm_fast_matches_reference(
+        (input, hidden, steps, seed) in (1usize..=9, 1usize..=9, 1usize..=6, 0u64..1000),
+    ) {
+        let lstm = Lstm::new(input, hidden, seed);
+        let x = Tensor::random(&[steps, input], 1.0, seed.wrapping_add(1));
+        let reference = lstm.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(&lstm.forward_scratch(&x, &mut pad), &reference);
+        prop_assert_eq!(&lstm.forward_scratch(&x, &mut pad), &reference);
+    }
+
+    /// Attention: tiled score/context kernels == naive `at`-indexed loops.
+    #[test]
+    fn attention_fast_matches_reference(
+        (heads, d_head, t, seed) in (1usize..=4, 1usize..=5, 1usize..=7, 0u64..1000),
+    ) {
+        let d_model = heads * d_head;
+        let mha = MultiHeadAttention::new(d_model, heads, seed);
+        let x = Tensor::random(&[t, d_model], 1.0, seed.wrapping_add(1));
+        let reference = mha.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(&mha.forward_scratch(&x, &mut pad), &reference);
+        prop_assert_eq!(&mha.forward_scratch(&x, &mut pad), &reference);
+    }
+
+    /// LayerNorm: slice-written rows == `set`-written rows.
+    #[test]
+    fn layernorm_fast_matches_reference(
+        (t, d, seed) in (1usize..=6, 1usize..=16, 0u64..1000),
+    ) {
+        let ln = LayerNorm::new(d);
+        let x = Tensor::random(&[t, d], 2.0, seed);
+        let reference = ln.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(&ln.forward_scratch(&x, &mut pad), &reference);
+        prop_assert_eq!(&ln.forward_scratch(&x, &mut pad), &reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full VanillaCnn forward: fast trait path == naive composition.
+    #[test]
+    fn vanilla_cnn_forward_matches_reference(seed in 0u64..100) {
+        let model = CnnSpec::tiny().build(seed);
+        let x = Tensor::random(&[20, 40], 1.0, seed.wrapping_add(1));
+        let reference = model.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+    }
+
+    /// Full DeepLob forward (conv trunk + inception + LSTM + head).
+    #[test]
+    fn deeplob_forward_matches_reference(seed in 0u64..100) {
+        let model = DeepLobSpec::tiny().build(seed);
+        let x = Tensor::random(&[24, 40], 1.0, seed.wrapping_add(1));
+        let reference = model.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+    }
+
+    /// Full TransLob forward (conv stack + transformer blocks + head).
+    #[test]
+    fn translob_forward_matches_reference(seed in 0u64..100) {
+        let model = TransLobSpec::tiny().build(seed);
+        let x = Tensor::random(&[16, 40], 1.0, seed.wrapping_add(1));
+        let reference = model.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+    }
+
+    /// Full QuantizedCnn forward (BF16 convs + INT8 dense layers).
+    #[test]
+    fn quantized_cnn_forward_matches_reference(seed in 0u64..100) {
+        let model = QuantizedCnn::from_float(&CnnSpec::tiny().build(seed));
+        let x = Tensor::random(&[20, 40], 1.0, seed.wrapping_add(1));
+        let reference = model.forward_reference(&x);
+        let mut pad = ScratchPad::new();
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+        prop_assert_eq!(model.forward_scratch(&x, &mut pad).probs, reference.probs);
+    }
+}

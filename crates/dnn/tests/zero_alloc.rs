@@ -1,0 +1,100 @@
+//! Proves the zero-allocation claim: after a warm-up pass populates the
+//! [`ScratchPad`]'s free lists, steady-state `forward_scratch` performs
+//! **zero** heap allocations for every benchmark model.
+//!
+//! The proof uses a counting `#[global_allocator]` wrapping the system
+//! allocator; the whole file is one `#[test]` so the allocator and its
+//! thread-local counter are private to this integration-test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use lt_dnn::models::{CnnSpec, DeepLobSpec, QuantizedCnn, TransLobSpec};
+use lt_dnn::{Model, ScratchPad, Tensor};
+
+thread_local! {
+    // `const` init so reading the counter never allocates.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn bump() {
+        // `try_with` so allocations during TLS teardown don't panic.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    }
+}
+
+// SAFETY: delegates every operation to `System`; the counter is a
+// thread-local side effect that itself never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn assert_steady_state_alloc_free(name: &str, model: &dyn Model, input: &Tensor) {
+    let mut pad = ScratchPad::new();
+    // Warm up: the first passes populate the pad's free lists. Three
+    // passes (not one) so take/give ordering differences across calls
+    // are already settled before we start counting.
+    for _ in 0..3 {
+        let _ = model.forward_scratch(input, &mut pad);
+    }
+    let misses_before = pad.misses();
+    let allocs_before = allocations();
+    let p = model.forward_scratch(input, &mut pad);
+    let allocs_after = allocations();
+    let misses_after = pad.misses();
+    assert!(
+        p.probs.iter().all(|v| v.is_finite()),
+        "{name}: non-finite output"
+    );
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "{name}: steady-state forward_scratch allocated"
+    );
+    assert_eq!(
+        misses_after, misses_before,
+        "{name}: scratch pad missed in steady state"
+    );
+}
+
+#[test]
+fn steady_state_forward_is_allocation_free() {
+    let vanilla = CnnSpec::tiny().build(3);
+    let quant = QuantizedCnn::from_float(&vanilla);
+    let deeplob = DeepLobSpec::tiny().build(3);
+    let translob = TransLobSpec::tiny().build(3);
+    let x20 = Tensor::random(&[20, 40], 1.0, 5);
+    let x24 = Tensor::random(&[24, 40], 1.0, 5);
+    let x16 = Tensor::random(&[16, 40], 1.0, 5);
+    assert_steady_state_alloc_free("VanillaCnn", &vanilla, &x20);
+    assert_steady_state_alloc_free("QuantizedCnn", &quant, &x20);
+    assert_steady_state_alloc_free("DeepLob", &deeplob, &x24);
+    assert_steady_state_alloc_free("TransLob", &translob, &x16);
+}

@@ -202,7 +202,7 @@ mod tests {
     fn normal_traffic_is_bursty() {
         let session = SessionBuilder::normal_traffic()
             .duration_secs(2.0)
-            .seed(2)
+            .seed(3)
             .build();
         let stats = session.trace.stats();
         assert!(stats.cv > 1.2, "cv {}", stats.cv);

@@ -44,7 +44,7 @@ impl TickTrace {
     /// Panics in debug builds if `ts` precedes the previous tick.
     pub fn push(&mut self, ts: Timestamp, snapshot: LobSnapshot) {
         debug_assert!(
-            self.ticks.last().map_or(true, |last| last.ts <= ts),
+            self.ticks.last().is_none_or(|last| last.ts <= ts),
             "ticks must be time-ordered"
         );
         self.ticks.push(TickRecord { ts, snapshot });

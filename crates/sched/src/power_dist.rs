@@ -75,7 +75,7 @@ pub fn redistribute_power(
             if power_inc <= power_avail {
                 let ppw_inc = profile.ppw(load.kind, load.batch, new_point)
                     - profile.ppw(load.kind, load.batch, load.point);
-                if best.map_or(true, |(b, _, _)| ppw_inc > b) {
+                if best.is_none_or(|(b, _, _)| ppw_inc > b) {
                     best = Some((ppw_inc, i, new_point));
                 }
             }

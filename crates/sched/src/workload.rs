@@ -68,7 +68,7 @@ pub fn schedule_workload(
             let power = profile.power_w(kind, batch, point);
             if t_total <= t_avail && power <= power_avail {
                 let ppw = profile.ppw(kind, batch, point);
-                if best.map_or(true, |b| ppw > b.ppw) {
+                if best.is_none_or(|b| ppw > b.ppw) {
                     best = Some(WorkloadDecision {
                         batch,
                         point,

@@ -205,7 +205,7 @@ impl SimState {
                 if inc <= avail {
                     let ppw_inc = self.profile.ppw(self.kind, *batch, up)
                         - self.profile.ppw(self.kind, *batch, *point);
-                    if best.map_or(true, |(b, _, _)| ppw_inc > b) {
+                    if best.is_none_or(|(b, _, _)| ppw_inc > b) {
                         best = Some((ppw_inc, aid, up));
                     }
                 }
@@ -218,8 +218,8 @@ impl SimState {
             }
         }
         // Apply with hysteresis: one jump per accelerator, >= 2 notches.
-        for aid in 0..n {
-            if let (Some(flight), Some((_, target))) = (&self.in_flight[aid], desired[aid]) {
+        for (aid, want) in desired.iter().enumerate().take(n) {
+            if let (Some(flight), Some((_, target))) = (&self.in_flight[aid], *want) {
                 if target.freq_ghz - flight.point.freq_ghz > 0.15 {
                     self.rescale(aid, target, now);
                 }

@@ -19,7 +19,10 @@ fn main() {
         .unwrap_or_else(|| "/tmp/lighttrader_session.lttr".to_string());
 
     // Record: generate and persist a session.
-    let session = SessionBuilder::normal_traffic().duration_secs(2.0).seed(42).build();
+    let session = SessionBuilder::normal_traffic()
+        .duration_secs(2.0)
+        .seed(42)
+        .build();
     let file = fs::File::create(&path).expect("create trace file");
     session.trace.write_to(file).expect("write trace");
     let size = fs::metadata(&path).expect("stat").len();
@@ -31,8 +34,8 @@ fn main() {
     );
 
     // Replay: reload and verify the round-trip.
-    let reloaded = TickTrace::read_from(fs::File::open(&path).expect("open"))
-        .expect("decode trace");
+    let reloaded =
+        TickTrace::read_from(fs::File::open(&path).expect("open")).expect("decode trace");
     assert_eq!(reloaded, session.trace, "trace must round-trip exactly");
     println!("reloaded trace is bit-identical");
 

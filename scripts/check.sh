@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tier-1 build+test, and a bench smoke run.
+#
+#   ./scripts/check.sh            # everything
+#   ./scripts/check.sh --fast     # skip the bench smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+if [[ "$fast" == "0" ]]; then
+    echo "== bench smoke: cargo bench -- --test =="
+    cargo bench -- --test
+fi
+
+echo "== all checks passed =="

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the protocol/feed crates use: a growable
+//! [`BytesMut`] write buffer implementing [`BufMut`], and a consuming
+//! [`Buf`] reader over `&[u8]` slices. All multi-byte accessors are
+//! little-endian, matching the wire formats in `lt-protocol`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer for encoding messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+macro_rules! put_le {
+    ($($fn:ident: $t:ty),*) => {$(
+        /// Appends the value in little-endian byte order.
+        fn $fn(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// Sequential little-endian writes.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le!(
+        put_u16_le: u16,
+        put_u32_le: u32,
+        put_u64_le: u64,
+        put_i16_le: i16,
+        put_i32_le: i32,
+        put_i64_le: i64
+    );
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+macro_rules! get_le {
+    ($($fn:ident: $t:ty),*) => {$(
+        /// Reads and consumes the value in little-endian byte order.
+        ///
+        /// # Panics
+        ///
+        /// Panics if fewer than `size_of` bytes remain.
+        fn $fn(&mut self) -> $t {
+            let mut raw = [0u8; std::mem::size_of::<$t>()];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// Sequential little-endian reads that consume the source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `dst.len()` bytes, consuming them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads and consumes a single byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is empty.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    get_le!(
+        get_u16_le: u16,
+        get_u32_le: u32,
+        get_u64_le: u64,
+        get_i16_le: i16,
+        get_i32_le: i32,
+        get_i64_le: i64
+    );
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {}, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(
+            n <= self.len(),
+            "buffer underflow: need {}, have {}",
+            n,
+            self.len()
+        );
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i64_le(-42);
+        buf.put_slice(b"tail");
+
+        let mut rd: &[u8] = &buf;
+        assert_eq!(rd.remaining(), buf.len());
+        assert_eq!(rd.get_u8(), 0xAB);
+        assert_eq!(rd.get_u16_le(), 0x1234);
+        assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u64_le(), u64::MAX - 1);
+        assert_eq!(rd.get_i64_le(), -42);
+        let mut tail = [0u8; 4];
+        rd.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert!(!rd.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut rd: &[u8] = &data;
+        rd.advance(2);
+        assert_eq!(rd.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn short_read_panics() {
+        let mut rd: &[u8] = &[1u8, 2];
+        let _ = rd.get_u32_le();
+    }
+
+    #[test]
+    fn bytes_mut_derefs_to_slice() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[9, 8, 7]);
+        assert_eq!(buf.to_vec(), vec![9, 8, 7]);
+        assert_eq!(buf.len(), 3);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface the
+//! `lt-bench` crate uses: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`]/[`Bencher::iter_with_setup`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Results are
+//! printed as `name  time: <t>/iter` lines. `--test` runs each routine
+//! once (the smoke mode `cargo bench -- --test` uses); statistical
+//! analysis, plots, and baselines are out of scope.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benchmark code can defeat constant folding.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark once warmed up.
+const MEASURE_TARGET: Duration = Duration::from_millis(100);
+/// Hard wall-clock cap per benchmark.
+const MEASURE_CAP: Duration = Duration::from_secs(2);
+/// Minimum iterations per measurement.
+const MIN_ITERS: u64 = 5;
+
+/// The harness entry point; one per bench binary.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; argument handling happens in
+    /// [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks a single routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, &id.into_id(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes measurements
+    /// by wall-clock time rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion.test_mode, &full, f);
+        self
+    }
+
+    /// Benchmarks a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion.test_mode, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally carrying a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone (within a group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoId {
+    /// The label to print for this benchmark.
+    fn into_id(self) -> String;
+}
+
+impl IntoId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.label
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    test_mode: bool,
+    /// (total busy time, iterations) recorded by the routine.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_with_setup(|| (), |()| routine());
+    }
+
+    /// Times `routine` repeatedly, excluding `setup` from the
+    /// measurement.
+    pub fn iter_with_setup<S, O, P, R>(&mut self, mut setup: P, mut routine: R)
+    where
+        P: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up (untimed).
+        black_box(routine(setup()));
+
+        let wall = Instant::now();
+        let mut busy = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < MIN_ITERS || (busy < MEASURE_TARGET && wall.elapsed() < MEASURE_CAP) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            busy += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((busy, iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        test_mode,
+        measured: None,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        None => println!("{label:<48} (no measurement: iter was not called)"),
+        Some((_, _)) if test_mode => println!("{label:<48} ok (smoke)"),
+        Some((busy, iters)) => {
+            let per_iter = busy.as_nanos() as f64 / iters as f64;
+            println!(
+                "{label:<48} time: {} /iter  ({iters} iters)",
+                format_ns(per_iter)
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = <$crate::Criterion as ::std::default::Default>::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion { test_mode: false };
+        c.bench_function("shim/spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_and_inputs_run() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the two pieces the simulation sweep uses on top of the
+//! standard library: [`channel::unbounded`] (backed by `std::sync::mpsc`)
+//! and [`scope`] (backed by `std::thread::scope`, with crossbeam's
+//! `thread::Result` return convention: a worker panic surfaces as `Err`
+//! rather than unwinding through the caller).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// A handle for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope again so workers can spawn sub-workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope handle, joining all spawned threads before
+/// returning. Returns `Err` if any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_drain_a_shared_queue() {
+        let items: Vec<usize> = (0..100).collect();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let total = super::scope(|scope| {
+            for _ in 0..4 {
+                let tx = tx.clone();
+                let next = &next;
+                let items = &items;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    tx.send(items[i] * 2).expect("collector alive");
+                });
+            }
+            drop(tx);
+            rx.iter().sum::<usize>()
+        })
+        .expect("no worker panicked");
+        assert_eq!(total, (0..100).map(|x| x * 2).sum());
+    }
+
+    #[test]
+    fn worker_panic_is_an_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *small* subset of `rand`'s API that LightTrader actually
+//! uses: a seedable deterministic generator ([`rngs::StdRng`]), uniform
+//! range sampling ([`Rng::gen_range`]), and plain value sampling
+//! ([`Rng::gen`]).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a
+//! well-studied, high-quality non-cryptographic PRNG. Streams differ
+//! from the real `rand::rngs::StdRng` (which is ChaCha12), so seeded
+//! sequences are deterministic *within* this workspace but not
+//! bit-compatible with upstream `rand`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A generator that can be seeded from a `u64` (API-compatible subset of
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! int_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // u in [0, 1): the end point is excluded.
+                let u = <f64 as Standard>::sample(rng) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // u in [0, 1] with 53-bit resolution: both ends reachable.
+                let u = ((rng.next_u64() >> 11) as f64
+                    / ((1u64 << 53) - 1) as f64) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<f64> = (0..10).map(|_| a.gen_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..10).map(|_| b.gen_range(0.0..1.0)).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<f64> = (0..10).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen_range(-0.5f32..=0.5);
+            assert!((-0.5..=0.5).contains(&x));
+            let y = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&y));
+            let z = rng.gen_range(1u64..=5);
+            assert!((1..=5).contains(&z));
+            let w = rng.gen_range(-10i64..=-2);
+            assert!((-10..=-2).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_interior() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_and_floats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if rng.gen::<bool>() {
+                trues += 1;
+            }
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!((300..700).contains(&trues), "{trues} trues of 1000");
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of serde's behavior the workspace needs: derived
+//! [`Serialize`]/[`Deserialize`] impls over a self-describing [`Content`]
+//! tree, which `serde_json` (the sibling shim) renders to and parses from
+//! JSON. The external representation matches serde's defaults for the
+//! supported shapes: structs are JSON objects, unit enum variants are
+//! strings, payload variants are single-entry objects, `None` is `null`.
+
+// The derive macros emit paths rooted at `::serde`; make that name
+// resolve inside this crate too (e.g. for the unit tests below).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value.
+///
+/// [`Serialize`] produces this tree; data formats render it. The
+/// `Variant` node only appears on the serialize side — after a round
+/// trip through a format it comes back as a single-entry [`Content::Map`],
+/// which [`variant_parts`] also accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` / unit.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// Named fields, in declaration order.
+    Map(Vec<(String, Content)>),
+    /// An enum variant with payload: `{"Name": payload}` externally.
+    Variant(String, Box<Content>),
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A serializable value.
+pub trait Serialize {
+    /// Converts the value to the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A deserializable value.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from a content tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------- accessors
+
+/// Looks up a struct field in a [`Content::Map`].
+pub fn map_field<'c>(c: &'c Content, name: &str) -> Result<&'c Content, DeError> {
+    match c {
+        Content::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::msg(format!("missing field `{name}`"))),
+        other => Err(DeError::msg(format!(
+            "expected a map with field `{name}`, got {other:?}"
+        ))),
+    }
+}
+
+/// Views a [`Content::Seq`]'s items.
+pub fn seq_items(c: &Content) -> Result<&[Content], DeError> {
+    match c {
+        Content::Seq(items) => Ok(items),
+        other => Err(DeError::msg(format!("expected a sequence, got {other:?}"))),
+    }
+}
+
+/// Splits an enum encoding into `(variant_name, payload)`.
+///
+/// Accepts the serialize-side [`Content::Variant`], the round-tripped
+/// single-entry [`Content::Map`], and the bare [`Content::Str`] used for
+/// unit variants.
+pub fn variant_parts(c: &Content) -> Result<(&str, Option<&Content>), DeError> {
+    match c {
+        Content::Str(s) => Ok((s, None)),
+        Content::Variant(name, payload) => Ok((name, Some(payload))),
+        Content::Map(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
+        other => Err(DeError::msg(format!(
+            "expected an enum variant, got {other:?}"
+        ))),
+    }
+}
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::msg(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::msg(format!("{v} out of range")))?,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected signed integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::msg(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(DeError::msg(format!(
+                        "expected a number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Supports deriving `Deserialize` on types with `&'static str`
+    /// fields (as upstream serde's borrowed-str impl does). The string is
+    /// leaked; only test-path deserialization exercises this.
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".into(), Content::U64(self.as_secs())),
+            ("nanos".into(), Content::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let secs = u64::from_content(map_field(c, "secs")?)?;
+        let nanos = u32::from_content(map_field(c, "nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        seq_items(c)?.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let items = seq_items(c)?;
+        if items.len() != N {
+            return Err(DeError::msg(format!(
+                "expected array of {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_content(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Unit,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Unit => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = seq_items(c)?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of {expected}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+tuple_impls!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: i64,
+        y: f32,
+        tags: Vec<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle(f64),
+        Rect { w: u32, h: u32 },
+        Pair(i64, i64),
+    }
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let c = v.to_content();
+        let back = T::from_content(&c).expect("round trip");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        round_trip(&Point {
+            x: -5,
+            y: 1.25,
+            tags: vec!["a".into(), "b".into()],
+        });
+    }
+
+    #[test]
+    fn derived_enum_round_trips() {
+        round_trip(&Shape::Dot);
+        round_trip(&Shape::Circle(2.5));
+        round_trip(&Shape::Rect { w: 3, h: 4 });
+        round_trip(&Shape::Pair(-1, 9));
+    }
+
+    #[test]
+    fn unit_variant_is_a_string() {
+        assert_eq!(Shape::Dot.to_content(), Content::Str("Dot".into()));
+    }
+
+    #[test]
+    fn variant_survives_map_normalization() {
+        // After a format round trip, Variant returns as a one-entry Map.
+        let c = Content::Map(vec![("Circle".into(), Content::F64(2.5))]);
+        assert_eq!(Shape::from_content(&c).unwrap(), Shape::Circle(2.5));
+    }
+
+    #[test]
+    fn option_and_arrays() {
+        round_trip(&Some(3u64));
+        round_trip::<Option<u64>>(&None);
+        round_trip(&[1.0f32, 2.0, 3.0]);
+        round_trip(&(1u8, -2i64, String::from("x")));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let c = Content::Map(vec![("x".into(), Content::I64(1))]);
+        assert!(Point::from_content(&c).is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with no
+//! dependencies (no `syn`, no `quote`): the item is parsed directly from
+//! the `proc_macro` token stream, and the generated impl is produced as a
+//! string and re-parsed. Supports the shapes this workspace uses:
+//! named-field structs, tuple structs, unit structs, and enums with unit,
+//! tuple, and struct variants. Generics and `#[serde(...)]` attributes
+//! are intentionally unsupported — the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields, by count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility to the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1; // pub(crate) and friends
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                let k = id.to_string();
+                i += 1;
+                break k;
+            }
+            Some(other) => panic!("unexpected token before struct/enum: {other}"),
+            None => panic!("no struct or enum found in derive input"),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("shim serde_derive does not support generic types ({name})");
+        }
+    }
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unexpected struct body: {other:?}"),
+        };
+        Item::Struct { name, fields }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body, got {other:?}"),
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Parses `[attr]* [vis] name: Type,` sequences from a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("expected ':' after field {id}, got {other:?}"),
+                }
+                i = skip_type(&tokens, i);
+            }
+            other => panic!("unexpected token in fields: {other}"),
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the `,` that ends the field (or
+/// at end of stream). Tracks `<`/`>` depth so generic arguments' commas
+/// don't terminate early.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Counts the top-level comma-separated fields of a tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push((name, fields));
+            }
+            other => panic!("unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Content::Unit".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::seq_items(c)?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::msg(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::map_field(c, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (v, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!("{name}::{v} => ::serde::Content::Str(String::from(\"{v}\")),"),
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(f0) => ::serde::Content::Variant(String::from(\"{v}\"), \
+                 Box::new(::serde::Serialize::to_content(f0))),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_content(f{k})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Content::Variant(String::from(\"{v}\"), \
+                     Box::new(::serde::Content::Seq(vec![{}]))),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let items: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!("(String::from(\"{f}\"), ::serde::Serialize::to_content({f}))")
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Content::Variant(String::from(\"{v}\"), \
+                     Box::new(::serde::Content::Map(vec![{}]))),",
+                    items.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (v, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!("\"{v}\" => Ok({name}::{v}),"),
+            Fields::Tuple(1) => format!(
+                "\"{v}\" => {{\n\
+                     let inner = inner.ok_or_else(|| \
+                         ::serde::DeError::msg(\"variant {v} needs a payload\"))?;\n\
+                     Ok({name}::{v}(::serde::Deserialize::from_content(inner)?))\n\
+                 }}"
+            ),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                         let inner = inner.ok_or_else(|| \
+                             ::serde::DeError::msg(\"variant {v} needs a payload\"))?;\n\
+                         let items = ::serde::seq_items(inner)?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(::serde::DeError::msg(\"wrong arity for {v}\"));\n\
+                         }}\n\
+                         Ok({name}::{v}({}))\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fs) => {
+                let items: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_content(::serde::map_field(inner, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                         let inner = inner.ok_or_else(|| \
+                             ::serde::DeError::msg(\"variant {v} needs a payload\"))?;\n\
+                         Ok({name}::{v} {{ {} }})\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                 let (tag, inner) = ::serde::variant_parts(c)?;\n\
+                 let _ = &inner; // unused for unit-only enums\n\
+                 match tag {{\n\
+                     {}\n\
+                     other => Err(::serde::DeError::msg(format!(\
+                         \"unknown variant {{other}} for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
