@@ -4,6 +4,17 @@ use crate::dvfs::{DvfsTable, OperatingPoint};
 use lt_lob::Timestamp;
 use std::time::Duration;
 
+/// Completion-callback token for one issued (or re-timed) busy window.
+///
+/// The discrete-event simulator schedules a completion event carrying the
+/// token returned by [`Accelerator::start_batch`]. When a DVFS rescale
+/// re-times the in-flight batch, [`Accelerator::retime_batch`] issues a
+/// fresh token, so the completion event scheduled for the *old* finishing
+/// time no longer matches [`Accelerator::current_batch`] and is discarded
+/// instead of completing the batch twice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchId(u64);
+
 /// One AI accelerator: its DVFS point, busy window, and switch history.
 ///
 /// The scheduler mutates this through [`Accelerator::set_point`] (which
@@ -18,6 +29,8 @@ pub struct Accelerator {
     last_switch: Option<Timestamp>,
     switches: u64,
     batches: u64,
+    issued: u64,
+    current: Option<BatchId>,
 }
 
 impl Accelerator {
@@ -30,6 +43,8 @@ impl Accelerator {
             last_switch: None,
             switches: 0,
             batches: 0,
+            issued: 0,
+            current: None,
         }
     }
 
@@ -92,12 +107,13 @@ impl Accelerator {
         delay
     }
 
-    /// Marks the device busy until `completion`.
+    /// Marks the device busy until `completion`, returning the token the
+    /// matching completion event must carry.
     ///
     /// # Panics
     ///
     /// Panics if the device is already busy at `now`.
-    pub fn start_batch(&mut self, now: Timestamp, completion: Timestamp) {
+    pub fn start_batch(&mut self, now: Timestamp, completion: Timestamp) -> BatchId {
         assert!(
             self.is_idle(now),
             "accelerator {} already busy until {:?}",
@@ -107,11 +123,44 @@ impl Accelerator {
         assert!(completion >= now, "completion before start");
         self.busy_until = Some(completion);
         self.batches += 1;
+        self.next_token()
+    }
+
+    /// Moves the in-flight batch's finishing time (a DVFS rescale
+    /// stretched or shrank the remaining work) and returns a fresh
+    /// completion token; the token from [`Self::start_batch`] — and any
+    /// completion event carrying it — becomes stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is in flight.
+    pub fn retime_batch(&mut self, completion: Timestamp) -> BatchId {
+        assert!(
+            self.current.is_some(),
+            "accelerator {} has no batch to re-time",
+            self.id
+        );
+        self.busy_until = Some(completion);
+        self.next_token()
+    }
+
+    /// The token of the in-flight batch, if any. A completion event whose
+    /// token does not match is stale and must be ignored.
+    pub fn current_batch(&self) -> Option<BatchId> {
+        self.current
     }
 
     /// Clears the busy window (called by the simulator at completion).
     pub fn finish_batch(&mut self) {
         self.busy_until = None;
+        self.current = None;
+    }
+
+    fn next_token(&mut self) -> BatchId {
+        let id = BatchId(self.issued);
+        self.issued += 1;
+        self.current = Some(id);
+        id
     }
 }
 
@@ -169,6 +218,31 @@ mod tests {
         assert_eq!(d, DvfsTable::SWITCH_DELAY);
         assert_eq!(a.switch_count(), 1);
         assert!((a.point().freq_ghz - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_tokens_go_stale_on_retime() {
+        let mut a = accel();
+        let first = a.start_batch(ts(0), ts(100));
+        assert_eq!(a.current_batch(), Some(first));
+        // A rescale re-times the batch: the first token goes stale.
+        let second = a.retime_batch(ts(80));
+        assert_ne!(first, second);
+        assert_eq!(a.current_batch(), Some(second));
+        assert_eq!(a.busy_until(), Some(ts(80)));
+        a.finish_batch();
+        assert_eq!(a.current_batch(), None);
+        // Tokens never repeat across batches.
+        let third = a.start_batch(ts(200), ts(300));
+        assert_ne!(third, first);
+        assert_ne!(third, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "no batch to re-time")]
+    fn retime_without_batch_panics() {
+        let mut a = accel();
+        let _ = a.retime_batch(ts(10));
     }
 
     #[test]

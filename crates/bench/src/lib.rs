@@ -5,7 +5,7 @@
 use lighttrader::accel::PowerCondition;
 use lighttrader::dnn::ModelKind;
 use lighttrader::experiments::{self, Fig11, Fig13};
-use lighttrader::report::{percent, ratio, TextTable};
+use lighttrader::report::{percent, ratio, stage_latency_table, TextTable};
 use lighttrader::sched::Policy;
 
 /// Renders Table I (accelerator specification).
@@ -202,6 +202,27 @@ pub fn render_fig12_tight(secs: f64, seed: u64) -> String {
         "== Fig. 12 (tight window, 1.5x service): the paper's x16 saturation/decline ==\n{}",
         t.render()
     )
+}
+
+/// Renders the per-stage tick-to-trade telemetry (p50/p99/p99.9 per
+/// pipeline stage for each system), plus the per-run JSON lines.
+pub fn render_stage_latency(secs: f64, seed: u64) -> String {
+    let rows = experiments::stage_latency(secs, seed);
+    let mut out = String::from("== Per-stage tick-to-trade telemetry (p50/p99/p99.9) ==\n");
+    for row in &rows {
+        out.push_str(&format!(
+            "-- {} / {} --\n{}",
+            row.run,
+            row.kind.name(),
+            stage_latency_table(&row.stages).render()
+        ));
+    }
+    out.push_str("\nper-run JSON:\n");
+    for row in &rows {
+        out.push_str(&row.to_json());
+        out.push('\n');
+    }
+    out
 }
 
 /// Renders Fig. 13 (miss rate under the four scheduling policies).

@@ -11,7 +11,9 @@ use lt_dnn::models::paper_spec_ops;
 use lt_dnn::ModelKind;
 use lt_sched::Policy;
 use lt_sim::traffic::{evaluation_deadline, evaluation_trace};
-use lt_sim::{run_lighttrader, run_single_device, BacktestConfig, SingleDeviceSystem};
+use lt_sim::{
+    run_lighttrader, run_single_device, BacktestConfig, SingleDeviceSystem, StageSummary,
+};
 use serde::{Deserialize, Serialize};
 
 /// Default session length (simulated seconds) for the headline runs.
@@ -223,6 +225,63 @@ pub fn fig11(secs: f64, seed: u64) -> Fig11 {
         efficiency_vs_fpga: mean_ratio("FPGA-based", |r| r.tflops_per_watt, true),
         rows,
     }
+}
+
+/// Per-stage tick-to-trade telemetry of one back-test run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageLatencyRow {
+    /// Which run (system + policy) produced the decomposition.
+    pub run: String,
+    /// Benchmark model.
+    pub kind: ModelKind,
+    /// p50/p99/p99.9 per stage, in pipeline order.
+    pub stages: Vec<StageSummary>,
+}
+
+impl StageLatencyRow {
+    /// Serializes this run's stage summary as one JSON line (the
+    /// per-run artifact the report pipeline stores).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("stage row serializes")
+    }
+}
+
+/// Per-stage tick-to-trade telemetry: where each system's latency
+/// actually goes. Covers LightTrader x4 under baseline and WS+DS
+/// scheduling plus the two conventional systems, one row per
+/// (run, model).
+///
+/// # Panics
+///
+/// Panics if any run's stage sums fail to reconcile with its recorded
+/// end-to-end latencies within 1 ns (the engine's decomposition is
+/// exact, so this is a telemetry-integrity assertion).
+pub fn stage_latency(secs: f64, seed: u64) -> Vec<StageLatencyRow> {
+    let trace = evaluation_trace(secs, seed);
+    let deadline = evaluation_deadline();
+    let mut rows = Vec::new();
+    let mut push = |run: String, kind: ModelKind, m: &lt_sim::BacktestMetrics| {
+        assert!(m.stage_sums_reconcile(1), "{run}/{kind}: stage drift");
+        rows.push(StageLatencyRow {
+            run,
+            kind,
+            stages: m.stage_summaries(),
+        });
+    };
+    for kind in ModelKind::ALL {
+        for policy in [Policy::Baseline, Policy::Both] {
+            let cfg = BacktestConfig::new(kind, 4, PowerCondition::Limited).with_policy(policy);
+            let m = run_lighttrader(&trace, &cfg);
+            push(format!("LightTrader x4 ({})", policy.label()), kind, &m);
+        }
+    }
+    for system in [SingleDeviceSystem::gpu(), SingleDeviceSystem::fpga()] {
+        for kind in ModelKind::ALL {
+            let m = run_single_device(&trace, &system, kind, deadline, 100, 64);
+            push(system.name.to_string(), kind, &m);
+        }
+    }
+    rows
 }
 
 /// One cell of Fig. 12.
@@ -481,6 +540,24 @@ mod tests {
         }
         assert!((f.speedup_vs_gpu - 13.92).abs() < 0.05);
         assert!((f.speedup_vs_fpga - 7.28).abs() < 0.05);
+    }
+
+    #[test]
+    fn stage_latency_rows_serialize_and_reconcile() {
+        let rows = stage_latency(SECS, SEED);
+        // 3 models x 2 LightTrader policies + 2 baseline systems x 3 models.
+        assert_eq!(rows.len(), 12);
+        for row in &rows {
+            assert_eq!(row.stages.len(), 8, "{}", row.run);
+            let json = row.to_json();
+            assert!(json.contains("queue_wait"), "{json}");
+            assert!(json.contains("p999_ns"), "{json}");
+        }
+        // LightTrader's inference percentiles must dominate its parse
+        // budget (sanity that the decomposition is not degenerate).
+        let lt = rows.iter().find(|r| r.run.contains("LightTrader")).unwrap();
+        let get = |name: &str| lt.stages.iter().find(|s| s.stage == name).unwrap();
+        assert!(get("inference").p50_ns > get("parse").p50_ns);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Plain-text table rendering for experiment reports.
 
+use lt_sim::StageSummary;
+
 /// A simple aligned text table.
 ///
 /// # Example
@@ -90,6 +92,21 @@ impl TextTable {
     }
 }
 
+/// Renders the per-stage tick-to-trade percentiles of one back-test run
+/// as a table: one row per pipeline stage, microsecond columns.
+pub fn stage_latency_table(summaries: &[StageSummary]) -> TextTable {
+    let mut t = TextTable::new(vec!["stage", "p50 (us)", "p99 (us)", "p99.9 (us)"]);
+    for s in summaries {
+        t.push_row(vec![
+            s.stage.to_string(),
+            format!("{:.2}", s.p50_ns as f64 / 1_000.0),
+            format!("{:.2}", s.p99_ns as f64 / 1_000.0),
+            format!("{:.2}", s.p999_ns as f64 / 1_000.0),
+        ]);
+    }
+    t
+}
+
 /// Formats a ratio like `13.92x`.
 pub fn ratio(value: f64) -> String {
     format!("{value:.2}x")
@@ -129,5 +146,29 @@ mod tests {
     fn width_mismatch_panics() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn stage_table_renders_microsecond_percentiles() {
+        let summaries = vec![
+            StageSummary {
+                stage: "parse",
+                p50_ns: 120,
+                p99_ns: 120,
+                p999_ns: 120,
+            },
+            StageSummary {
+                stage: "inference",
+                p50_ns: 119_000,
+                p99_ns: 187_500,
+                p999_ns: 201_340,
+            },
+        ];
+        let out = stage_latency_table(&summaries).render();
+        assert!(out.contains("stage"));
+        assert!(out.contains("parse"));
+        assert!(out.contains("0.12"), "120 ns renders as 0.12 us:\n{out}");
+        assert!(out.contains("187.50"), "{out}");
+        assert!(out.contains("201.34"), "{out}");
     }
 }

@@ -13,7 +13,8 @@ use lt_feed::NormStats;
 use lt_lob::{MarketEvent, Symbol, Timestamp};
 use lt_pipeline::trading::NoOrderReason;
 use lt_pipeline::{
-    KillSwitch, LocalBook, OffloadEngine, OrderRateLimiter, PacketParser, RiskLimits, TradingEngine,
+    KillSwitch, LocalBook, OffloadEngine, OrderRateLimiter, PacketParser, PipelineLatencies,
+    RiskLimits, TradingEngine,
 };
 use lt_protocol::ilink::OrderMessage;
 
@@ -49,6 +50,7 @@ pub struct LightTraderBuilder {
     norm: Option<NormStats>,
     rate_limit: Option<u32>,
     loss_floor_ticks: Option<i64>,
+    stages: PipelineLatencies,
 }
 
 impl LightTraderBuilder {
@@ -62,6 +64,7 @@ impl LightTraderBuilder {
             norm: None,
             rate_limit: None,
             loss_floor_ticks: None,
+            stages: PipelineLatencies::fpga(),
         }
     }
 
@@ -109,7 +112,20 @@ impl LightTraderBuilder {
         self
     }
 
+    /// Overrides the pipeline stage budget stamped onto each query's
+    /// ingress telemetry (default: the FPGA profile).
+    #[must_use]
+    pub fn stages(mut self, stages: PipelineLatencies) -> Self {
+        self.stages = stages;
+        self
+    }
+
     /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stage budget has a zero-latency stage or the
+    /// normalization stats do not cover ten book levels.
     pub fn build(self) -> LightTrader {
         let model = build_tiny(self.kind, self.seed);
         let norm = self.norm.unwrap_or_else(|| NormStats::identity(10));
@@ -118,6 +134,9 @@ impl LightTraderBuilder {
             10,
             "normalization stats must cover ten book levels"
         );
+        if let Err(stage) = self.stages.validate() {
+            panic!("pipeline stage '{stage}' has zero latency");
+        }
         let window = model.window();
         LightTrader {
             parser: PacketParser::new(),
@@ -130,6 +149,7 @@ impl LightTraderBuilder {
                 .map(|floor| KillSwitch::new(floor, 10)),
             inferences: 0,
             scratch: ScratchPad::new(),
+            stages: self.stages,
             model,
         }
     }
@@ -148,6 +168,8 @@ pub struct LightTrader {
     /// Buffer pool reused across inferences: after the first (warm-up)
     /// forward pass, steady-state inference is allocation-free.
     scratch: ScratchPad,
+    /// Stage budget stamped onto each query's ingress telemetry.
+    stages: PipelineLatencies,
 }
 
 impl LightTrader {
@@ -211,7 +233,8 @@ impl LightTrader {
     fn process_event(&mut self, event: &MarketEvent) -> TickOutcome {
         self.book.apply(event);
         let snapshot = self.book.snapshot(10, event.ts);
-        self.offload.on_tick(&snapshot, event.ts);
+        self.offload
+            .on_tick_staged(&snapshot, event.ts, &self.stages);
         if !self.offload.is_warm() {
             return TickOutcome::Warmup;
         }
@@ -284,7 +307,8 @@ impl LightTrader {
     pub fn replay(&mut self, trace: &lt_feed::TickTrace) -> Vec<(Timestamp, OrderMessage)> {
         let mut orders = Vec::new();
         for tick in trace {
-            self.offload.on_tick(&tick.snapshot, tick.ts);
+            self.offload
+                .on_tick_staged(&tick.snapshot, tick.ts, &self.stages);
             if !self.offload.is_warm() {
                 continue;
             }
@@ -434,5 +458,15 @@ mod tests {
         let system = LightTrader::builder(ModelKind::TransLob).build();
         let s = format!("{system:?}");
         assert!(s.contains("TransLOB") || s.contains("TransLob"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero latency")]
+    fn zero_stage_budget_is_rejected_at_build() {
+        let mut stages = lt_pipeline::PipelineLatencies::fpga();
+        stages.parse = std::time::Duration::ZERO;
+        let _ = LightTrader::builder(ModelKind::VanillaCnn)
+            .stages(stages)
+            .build();
     }
 }

@@ -191,4 +191,38 @@ mod tests {
     fn zero_depth_panics() {
         let _ = DescriptorRing::new(0);
     }
+
+    #[test]
+    fn backpressure_releases_one_slot_per_completion() {
+        let mut ring = DescriptorRing::new(2);
+        assert!(
+            ring.post_batch(&[d(1), d(2)]),
+            "batch fills the ring exactly"
+        );
+        assert_eq!(ring.free(), 0);
+        // Saturated: singles and batches both bounce, state untouched.
+        assert!(!ring.post(d(3)));
+        assert!(!ring.post_batch(&[d(3)]));
+        assert_eq!(ring.in_flight(), 2);
+        assert_eq!(ring.posted_total(), 2);
+        // Each completion admits exactly one more descriptor.
+        assert_eq!(ring.complete().unwrap().tick_id, 1);
+        assert!(!ring.post_batch(&[d(3), d(4)]), "two still do not fit");
+        assert!(ring.post(d(3)));
+        assert!(!ring.post(d(4)), "full again");
+        // FIFO survives the wrap under sustained backpressure.
+        assert_eq!(ring.complete().unwrap().tick_id, 2);
+        assert_eq!(ring.complete().unwrap().tick_id, 3);
+        assert!(ring.complete().is_none());
+        assert_eq!(ring.completed_total(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_even_when_full() {
+        let mut ring = DescriptorRing::new(1);
+        assert!(ring.post(d(1)));
+        assert!(ring.post_batch(&[]), "an empty doorbell always rings");
+        assert_eq!(ring.in_flight(), 1);
+        assert_eq!(ring.posted_total(), 1);
+    }
 }

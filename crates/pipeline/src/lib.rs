@@ -35,5 +35,5 @@ pub use local_book::LocalBook;
 pub use offload::{OffloadEngine, TensorTicket};
 pub use parser::{PacketParser, ParserStats};
 pub use rate_limit::{KillReason, KillSwitch, OrderRateLimiter};
-pub use stages::PipelineLatencies;
+pub use stages::{IngressStamp, PipelineLatencies};
 pub use trading::{RiskLimits, TradingEngine};

@@ -9,6 +9,7 @@
 //! accelerator time, and Algorithm 1 may explicitly defer the oldest
 //! tensor when no schedule fits.
 
+use crate::stages::{IngressStamp, PipelineLatencies};
 use lt_dnn::bf16::bf16_round;
 use lt_dnn::Tensor;
 use lt_feed::NormStats;
@@ -24,6 +25,10 @@ pub struct TensorTicket {
     pub tick_ts: Timestamp,
     /// When the tensor became ready for DMA.
     pub ready_at: Timestamp,
+    /// Per-stage ingress latency that produced `ready_at` (all-zero for
+    /// callers that supply a pre-computed `ready_at` via
+    /// [`OffloadEngine::on_tick`]).
+    pub ingress: IngressStamp,
 }
 
 /// The offload engine: normalization, windowing, and the tensor queue.
@@ -100,6 +105,29 @@ impl OffloadEngine {
     /// Returns the ticket if one was enqueued (`None` while warming up or
     /// when the queue is full).
     pub fn on_tick(&mut self, snapshot: &LobSnapshot, ready_at: Timestamp) -> Option<TensorTicket> {
+        self.ingest(snapshot, ready_at, IngressStamp::ZERO)
+    }
+
+    /// Like [`Self::on_tick`], but derives `ready_at` from the tick's
+    /// arrival time plus the pipeline's ingress budget and stamps the
+    /// per-stage breakdown onto the ticket, so downstream consumers can
+    /// attribute tick-to-trade latency stage by stage.
+    pub fn on_tick_staged(
+        &mut self,
+        snapshot: &LobSnapshot,
+        now: Timestamp,
+        stages: &PipelineLatencies,
+    ) -> Option<TensorTicket> {
+        let stamp = stages.ingress_stamp();
+        self.ingest(snapshot, now + stamp.total(), stamp)
+    }
+
+    fn ingest(
+        &mut self,
+        snapshot: &LobSnapshot,
+        ready_at: Timestamp,
+        ingress: IngressStamp,
+    ) -> Option<TensorTicket> {
         let mut features = snapshot.to_features(self.depth);
         self.norm.normalize(&mut features);
         for f in &mut features {
@@ -122,6 +150,7 @@ impl OffloadEngine {
             tick_id,
             tick_ts: snapshot.ts,
             ready_at,
+            ingress,
         };
         self.queue.push_back(ticket);
         Some(ticket)
@@ -305,5 +334,29 @@ mod tests {
     fn latest_tensor_before_warm_panics() {
         let e = engine(3, 10);
         let _ = e.latest_tensor();
+    }
+
+    #[test]
+    fn staged_ingest_stamps_ingress_and_derives_ready_at() {
+        let stages = crate::stages::PipelineLatencies::fpga();
+        let mut e = engine(1, 10);
+        let now = Timestamp::from_micros(7);
+        let t = e.on_tick_staged(&snap(7, 100), now, &stages).unwrap();
+        assert_eq!(t.ingress, stages.ingress_stamp());
+        assert_eq!(t.ready_at, now + stages.ingress());
+        assert_eq!(t.ready_at.since(t.tick_ts), t.ingress.total());
+    }
+
+    #[test]
+    fn legacy_ingest_carries_zero_stamp() {
+        let mut e = engine(1, 10);
+        let t = e.on_tick(&snap(1, 100), Timestamp::from_micros(9)).unwrap();
+        assert_eq!(t.ingress, IngressStamp::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_queue_is_rejected() {
+        let _ = engine(3, 0);
     }
 }

@@ -252,4 +252,35 @@ mod tests {
     fn zero_limit_panics() {
         let _ = OrderRateLimiter::per_second(0);
     }
+
+    #[test]
+    fn burst_at_window_boundary() {
+        let mut limiter = OrderRateLimiter::per_second(2);
+        let t0 = Timestamp::from_nanos(5_000);
+        assert!(limiter.allow(t0));
+        assert!(limiter.allow(t0));
+        // One nanosecond short of expiry the t0 sends still count.
+        let almost = Timestamp::from_nanos(5_000 + 999_999_999);
+        assert!(!limiter.allow(almost));
+        assert_eq!(limiter.in_window(almost), 2);
+        // At exactly t0 + 1 s both expire: a full burst passes again.
+        let boundary = Timestamp::from_nanos(5_000 + 1_000_000_000);
+        assert_eq!(limiter.in_window(boundary), 0);
+        assert!(limiter.allow(boundary));
+        assert!(limiter.allow(boundary));
+        assert!(!limiter.allow(boundary), "new window is also capped");
+        assert_eq!(limiter.rejected(), 2);
+    }
+
+    #[test]
+    fn would_allow_checks_without_consuming() {
+        let mut limiter = OrderRateLimiter::per_second(1);
+        let t0 = Timestamp::from_millis(1);
+        for _ in 0..10 {
+            assert!(limiter.would_allow(t0), "peeking must not consume slots");
+        }
+        limiter.record(t0);
+        assert!(!limiter.would_allow(t0));
+        assert_eq!(limiter.rejected(), 0, "would_allow never counts rejects");
+    }
 }

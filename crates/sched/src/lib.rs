@@ -23,5 +23,5 @@ pub mod power_dist;
 pub mod workload;
 
 pub use policy::Policy;
-pub use power_dist::{redistribute_power, scale_down_to_deadline, AccelLoad};
+pub use power_dist::{plan_uprates, redistribute_power, scale_down_to_deadline, AccelLoad};
 pub use workload::{schedule_workload, WorkloadDecision, MAX_BATCH};

@@ -88,6 +88,59 @@ pub fn redistribute_power(
     loads
 }
 
+/// Algorithm 2's redistribution applied to *running* batches: greedily
+/// climb the busy accelerator with the highest marginal PPW gain, one
+/// DVFS notch at a time, while the pool total (busy draws plus one idle
+/// reservation per idle slot) stays within `pool_budget_w`.
+///
+/// `desired` holds one entry per accelerator — `Some((batch, point))`
+/// for a running batch, `None` for an idle slot — and is updated in
+/// place with the target points. This is pure planning: the simulator
+/// applies the plan as DVFS-rescale events, with its own hysteresis
+/// (mid-flight climbs need at least two notches, §III-D's guard against
+/// frequent scaling).
+pub fn plan_uprates(
+    profile: &DeviceProfile,
+    kind: ModelKind,
+    idle_reservation_w: f64,
+    pool_budget_w: f64,
+    table: &DvfsTable,
+    desired: &mut [Option<(u32, OperatingPoint)>],
+) {
+    loop {
+        let total: f64 = desired
+            .iter()
+            .map(|d| match d {
+                Some((batch, point)) => profile.power_w(kind, *batch, *point),
+                None => idle_reservation_w,
+            })
+            .sum();
+        let avail = pool_budget_w - total;
+        let mut best: Option<(f64, usize, OperatingPoint)> = None;
+        for (aid, d) in desired.iter().enumerate() {
+            let Some((batch, point)) = d else {
+                continue;
+            };
+            let Some(up) = table.step_up(*point) else {
+                continue;
+            };
+            let inc = profile.power_w(kind, *batch, up) - profile.power_w(kind, *batch, *point);
+            if inc <= avail {
+                let ppw_inc = profile.ppw(kind, *batch, up) - profile.ppw(kind, *batch, *point);
+                if best.is_none_or(|(b, _, _)| ppw_inc > b) {
+                    best = Some((ppw_inc, aid, up));
+                }
+            }
+        }
+        match best {
+            Some((_, aid, up)) => {
+                desired[aid] = desired[aid].map(|(b, _)| (b, up));
+            }
+            None => break,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +287,50 @@ mod tests {
             out[0].point.freq_ghz,
             plan.point.freq_ghz
         );
+    }
+
+    #[test]
+    fn plan_uprates_climbs_busy_slots_and_skips_idle() {
+        let p = profile();
+        let t = table();
+        let kind = ModelKind::VanillaCnn;
+        let low = t.min();
+        let mut desired = vec![Some((1u32, low)), None, Some((2u32, low))];
+        // A generous pool: every busy slot climbs to the table maximum.
+        plan_uprates(&p, kind, 1.0, 1_000.0, &t, &mut desired);
+        assert_eq!(desired[1], None, "idle slots are never upgraded");
+        for slot in [desired[0], desired[2]] {
+            let (_, point) = slot.unwrap();
+            assert!((point.freq_ghz - t.max().freq_ghz).abs() < 1e-9);
+        }
+        // Batch sizes survive the climb.
+        assert_eq!(desired[0].unwrap().0, 1);
+        assert_eq!(desired[2].unwrap().0, 2);
+    }
+
+    #[test]
+    fn plan_uprates_respects_pool_budget_and_reservations() {
+        let p = profile();
+        let t = table();
+        let kind = ModelKind::DeepLob;
+        let low = t.min();
+        let idle_w = p.idle_power_w(kind);
+        // Budget exactly covers the current draw: nothing can move.
+        let mut frozen = vec![Some((1u32, low)), None];
+        let consumed = p.power_w(kind, 1, low) + idle_w;
+        plan_uprates(&p, kind, idle_w, consumed, &t, &mut frozen);
+        assert_eq!(frozen[0], Some((1, low)), "no headroom, no upgrade");
+        // With headroom the plan climbs but never exceeds the pool budget.
+        let budget = consumed + 2.0;
+        let mut planned = vec![Some((1u32, low)), None];
+        plan_uprates(&p, kind, idle_w, budget, &t, &mut planned);
+        let (_, point) = planned[0].unwrap();
+        assert!(point.freq_ghz >= low.freq_ghz);
+        let total = p.power_w(kind, 1, point) + idle_w;
+        assert!(total <= budget + 1e-9, "total {total} > budget {budget}");
+        // And the plan is maximal: one more notch would not fit.
+        if let Some(up) = t.step_up(point) {
+            assert!(p.power_w(kind, 1, up) + idle_w > budget);
+        }
     }
 }

@@ -10,10 +10,13 @@
 //! calibrated so the Fig. 11(c) energy-efficiency ratios (23.6x / 11.6x)
 //! come out.
 
+use crate::engine::{self, EngineCtx, Event, PendingOrder, SimModel};
 use crate::metrics::BacktestMetrics;
+use crate::telemetry::QueryTimeline;
+use lt_accel::device::BatchId;
 use lt_dnn::ModelKind;
 use lt_feed::NormStats;
-use lt_feed::TickTrace;
+use lt_feed::{TickRecord, TickTrace};
 use lt_lob::Timestamp;
 use lt_pipeline::{OffloadEngine, PipelineLatencies};
 use serde::{Deserialize, Serialize};
@@ -88,6 +91,107 @@ impl SingleDeviceSystem {
     }
 }
 
+/// The single-device back-test as a [`SimModel`]: one FIFO device, no
+/// batching, stale management at issue time.
+struct SingleDeviceModel<'a> {
+    system: &'a SingleDeviceSystem,
+    service: Duration,
+    egress: Duration,
+    stale_budget: Duration,
+    t_avail: Duration,
+    offload: OffloadEngine,
+    /// The device is free from this time onward.
+    device_free: Timestamp,
+}
+
+impl SingleDeviceModel<'_> {
+    /// Issues queued queries whose start time has arrived; schedules a
+    /// [`Event::BatchIssue`] wake-up when the device is idle but the
+    /// oldest tensor is not ready yet (the completion event resumes the
+    /// busy case).
+    fn try_issue(&mut self, ctx: &mut EngineCtx) {
+        let now = ctx.now;
+        loop {
+            // Work through queued tensors while the device can start.
+            let start = self
+                .device_free
+                .max(self.offload.oldest().map_or(now, |t| t.ready_at));
+            if start > now {
+                if self.device_free <= now {
+                    // Idle device waiting on tensor readiness: wake up
+                    // exactly then. (A busy device resumes at its
+                    // completion event instead.)
+                    ctx.queue.push_at(start, Event::BatchIssue { aid: 0 });
+                }
+                break;
+            }
+            // Stale management at issue time.
+            let stale = self.offload.drop_stale(start, self.stale_budget);
+            ctx.metrics.dropped_stale += stale.len() as u64;
+            let Some(ticket) = self.offload.pop_batch(1).first().copied() else {
+                break;
+            };
+            let issue = start.max(ticket.ready_at);
+            let completion = issue + self.service;
+            ctx.metrics.batches += 1;
+            ctx.metrics.batched_queries += 1;
+            self.device_free = completion;
+            let breakdown = QueryTimeline {
+                ingress: ticket.ingress,
+                tick_ts: ticket.tick_ts,
+                ready_at: ticket.ready_at,
+                issue,
+                completion,
+                dvfs_switch: Duration::ZERO,
+                egress: self.egress,
+            }
+            .breakdown();
+            ctx.queue.push_at(
+                completion + self.egress,
+                Event::OrderOut {
+                    orders: vec![PendingOrder {
+                        tick_ts: ticket.tick_ts,
+                        deadline: ticket.tick_ts + self.t_avail,
+                        breakdown,
+                    }],
+                },
+            );
+            ctx.queue.push_at(
+                completion,
+                Event::BatchComplete {
+                    aid: 0,
+                    batch: BatchId::default(),
+                },
+            );
+        }
+    }
+}
+
+impl SimModel for SingleDeviceModel<'_> {
+    fn on_tick(&mut self, tick: &TickRecord, ctx: &mut EngineCtx) {
+        let before_full = self.offload.dropped_full();
+        self.offload
+            .on_tick_staged(&tick.snapshot, tick.ts, &self.system.stages);
+        ctx.metrics.dropped_full += self.offload.dropped_full() - before_full;
+        self.try_issue(ctx);
+    }
+
+    fn on_batch_issue(&mut self, _aid: usize, ctx: &mut EngineCtx) {
+        self.try_issue(ctx);
+    }
+
+    fn on_batch_complete(&mut self, _aid: usize, _batch: BatchId, ctx: &mut EngineCtx) {
+        // A single FIFO device never re-times a batch, so every
+        // completion token is current.
+        self.try_issue(ctx);
+    }
+
+    fn on_finish(&mut self, ctx: &mut EngineCtx) {
+        ctx.metrics.energy_j =
+            self.system.power_w * self.service.as_secs_f64() * ctx.metrics.batches as f64;
+    }
+}
+
 /// Replays `trace` through a single-device system and reports metrics.
 ///
 /// The device serves queries one at a time in FIFO order; queued queries
@@ -101,63 +205,18 @@ pub fn run_single_device(
     window: usize,
     queue_capacity: usize,
 ) -> BacktestMetrics {
-    let mut metrics = BacktestMetrics::new();
-    let mut offload = OffloadEngine::new(NormStats::identity(10), window, queue_capacity);
     let service = system.inference_latency(kind);
-    let ingress = system.stages.ingress();
     let egress = system.stages.egress();
-    // The device is free from this time onward.
-    let mut device_free = Timestamp::ZERO;
-
-    // Try to issue queued queries up to `now`.
-    let issue_until = |offload: &mut OffloadEngine,
-                       metrics: &mut BacktestMetrics,
-                       device_free: &mut Timestamp,
-                       now: Timestamp| {
-        loop {
-            // Work through queued tensors while the device can start.
-            let start = (*device_free).max(offload.oldest().map_or(now, |t| t.ready_at));
-            if start > now {
-                break;
-            }
-            // Stale management at issue time.
-            let stale = offload.drop_stale(start, t_avail.saturating_sub(egress + service));
-            metrics.dropped_stale += stale.len() as u64;
-            let Some(ticket) = offload.pop_batch(1).first().copied() else {
-                break;
-            };
-            let completion = start.max(ticket.ready_at) + service;
-            let order_out = completion + egress;
-            metrics.batches += 1;
-            metrics.batched_queries += 1;
-            *device_free = completion;
-            let deadline = ticket.tick_ts + t_avail;
-            if order_out <= deadline {
-                metrics.record_response(order_out.since(ticket.tick_ts));
-            } else {
-                metrics.late += 1;
-            }
-        }
+    let mut model = SingleDeviceModel {
+        system,
+        service,
+        egress,
+        stale_budget: t_avail.saturating_sub(egress + service),
+        t_avail,
+        offload: OffloadEngine::new(NormStats::identity(10), window, queue_capacity),
+        device_free: Timestamp::ZERO,
     };
-
-    for tick in trace {
-        let now = tick.ts;
-        issue_until(&mut offload, &mut metrics, &mut device_free, now);
-        let before_full = offload.dropped_full();
-        let ready_at = now + ingress;
-        offload.on_tick(&tick.snapshot, ready_at);
-        metrics.dropped_full += offload.dropped_full() - before_full;
-        issue_until(&mut offload, &mut metrics, &mut device_free, now);
-    }
-    // Drain: allow the device to finish everything still queued.
-    let horizon = trace
-        .ticks
-        .last()
-        .map(|t| t.ts + Duration::from_secs(60))
-        .unwrap_or(Timestamp::ZERO);
-    issue_until(&mut offload, &mut metrics, &mut device_free, horizon);
-    metrics.energy_j = system.power_w * service.as_secs_f64() * metrics.batches as f64;
-    metrics
+    engine::run(&mut model, trace)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use lt_accel::PowerCondition;
 use lt_dnn::ModelKind;
+use lt_pipeline::PipelineLatencies;
 use lt_sched::Policy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -23,6 +24,8 @@ pub struct BacktestConfig {
     pub queue_capacity: usize,
     /// Feature-window length (ticks) before queries start.
     pub window: usize,
+    /// Conventional-pipeline stage budget (ingress stamps + egress).
+    pub stages: PipelineLatencies,
 }
 
 impl BacktestConfig {
@@ -36,6 +39,7 @@ impl BacktestConfig {
             t_avail: crate::traffic::evaluation_deadline(),
             queue_capacity: 64,
             window: 100,
+            stages: PipelineLatencies::fpga(),
         }
     }
 
@@ -53,16 +57,27 @@ impl BacktestConfig {
         self
     }
 
+    /// Overrides the conventional-pipeline stage budget.
+    #[must_use]
+    pub fn with_stages(mut self, stages: PipelineLatencies) -> Self {
+        self.stages = stages;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics on zero accelerators, zero capacity, or a zero window.
+    /// Panics on zero accelerators, zero capacity, a zero window, or a
+    /// stage budget with a zero-latency stage.
     pub fn validate(&self) {
         assert!(self.n_accels > 0, "need at least one accelerator");
         assert!(self.queue_capacity > 0, "queue capacity must be positive");
         assert!(self.window > 0, "window must be positive");
         assert!(self.t_avail > Duration::ZERO, "t_avail must be positive");
+        if let Err(stage) = self.stages.validate() {
+            panic!("pipeline stage '{stage}' has zero latency");
+        }
     }
 }
 

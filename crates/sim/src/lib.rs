@@ -8,7 +8,11 @@
 //! available time, and reports response/miss rates — with a power-
 //! constraint option for the co-location scenarios.
 //!
-//! Three system models are provided, matching the paper's evaluation:
+//! Every back-test runs on one shared core: [`engine`] is the
+//! discrete-event engine (virtual clock, typed event queue, the
+//! [`SimModel`] trait), and [`telemetry`] decomposes each answered
+//! query's tick-to-trade across the stages it crossed. Two system models
+//! plug into it, matching the paper's evaluation:
 //!
 //! * [`lighttrader`] — the full system: offload-engine queue, 1–16
 //!   accelerators with DVFS state, and the four scheduling policies of
@@ -20,14 +24,18 @@
 
 pub mod baseline;
 pub mod config;
+pub mod engine;
 pub mod lighttrader;
 pub mod metrics;
 pub mod sweep;
+pub mod telemetry;
 pub mod traffic;
 
 pub use baseline::{run_single_device, SingleDeviceSystem};
 pub use config::BacktestConfig;
+pub use engine::{EngineCtx, Event, EventQueue, PendingOrder, SimModel};
 pub use lighttrader::run_lighttrader;
-pub use metrics::BacktestMetrics;
+pub use metrics::{BacktestMetrics, StageSummary};
 pub use sweep::run_sweep;
+pub use telemetry::{QueryTimeline, Stage, StageBreakdown};
 pub use traffic::{evaluation_deadline, evaluation_trace, EVALUATION_SEED};

@@ -35,14 +35,17 @@
 //! well as the overall latency" (§III-D).
 
 use crate::config::BacktestConfig;
+use crate::engine::{self, EngineCtx, Event, PendingOrder, SimModel};
 use crate::metrics::BacktestMetrics;
+use crate::telemetry::QueryTimeline;
+use lt_accel::device::BatchId;
 use lt_accel::dvfs::{static_plan, DvfsTable, OperatingPoint};
 use lt_accel::{Accelerator, DeviceProfile};
 use lt_dnn::ModelKind;
-use lt_feed::{NormStats, TickTrace};
+use lt_feed::{NormStats, TickRecord, TickTrace};
 use lt_lob::Timestamp;
 use lt_pipeline::{OffloadEngine, PipelineLatencies, TensorTicket};
-use lt_sched::schedule_workload;
+use lt_sched::{plan_uprates, schedule_workload};
 use std::time::Duration;
 
 /// One batch in flight on an accelerator.
@@ -56,9 +59,15 @@ struct InFlight {
     batch: u32,
     point: OperatingPoint,
     tickets: Vec<TensorTicket>,
+    /// Completion token; a rescale invalidates the previous one.
+    batch_id: BatchId,
+    /// When the batch claimed the accelerator (before the DVFS switch).
+    issue_base: Timestamp,
+    /// Accumulated PMIC switch + dwell delay charged to this batch.
+    switch_total: Duration,
 }
 
-/// The mutable simulation state.
+/// The LightTrader system model driven by the shared event engine.
 struct SimState {
     profile: DeviceProfile,
     /// Full candidate table for DVFS decisions.
@@ -68,6 +77,8 @@ struct SimState {
     kind: ModelKind,
     policy: lt_sched::Policy,
     t_avail: Duration,
+    /// Conventional-pipeline stage budget (ingress stamps + egress).
+    stages: PipelineLatencies,
     egress: Duration,
     /// Deadline budget for the DNN pipeline (t_avail minus egress).
     dnn_budget: Duration,
@@ -79,14 +90,15 @@ struct SimState {
     accels: Vec<Accelerator>,
     in_flight: Vec<Option<InFlight>>,
     offload: OffloadEngine,
-    metrics: BacktestMetrics,
 }
 
 impl SimState {
-    /// Rescales a busy accelerator to `target` at time `now`, stretching
-    /// or shrinking the remaining compute by the clock ratio and charging
-    /// the PMIC switch delay.
-    fn rescale(&mut self, aid: usize, target: OperatingPoint, now: Timestamp) {
+    /// Rescales a busy accelerator to `target` at `ctx.now`, stretching
+    /// or shrinking the remaining compute by the clock ratio, charging
+    /// the PMIC switch delay, and re-scheduling the completion event
+    /// under a fresh token (the old completion event goes stale).
+    fn rescale(&mut self, aid: usize, target: OperatingPoint, ctx: &mut EngineCtx) {
+        let now = ctx.now;
         let kind = self.kind;
         let profile = self.profile;
         let switch = {
@@ -114,6 +126,15 @@ impl SimState {
         flight.point = target;
         flight.segment_start = now;
         flight.completion = now + switch + stretched;
+        flight.switch_total += switch;
+        flight.batch_id = self.accels[aid].retime_batch(flight.completion);
+        ctx.queue.push_at(
+            flight.completion,
+            Event::BatchComplete {
+                aid,
+                batch: flight.batch_id,
+            },
+        );
     }
 
     /// The power reserved for an idle accelerator: its batch-1 draw at
@@ -176,8 +197,10 @@ impl SimState {
     /// and climbs are applied with hysteresis (at least two DVFS notches)
     /// because "frequent changing in DVFS policy ... increases the risk
     /// of a power failure as well as the overall latency" (§III-D).
-    fn rebalance(&mut self, now: Timestamp) {
-        // Pure computation first: desired points per busy accelerator.
+    fn rebalance(&mut self, ctx: &mut EngineCtx) {
+        let now = ctx.now;
+        // Pure planning first (Algorithm 2, in lt-sched): desired points
+        // per busy accelerator.
         let n = self.accels.len();
         let mut desired: Vec<Option<(u32, OperatingPoint)>> = (0..n)
             .map(|aid| match &self.in_flight[aid] {
@@ -185,68 +208,67 @@ impl SimState {
                 _ => None,
             })
             .collect();
-        let power_at = |state: &SimState, d: &Option<(u32, OperatingPoint)>| match d {
-            Some((batch, point)) => state.profile.power_w(state.kind, *batch, *point),
-            None => state.idle_reservation(),
-        };
-        loop {
-            let total: f64 = desired.iter().map(|d| power_at(self, d)).sum();
-            let avail = self.pool_budget_w - total;
-            let mut best: Option<(f64, usize, OperatingPoint)> = None;
-            for (aid, d) in desired.iter().enumerate() {
-                let Some((batch, point)) = d else {
-                    continue;
-                };
-                let Some(up) = self.table.step_up(*point) else {
-                    continue;
-                };
-                let inc = self.profile.power_w(self.kind, *batch, up)
-                    - self.profile.power_w(self.kind, *batch, *point);
-                if inc <= avail {
-                    let ppw_inc = self.profile.ppw(self.kind, *batch, up)
-                        - self.profile.ppw(self.kind, *batch, *point);
-                    if best.is_none_or(|(b, _, _)| ppw_inc > b) {
-                        best = Some((ppw_inc, aid, up));
-                    }
-                }
-            }
-            match best {
-                Some((_, aid, up)) => {
-                    desired[aid] = desired[aid].map(|(b, _)| (b, up));
-                }
-                None => break,
-            }
-        }
-        // Apply with hysteresis: one jump per accelerator, >= 2 notches.
+        plan_uprates(
+            &self.profile,
+            self.kind,
+            self.idle_reservation(),
+            self.pool_budget_w,
+            &self.table,
+            &mut desired,
+        );
+        // Apply with hysteresis — one jump per accelerator, >= 2 notches
+        // — as DVFS-rescale events. They carry the current completion
+        // token and fire before any other same-instant event (rank 0),
+        // so the re-timing lands before the next completion is examined.
         for (aid, want) in desired.iter().enumerate().take(n) {
             if let (Some(flight), Some((_, target))) = (&self.in_flight[aid], *want) {
                 if target.freq_ghz - flight.point.freq_ghz > 0.15 {
-                    self.rescale(aid, target, now);
+                    ctx.queue.push_at(
+                        now,
+                        Event::DvfsRescale {
+                            aid,
+                            batch: flight.batch_id,
+                            target,
+                        },
+                    );
                 }
             }
         }
     }
 
-    /// Settles one completed batch: scores every ticket against the
-    /// available time.
-    fn settle(&mut self, flight: InFlight) {
+    /// Settles one completed batch: accumulates its energy and emits the
+    /// order-out event that scores every ticket against the available
+    /// time at wire-out.
+    fn settle(&mut self, flight: InFlight, ctx: &mut EngineCtx) {
         let seg_start = flight.segment_start.min(flight.completion);
-        self.metrics.energy_j += flight.energy_j
+        ctx.metrics.energy_j += flight.energy_j
             + flight.completion.since(seg_start).as_secs_f64()
                 * self.profile.power_w(self.kind, flight.batch, flight.point);
-        for ticket in flight.tickets {
-            let order_out = flight.completion + self.egress;
-            if order_out <= ticket.tick_ts + self.t_avail {
-                self.metrics
-                    .record_response(order_out.since(ticket.tick_ts));
-            } else {
-                self.metrics.late += 1;
-            }
-        }
+        let order_out = flight.completion + self.egress;
+        let orders: Vec<PendingOrder> = flight
+            .tickets
+            .iter()
+            .map(|ticket| PendingOrder {
+                tick_ts: ticket.tick_ts,
+                deadline: ticket.tick_ts + self.t_avail,
+                breakdown: QueryTimeline {
+                    ingress: ticket.ingress,
+                    tick_ts: ticket.tick_ts,
+                    ready_at: ticket.ready_at,
+                    issue: flight.issue_base,
+                    completion: flight.completion,
+                    dvfs_switch: flight.switch_total,
+                    egress: self.egress,
+                }
+                .breakdown(),
+            })
+            .collect();
+        ctx.queue.push_at(order_out, Event::OrderOut { orders });
     }
 
-    /// Issues work onto every idle accelerator at `now`.
-    fn try_issue(&mut self, now: Timestamp) {
+    /// Issues work onto every idle accelerator at `ctx.now`.
+    fn try_issue(&mut self, ctx: &mut EngineCtx) {
+        let now = ctx.now;
         'accels: for aid in 0..self.accels.len() {
             if self.in_flight[aid].is_some() {
                 continue;
@@ -254,7 +276,7 @@ impl SimState {
             loop {
                 // Stale management before every scheduling attempt.
                 let stale = self.offload.drop_stale(now, self.stale_budget);
-                self.metrics.dropped_stale += stale.len() as u64;
+                ctx.metrics.dropped_stale += stale.len() as u64;
                 let Some(oldest) = self.offload.oldest() else {
                     break 'accels; // queue empty: nothing for any accel
                 };
@@ -290,9 +312,10 @@ impl SimState {
                             .map(|t| t.ready_at)
                             .max()
                             .expect("non-empty batch");
-                        let start = effective_now.max(ready) + switch;
+                        let issue_base = effective_now.max(ready);
+                        let start = issue_base + switch;
                         let completion = start + self.profile.t_total(self.kind, batch, point);
-                        self.accels[aid].start_batch(start, completion);
+                        let batch_id = self.accels[aid].start_batch(start, completion);
                         self.in_flight[aid] = Some(InFlight {
                             completion,
                             segment_start: start,
@@ -300,9 +323,19 @@ impl SimState {
                             batch,
                             point,
                             tickets,
+                            batch_id,
+                            issue_base,
+                            switch_total: switch,
                         });
-                        self.metrics.batches += 1;
-                        self.metrics.batched_queries += u64::from(batch);
+                        ctx.metrics.batches += 1;
+                        ctx.metrics.batched_queries += u64::from(batch);
+                        ctx.queue.push_at(
+                            completion,
+                            Event::BatchComplete {
+                                aid,
+                                batch: batch_id,
+                            },
+                        );
                         continue 'accels;
                     }
                     None if self.hopeless(aid, t_remaining) => {
@@ -311,7 +344,7 @@ impl SimState {
                         // conventional pipeline (Algorithm 1's "remove
                         // oldest input tensor") and reschedule.
                         if self.offload.defer_oldest().is_some() {
-                            self.metrics.deferred += 1;
+                            ctx.metrics.deferred += 1;
                             continue;
                         }
                         break 'accels;
@@ -326,7 +359,7 @@ impl SimState {
             }
         }
         if self.policy.dvfs_enabled() {
-            self.rebalance(now);
+            self.rebalance(ctx);
         }
     }
 
@@ -427,27 +460,53 @@ impl SimState {
             Some((1, self.static_point))
         }
     }
+}
 
-    /// Index and completion time of the next batch to finish.
-    fn next_completion(&self) -> Option<(usize, Timestamp)> {
-        self.in_flight
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.as_ref().map(|f| (i, f.completion)))
-            .min_by_key(|&(_, t)| t)
+impl SimModel for SimState {
+    fn on_tick(&mut self, tick: &TickRecord, ctx: &mut EngineCtx) {
+        let before_full = self.offload.dropped_full();
+        self.offload
+            .on_tick_staged(&tick.snapshot, tick.ts, &self.stages);
+        ctx.metrics.dropped_full += self.offload.dropped_full() - before_full;
+        self.try_issue(ctx);
     }
 
-    /// Processes every completion up to `now`.
-    fn drain_completions(&mut self, now: Timestamp) {
-        while let Some((aid, completion)) = self.next_completion() {
-            if completion > now {
-                break;
-            }
-            let flight = self.in_flight[aid].take().expect("in flight");
-            self.accels[aid].finish_batch();
-            self.settle(flight);
-            self.try_issue(completion);
+    fn on_batch_complete(&mut self, aid: usize, batch: BatchId, ctx: &mut EngineCtx) {
+        // A rescale re-timed this batch and invalidated the token the
+        // event was scheduled with: the re-scheduled completion event is
+        // already in the queue.
+        if self.accels[aid].current_batch() != Some(batch) {
+            return;
         }
+        let flight = self.in_flight[aid].take().expect("in flight");
+        debug_assert_eq!(flight.completion, ctx.now);
+        self.accels[aid].finish_batch();
+        self.settle(flight, ctx);
+        self.try_issue(ctx);
+    }
+
+    fn on_dvfs_rescale(
+        &mut self,
+        aid: usize,
+        batch: BatchId,
+        target: OperatingPoint,
+        ctx: &mut EngineCtx,
+    ) {
+        // Rescale events fire at the instant they are raised (rank 0
+        // outruns every other same-instant event), so the flight can not
+        // have changed under the token; the guard is pure defence.
+        if self.in_flight[aid]
+            .as_ref()
+            .is_some_and(|f| f.batch_id == batch)
+        {
+            self.rescale(aid, target, ctx);
+        }
+    }
+
+    fn on_finish(&mut self, ctx: &mut EngineCtx) {
+        // Any tensors still queued at session end can never be answered.
+        let leftover = self.offload.queue_len() as u64;
+        ctx.metrics.dropped_stale += leftover;
     }
 }
 
@@ -471,7 +530,7 @@ pub fn run_lighttrader(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetri
     } else {
         DvfsTable::evaluation()
     };
-    let stages = PipelineLatencies::fpga();
+    let stages = cfg.stages;
     let plan = static_plan(cfg.kind, cfg.n_accels, cfg.condition);
     let egress = stages.egress();
     // The WS risk guard: never under-clock below the static plan.
@@ -514,6 +573,7 @@ pub fn run_lighttrader(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetri
         kind: cfg.kind,
         policy: cfg.policy,
         t_avail: cfg.t_avail,
+        stages,
         egress,
         dnn_budget,
         stale_budget,
@@ -525,27 +585,8 @@ pub fn run_lighttrader(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetri
             .collect(),
         in_flight: vec![None; cfg.n_accels],
         offload: OffloadEngine::new(NormStats::identity(10), cfg.window, cfg.queue_capacity),
-        metrics: BacktestMetrics::new(),
     };
-
-    let ingress = stages.ingress();
-    for tick in trace {
-        let now = tick.ts;
-        state.drain_completions(now);
-        let before_full = state.offload.dropped_full();
-        let ready_at = now + ingress;
-        state.offload.on_tick(&tick.snapshot, ready_at);
-        state.metrics.dropped_full += state.offload.dropped_full() - before_full;
-        state.try_issue(now);
-    }
-    // Drain everything still in flight or queued.
-    while let Some((_, t)) = state.next_completion() {
-        state.drain_completions(t);
-    }
-    // Any tensors still queued at session end can never be answered.
-    let leftover = state.offload.queue_len() as u64;
-    state.metrics.dropped_stale += leftover;
-    state.metrics
+    engine::run(&mut state, trace)
 }
 
 #[cfg(test)]

@@ -1,7 +1,67 @@
 //! Back-test outcome accounting.
 
+use crate::telemetry::{Stage, StageBreakdown};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// Per-stage latency samples, parallel to the end-to-end latency stream.
+///
+/// `samples[s][i]` is the time response `i` spent in stage `s`, so for
+/// every response the stage column sums to the recorded tick-to-trade
+/// exactly (the decomposition is exact by construction, see
+/// [`crate::telemetry::QueryTimeline::breakdown`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct StageSamples {
+    network_rx: Vec<u64>,
+    parse: Vec<u64>,
+    book_update: Vec<u64>,
+    offload: Vec<u64>,
+    queue_wait: Vec<u64>,
+    dvfs_switch: Vec<u64>,
+    inference: Vec<u64>,
+    egress: Vec<u64>,
+}
+
+impl StageSamples {
+    fn column(&self, stage: Stage) -> &Vec<u64> {
+        match stage {
+            Stage::NetworkRx => &self.network_rx,
+            Stage::Parse => &self.parse,
+            Stage::BookUpdate => &self.book_update,
+            Stage::Offload => &self.offload,
+            Stage::QueueWait => &self.queue_wait,
+            Stage::DvfsSwitch => &self.dvfs_switch,
+            Stage::Inference => &self.inference,
+            Stage::Egress => &self.egress,
+        }
+    }
+
+    fn column_mut(&mut self, stage: Stage) -> &mut Vec<u64> {
+        match stage {
+            Stage::NetworkRx => &mut self.network_rx,
+            Stage::Parse => &mut self.parse,
+            Stage::BookUpdate => &mut self.book_update,
+            Stage::Offload => &mut self.offload,
+            Stage::QueueWait => &mut self.queue_wait,
+            Stage::DvfsSwitch => &mut self.dvfs_switch,
+            Stage::Inference => &mut self.inference,
+            Stage::Egress => &mut self.egress,
+        }
+    }
+}
+
+/// p50/p99/p99.9 of one stage's latency distribution (report row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stable stage name (snake_case).
+    pub stage: &'static str,
+    /// Median stage latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile stage latency, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile stage latency, nanoseconds.
+    pub p999_ns: u64,
+}
 
 /// Aggregated results of one back-test run.
 ///
@@ -23,6 +83,9 @@ pub struct BacktestMetrics {
     pub deferred: u64,
     /// Tick-to-trade latencies of answered (in-time) queries, in nanos.
     latencies_ns: Vec<u64>,
+    /// Per-stage decomposition of `latencies_ns` (one column per stage,
+    /// one row per response). Empty for legacy recorders.
+    stages: StageSamples,
     /// Total energy the accelerator pool consumed, in joules.
     pub energy_j: f64,
     /// Total batches issued.
@@ -101,6 +164,78 @@ impl BacktestMetrics {
     pub fn latency_samples(&self) -> usize {
         self.latencies_ns.len()
     }
+
+    /// The raw tick-to-trade latencies (nanoseconds) in recording order.
+    pub fn latencies(&self) -> &[u64] {
+        &self.latencies_ns
+    }
+
+    /// Records an in-time response with its exact per-stage split; the
+    /// end-to-end latency is the breakdown's total.
+    pub fn record_breakdown(&mut self, b: &StageBreakdown) {
+        self.responded += 1;
+        self.latencies_ns.push(b.total().as_nanos() as u64);
+        for stage in Stage::ALL {
+            self.stages
+                .column_mut(stage)
+                .push(b.get(stage).as_nanos() as u64);
+        }
+    }
+
+    /// True when every response carries a per-stage decomposition.
+    pub fn has_stage_samples(&self) -> bool {
+        !self.latencies_ns.is_empty() && self.stages.network_rx.len() == self.latencies_ns.len()
+    }
+
+    /// The raw samples of one stage (nanoseconds, recording order).
+    pub fn stage_samples(&self, stage: Stage) -> &[u64] {
+        self.stages.column(stage)
+    }
+
+    /// The `q`-quantile (0.0–1.0) of one stage's latency distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn stage_quantile(&self, stage: Stage, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let col = self.stages.column(stage);
+        if col.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = col.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Duration::from_nanos(sorted[idx])
+    }
+
+    /// p50/p99/p99.9 per stage, in pipeline order (the report surface;
+    /// serializable per run).
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| StageSummary {
+                stage: stage.name(),
+                p50_ns: self.stage_quantile(stage, 0.50).as_nanos() as u64,
+                p99_ns: self.stage_quantile(stage, 0.99).as_nanos() as u64,
+                p999_ns: self.stage_quantile(stage, 0.999).as_nanos() as u64,
+            })
+            .collect()
+    }
+
+    /// Verifies that every response's stage column sums to its recorded
+    /// end-to-end latency within `tolerance_ns`. The engine's greedy
+    /// decomposition makes this exact (tolerance 0 passes); the method
+    /// exists so tests and reports can assert it.
+    pub fn stage_sums_reconcile(&self, tolerance_ns: u64) -> bool {
+        if !self.has_stage_samples() {
+            return self.latencies_ns.is_empty();
+        }
+        (0..self.latencies_ns.len()).all(|i| {
+            let sum: u64 = Stage::ALL.iter().map(|&s| self.stages.column(s)[i]).sum();
+            sum.abs_diff(self.latencies_ns[i]) <= tolerance_ns
+        })
+    }
 }
 
 impl std::fmt::Display for BacktestMetrics {
@@ -175,5 +310,76 @@ mod tests {
     fn bad_quantile_panics() {
         let m = BacktestMetrics::new();
         let _ = m.latency_quantile(1.5);
+    }
+
+    use crate::telemetry::QueryTimeline;
+    use lt_lob::Timestamp;
+    use lt_pipeline::PipelineLatencies;
+
+    /// A well-ordered timeline whose queue wait is `wait_ns`.
+    fn timeline(wait_ns: u64) -> QueryTimeline {
+        let stages = PipelineLatencies::fpga();
+        let stamp = stages.ingress_stamp();
+        let tick_ts = Timestamp::from_nanos(1_000);
+        let ready_at = tick_ts + stamp.total();
+        let issue = ready_at + Duration::from_nanos(wait_ns);
+        QueryTimeline {
+            ingress: stamp,
+            tick_ts,
+            ready_at,
+            issue,
+            completion: issue + Duration::from_micros(100),
+            dvfs_switch: Duration::ZERO,
+            egress: stages.egress(),
+        }
+    }
+
+    #[test]
+    fn breakdowns_feed_both_latency_and_stage_streams() {
+        let mut m = BacktestMetrics::new();
+        m.record_breakdown(&timeline(500).breakdown());
+        m.record_breakdown(&timeline(2_500).breakdown());
+        assert_eq!(m.responded, 2);
+        assert_eq!(m.latency_samples(), 2);
+        assert!(m.has_stage_samples());
+        assert_eq!(m.stage_samples(Stage::QueueWait), &[500, 2_500]);
+        // Each response's stage column sums to its end-to-end latency.
+        assert!(m.stage_sums_reconcile(0), "decomposition must be exact");
+    }
+
+    #[test]
+    fn stage_quantiles_and_summaries() {
+        let mut m = BacktestMetrics::new();
+        for wait in [100u64, 200, 300, 400, 500] {
+            m.record_breakdown(&timeline(wait).breakdown());
+        }
+        assert_eq!(
+            m.stage_quantile(Stage::QueueWait, 0.5),
+            Duration::from_nanos(300)
+        );
+        assert_eq!(
+            m.stage_quantile(Stage::QueueWait, 1.0),
+            Duration::from_nanos(500)
+        );
+        // The ingress stages are constant, so every quantile agrees.
+        let stamp = PipelineLatencies::fpga().ingress_stamp();
+        assert_eq!(m.stage_quantile(Stage::Parse, 0.99), stamp.parse);
+        let summaries = m.stage_summaries();
+        assert_eq!(summaries.len(), Stage::ALL.len());
+        let wait = summaries.iter().find(|s| s.stage == "queue_wait").unwrap();
+        assert_eq!(wait.p50_ns, 300);
+        assert_eq!(wait.p99_ns, 500);
+        assert_eq!(wait.p999_ns, 500);
+    }
+
+    #[test]
+    fn legacy_recording_has_no_stage_samples() {
+        let mut m = BacktestMetrics::new();
+        m.record_response(Duration::from_micros(100));
+        assert!(!m.has_stage_samples());
+        assert!(!m.stage_sums_reconcile(0), "latency without stages");
+        assert_eq!(m.stage_quantile(Stage::Inference, 0.5), Duration::ZERO);
+        let empty = BacktestMetrics::new();
+        assert!(empty.stage_sums_reconcile(0), "vacuously reconciled");
     }
 }

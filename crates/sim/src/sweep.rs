@@ -141,4 +141,19 @@ mod tests {
         let out = run_sweep(&trace, &configs()[..4], 0);
         assert_eq!(out.len(), 4);
     }
+
+    #[test]
+    fn sweep_metrics_carry_stage_breakdowns() {
+        let trace = trace();
+        let results = run_sweep(&trace, &configs(), 4);
+        assert!(results.iter().any(|m| m.responded > 0));
+        for m in &results {
+            if m.responded > 0 {
+                assert!(m.has_stage_samples());
+            }
+            // The engine's decomposition reconciles to the nanosecond.
+            assert!(m.stage_sums_reconcile(1), "stage sums drifted > 1 ns");
+            assert!(m.stage_sums_reconcile(0), "greedy decomposition is exact");
+        }
+    }
 }

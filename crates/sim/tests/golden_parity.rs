@@ -1,0 +1,251 @@
+//! Golden parity: the unified discrete-event engine must reproduce the
+//! pre-refactor back-test results bit-identically.
+//!
+//! The goldens under `tests/goldens/` were captured from the seed HEAD
+//! (commit 886d879, before the engine refactor) by running the then
+//! hand-rolled loops in `baseline.rs` and `lighttrader.rs` over two
+//! seeded traces. Every outcome counter, the exact tick-to-trade latency
+//! stream (order included), and the bit pattern of the accumulated energy
+//! must match: the engine is a refactor, not a re-model.
+//!
+//! Regenerate (only after an *intentional* semantic change, with the
+//! change explained in CHANGES.md):
+//!
+//! ```text
+//! cargo test -p lt-sim --release --test golden_parity -- --ignored
+//! ```
+
+use lt_accel::PowerCondition;
+use lt_dnn::ModelKind;
+use lt_feed::TickTrace;
+use lt_sched::Policy;
+use lt_sim::traffic::{evaluation_trace, scheduling_deadline_for};
+use lt_sim::{
+    run_lighttrader, run_single_device, BacktestConfig, BacktestMetrics, SingleDeviceSystem,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One golden scenario: a named back-test whose metrics are pinned.
+struct Scenario {
+    name: &'static str,
+    trace_secs: f64,
+    trace_seed: u64,
+    run: fn(&TickTrace) -> BacktestMetrics,
+}
+
+fn lt_cfg(kind: ModelKind, n: usize, condition: PowerCondition, policy: Policy) -> BacktestConfig {
+    let cfg = BacktestConfig::new(kind, n, condition).with_policy(policy);
+    if policy == Policy::Baseline {
+        cfg
+    } else {
+        // The scheduling policies only bite under a constrained horizon.
+        cfg.with_t_avail(scheduling_deadline_for(kind))
+    }
+}
+
+/// The pinned scenario matrix: both profiled single-device baselines and
+/// all four LightTrader policies, each on two independently seeded traces.
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (tag, seed) in [("a", 101u64), ("b", 20230225u64)] {
+        macro_rules! scenario {
+            ($name:expr, $run:expr) => {
+                out.push(Scenario {
+                    name: $name,
+                    trace_secs: 4.0,
+                    trace_seed: seed,
+                    run: $run,
+                })
+            };
+        }
+        match tag {
+            "a" => {
+                scenario!("a_gpu_deeplob", |t| run_single_device(
+                    t,
+                    &SingleDeviceSystem::gpu(),
+                    ModelKind::DeepLob,
+                    Duration::from_millis(5),
+                    100,
+                    64,
+                ));
+                scenario!("a_fpga_translob", |t| run_single_device(
+                    t,
+                    &SingleDeviceSystem::fpga(),
+                    ModelKind::TransLob,
+                    Duration::from_millis(5),
+                    100,
+                    64,
+                ));
+                scenario!("a_lt_baseline", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(
+                        ModelKind::DeepLob,
+                        2,
+                        PowerCondition::Sufficient,
+                        Policy::Baseline,
+                    ),
+                ));
+                scenario!("a_lt_ws", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(
+                        ModelKind::VanillaCnn,
+                        1,
+                        PowerCondition::Sufficient,
+                        Policy::WorkloadScheduling,
+                    ),
+                ));
+                scenario!("a_lt_ds", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(
+                        ModelKind::TransLob,
+                        8,
+                        PowerCondition::Limited,
+                        Policy::DvfsScheduling,
+                    ),
+                ));
+                scenario!("a_lt_both", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(ModelKind::DeepLob, 4, PowerCondition::Limited, Policy::Both,),
+                ));
+                // A tight horizon under limited power on a wide pool
+                // forces Algorithm 1's "remove oldest input tensor" path
+                // (deferred > 0): the lone-boost stale budget assumes
+                // power the busy pool cannot actually grant.
+                scenario!("a_lt_defer", |t| run_lighttrader(
+                    t,
+                    &BacktestConfig::new(ModelKind::DeepLob, 16, PowerCondition::Limited)
+                        .with_policy(Policy::Both)
+                        .with_t_avail(Duration::from_micros(900)),
+                ));
+            }
+            _ => {
+                scenario!("b_gpu_deeplob", |t| run_single_device(
+                    t,
+                    &SingleDeviceSystem::gpu(),
+                    ModelKind::DeepLob,
+                    Duration::from_millis(5),
+                    100,
+                    64,
+                ));
+                scenario!("b_fpga_translob", |t| run_single_device(
+                    t,
+                    &SingleDeviceSystem::fpga(),
+                    ModelKind::TransLob,
+                    Duration::from_millis(5),
+                    100,
+                    64,
+                ));
+                scenario!("b_lt_baseline", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(
+                        ModelKind::VanillaCnn,
+                        2,
+                        PowerCondition::Limited,
+                        Policy::Baseline,
+                    ),
+                ));
+                scenario!("b_lt_ws", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(
+                        ModelKind::VanillaCnn,
+                        2,
+                        PowerCondition::Sufficient,
+                        Policy::WorkloadScheduling,
+                    ),
+                ));
+                scenario!("b_lt_ds", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(
+                        ModelKind::DeepLob,
+                        8,
+                        PowerCondition::Limited,
+                        Policy::DvfsScheduling,
+                    ),
+                ));
+                scenario!("b_lt_both", |t| run_lighttrader(
+                    t,
+                    &lt_cfg(
+                        ModelKind::TransLob,
+                        4,
+                        PowerCondition::Sufficient,
+                        Policy::Both,
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Serializes the pre-refactor-visible metric surface to a stable text
+/// format. Energy is stored as the f64 bit pattern so parity is exact,
+/// not within-epsilon; the latency stream pins both values and order.
+fn encode(m: &BacktestMetrics) -> String {
+    let mut s = String::new();
+    writeln!(s, "responded {}", m.responded).unwrap();
+    writeln!(s, "late {}", m.late).unwrap();
+    writeln!(s, "dropped_full {}", m.dropped_full).unwrap();
+    writeln!(s, "dropped_stale {}", m.dropped_stale).unwrap();
+    writeln!(s, "deferred {}", m.deferred).unwrap();
+    writeln!(s, "batches {}", m.batches).unwrap();
+    writeln!(s, "batched_queries {}", m.batched_queries).unwrap();
+    writeln!(s, "energy_bits {}", m.energy_j.to_bits()).unwrap();
+    write!(s, "latencies_ns").unwrap();
+    for l in m.latencies() {
+        write!(s, " {l}").unwrap();
+    }
+    writeln!(s).unwrap();
+    s
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.golden"))
+}
+
+#[test]
+fn engine_reproduces_pre_refactor_metrics() {
+    let mut traces: Vec<(u64, TickTrace)> = Vec::new();
+    for s in scenarios() {
+        if !traces.iter().any(|(seed, _)| *seed == s.trace_seed) {
+            traces.push((s.trace_seed, evaluation_trace(s.trace_secs, s.trace_seed)));
+        }
+        let trace = &traces
+            .iter()
+            .find(|(seed, _)| *seed == s.trace_seed)
+            .unwrap()
+            .1;
+        let got = encode(&(s.run)(trace));
+        let want = std::fs::read_to_string(golden_path(s.name))
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", s.name));
+        assert_eq!(
+            got, want,
+            "scenario {} diverged from the pre-refactor golden",
+            s.name
+        );
+    }
+}
+
+/// Rewrites every golden from the current implementation. Run only when a
+/// semantic change is intended; the diff is the review artifact.
+#[test]
+#[ignore = "regenerates the goldens from the current implementation"]
+fn regenerate_goldens() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut traces: Vec<(u64, TickTrace)> = Vec::new();
+    for s in scenarios() {
+        if !traces.iter().any(|(seed, _)| *seed == s.trace_seed) {
+            traces.push((s.trace_seed, evaluation_trace(s.trace_secs, s.trace_seed)));
+        }
+        let trace = &traces
+            .iter()
+            .find(|(seed, _)| *seed == s.trace_seed)
+            .unwrap()
+            .1;
+        std::fs::write(golden_path(s.name), encode(&(s.run)(trace))).unwrap();
+    }
+}

@@ -21,7 +21,13 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== engine refactor gates: golden parity + determinism =="
+cargo test -q --release -p lt-sim --test golden_parity --test determinism
+
 if [[ "$fast" == "0" ]]; then
+    echo "== sim wall-clock smoke (budget 1.15x seed) =="
+    cargo test -q --release -p lt-sim --test wallclock_smoke -- --ignored
+
     echo "== bench smoke: cargo bench -- --test =="
     cargo bench -- --test
 fi
