@@ -4,9 +4,9 @@
 //! cargo run --release -p lt-bench --bin tables -- [artifact] [--secs N] [--seed N]
 //! ```
 //!
-//! `artifact` is one of `table1 table2 table3 fig8 fig11 fig12 fig13
-//! stages all` (default `all`). `--secs` sets the simulated session
-//! length (default 60), `--seed` the session seed.
+//! `artifact` is one of `table1 table2 table3 fig8 fig11 fig12
+//! fig12tight fig13 stages faults all` (default `all`). `--secs` sets
+//! the simulated session length (default 60), `--seed` the session seed.
 
 use lighttrader::sim::traffic::EVALUATION_SEED;
 
@@ -62,5 +62,8 @@ fn main() {
     }
     if run("stages") {
         println!("{}", lt_bench::render_stage_latency(secs, seed));
+    }
+    if run("faults") {
+        println!("{}", lt_bench::render_faults(secs, seed));
     }
 }

@@ -5,8 +5,10 @@
 use lighttrader::accel::PowerCondition;
 use lighttrader::dnn::ModelKind;
 use lighttrader::experiments::{self, Fig11, Fig13};
-use lighttrader::report::{percent, ratio, stage_latency_table, TextTable};
+use lighttrader::report::{ingress_table, percent, ratio, stage_latency_table, TextTable};
 use lighttrader::sched::Policy;
+use lighttrader::sim::traffic::scheduling_deadline_for;
+use lighttrader::sim::{run_lighttrader, BacktestConfig, FaultRates, IngressFaults};
 
 /// Renders Table I (accelerator specification).
 pub fn render_table1() -> String {
@@ -264,6 +266,61 @@ pub fn render_fig13(secs: f64, seed: u64) -> String {
     out
 }
 
+/// Renders the ingress fault sweep: loss rate vs recovery accounting,
+/// response rate, and tick-to-trade degradation, plus the full ingress
+/// ledger of one exemplar degraded run.
+pub fn render_faults(secs: f64, seed: u64) -> String {
+    let rows = experiments::fault_sweep(secs, seed);
+    let mut t = TextTable::new(vec![
+        "loss/feed",
+        "offered",
+        "recovered",
+        "lost",
+        "response",
+        "mean t2t (us)",
+        "p99 t2t (us)",
+    ]);
+    for r in &rows {
+        t.push_row(vec![
+            percent(r.loss_rate),
+            r.offered.to_string(),
+            r.recovered.to_string(),
+            r.lost.to_string(),
+            percent(r.response_rate),
+            format!("{:.2}", r.mean_t2t_us),
+            format!("{:.2}", r.p99_t2t_us),
+        ]);
+    }
+    let mut out = format!(
+        "== Fault sweep: symmetric A/B packet loss vs back-test degradation ==\n{}",
+        t.render()
+    );
+    // One exemplar ledger at the heaviest sweep point, for the per-feed
+    // view the summary rows aggregate away.
+    let heaviest = rows.last().map(|r| r.loss_rate).unwrap_or(0.1);
+    let trace = lighttrader::sim::traffic::evaluation_trace(secs, seed);
+    let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob))
+        .with_faults(IngressFaults::symmetric(
+            FaultRates {
+                drop: heaviest,
+                reorder: heaviest,
+                reorder_delay_ns: 5_000,
+                ..FaultRates::lossless()
+            },
+            seed,
+        ));
+    let m = run_lighttrader(&trace, &cfg);
+    if let Some(report) = m.ingress {
+        out.push_str(&format!(
+            "\n-- ingress ledger at {} loss/feed --\n{}",
+            percent(heaviest),
+            ingress_table(&report).render()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +341,14 @@ mod tests {
         assert!(f8.contains("M5"));
         let f11 = render_fig11(2.0, 1);
         assert!(f11.contains("13.92x"));
+    }
+
+    #[test]
+    fn fault_sweep_renders_sweep_and_ledger() {
+        let out = render_faults(2.0, 1);
+        assert!(out.contains("Fault sweep"));
+        assert!(out.contains("10.0%"), "heaviest sweep point present");
+        assert!(out.contains("ingress ledger"));
+        assert!(out.contains("lost on both"));
     }
 }

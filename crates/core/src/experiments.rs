@@ -471,6 +471,64 @@ pub fn fig13(secs: f64, seed: u64) -> Fig13 {
     }
 }
 
+/// One row of the ingress fault sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepRow {
+    /// Per-feed drop probability (both feeds, independent streams).
+    pub loss_rate: f64,
+    /// Ticks offered to the A/B pair.
+    pub offered: u64,
+    /// Ticks lost on one feed but recovered from the other.
+    pub recovered: u64,
+    /// Ticks lost on both feeds (never reach the book).
+    pub lost: u64,
+    /// Response rate of the degraded back-test.
+    pub response_rate: f64,
+    /// Mean tick-to-trade of in-time responses, in microseconds.
+    pub mean_t2t_us: f64,
+    /// p99 tick-to-trade of in-time responses, in microseconds.
+    pub p99_t2t_us: f64,
+}
+
+/// The ingress fault sweep: symmetric packet loss (plus reorder jitter)
+/// on both redundant feeds, from a clean wire up to heavy loss. Shows
+/// the arbitration layer's two regimes: at low loss, feed B fills every
+/// A-side gap and nothing reaches the `lost` column; as loss grows, the
+/// drop patterns overlap, ticks vanish before the book, and the
+/// response-rate/tick-to-trade surface degrades.
+pub fn fault_sweep(secs: f64, seed: u64) -> Vec<FaultSweepRow> {
+    let trace = evaluation_trace(secs, seed);
+    let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited)
+        .with_t_avail(lt_sim::traffic::scheduling_deadline_for(ModelKind::DeepLob));
+    let mut rows = Vec::new();
+    for loss in [0.0, 0.005, 0.01, 0.02, 0.05, 0.10] {
+        let faults = lt_sim::IngressFaults::symmetric(
+            lt_sim::FaultRates {
+                drop: loss,
+                reorder: loss,
+                reorder_delay_ns: 5_000,
+                ..lt_sim::FaultRates::lossless()
+            },
+            seed,
+        );
+        let m = run_lighttrader(&trace, &cfg.with_faults(faults));
+        let (offered, recovered, lost) = match m.ingress {
+            Some(r) => (r.offered, r.recovered, r.lost),
+            None => (trace.len() as u64, 0, 0),
+        };
+        rows.push(FaultSweepRow {
+            loss_rate: loss,
+            offered,
+            recovered,
+            lost,
+            response_rate: m.response_rate(),
+            mean_t2t_us: m.mean_latency().as_secs_f64() * 1e6,
+            p99_t2t_us: m.latency_quantile(0.99).as_secs_f64() * 1e6,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +616,26 @@ mod tests {
         let lt = rows.iter().find(|r| r.run.contains("LightTrader")).unwrap();
         let get = |name: &str| lt.stages.iter().find(|s| s.stage == name).unwrap();
         assert!(get("inference").p50_ns > get("parse").p50_ns);
+    }
+
+    #[test]
+    fn fault_sweep_has_two_regimes() {
+        let rows = fault_sweep(SECS, SEED);
+        assert_eq!(rows.len(), 6);
+        // The clean wire is a clean back-test: nothing lost or recovered.
+        assert_eq!(rows[0].loss_rate, 0.0);
+        assert_eq!(rows[0].recovered, 0);
+        assert_eq!(rows[0].lost, 0);
+        // Any lossy point exercises recovery, and the ledger always
+        // balances: recovered + lost never exceeds what the wire took.
+        assert!(rows.iter().skip(1).any(|r| r.recovered > 0));
+        for r in &rows {
+            assert!(r.lost + r.recovered <= r.offered, "{r:?}");
+            assert!(r.offered == rows[0].offered, "same trace every point");
+        }
+        // Heavy loss cannot outperform the clean wire.
+        let last = rows.last().unwrap();
+        assert!(last.response_rate <= rows[0].response_rate + 0.02);
     }
 
     #[test]

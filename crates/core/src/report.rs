@@ -1,6 +1,6 @@
 //! Plain-text table rendering for experiment reports.
 
-use lt_sim::StageSummary;
+use lt_sim::{IngressReport, StageSummary};
 
 /// A simple aligned text table.
 ///
@@ -104,6 +104,43 @@ pub fn stage_latency_table(summaries: &[StageSummary]) -> TextTable {
             format!("{:.2}", s.p999_ns as f64 / 1_000.0),
         ]);
     }
+    t
+}
+
+/// Renders one fault-injected ingress report as a table: what the wire
+/// did to each redundant feed and what A/B arbitration salvaged.
+pub fn ingress_table(r: &IngressReport) -> TextTable {
+    let mut t = TextTable::new(vec!["counter", "feed A", "feed B", "combined"]);
+    let feeds = |a: u64, b: u64| vec![a.to_string(), b.to_string(), "-".into()];
+    let combined = |v: u64| vec!["-".into(), "-".into(), v.to_string()];
+    let mut row = |name: &str, cells: Vec<String>| {
+        let mut full = vec![name.to_string()];
+        full.extend(cells);
+        t.push_row(full);
+    };
+    row("offered", combined(r.offered));
+    row(
+        "wire drops",
+        feeds(r.feed_a.channel.dropped, r.feed_b.channel.dropped),
+    );
+    row("corrupt copies", feeds(r.feed_a.corrupt, r.feed_b.corrupt));
+    row(
+        "within-feed dups",
+        feeds(r.feed_a.duplicates, r.feed_b.duplicates),
+    );
+    row("received", feeds(r.feed_a.received, r.feed_b.received));
+    row(
+        "lost on feed",
+        feeds(r.feed_a.lost_on_feed, r.feed_b.lost_on_feed),
+    );
+    row(
+        "recovered from other",
+        feeds(r.feed_a.recovered_from_other, r.feed_b.recovered_from_other),
+    );
+    row("delivered", combined(r.delivered));
+    row("cross-feed dups", combined(r.cross_duplicates));
+    row("late recoveries", combined(r.late_recoveries));
+    row("lost on both", combined(r.lost));
     t
 }
 

@@ -198,6 +198,20 @@ impl LightTrader {
         self.trading.orders_sent()
     }
 
+    /// Signals suppressed by any risk gate — the trading engine's own
+    /// gates, the kill switch, or the rate limiter. Always equals
+    /// `inferences() - orders_sent()`: every inference ends as exactly
+    /// one order or one suppression.
+    pub fn suppressed(&self) -> u64 {
+        self.trading.suppressed()
+    }
+
+    /// Orders rejected by the messaging-rate limiter (zero when no
+    /// limiter is configured). A subset of [`Self::suppressed`].
+    pub fn rate_limited(&self) -> u64 {
+        self.limiter.as_ref().map_or(0, |l| l.rejected())
+    }
+
     /// Realized cash in ticks x contracts (assumes IOC fills at limit).
     pub fn cash_ticks(&self) -> i64 {
         self.trading.cash_ticks()
@@ -259,6 +273,7 @@ impl LightTrader {
     ) -> TickOutcome {
         if let Some(kill) = &self.kill {
             if !kill.is_armed() {
+                self.trading.note_suppressed();
                 return TickOutcome::NoOrder {
                     prediction: *prediction,
                     reason: NoOrderReason::Killed,
@@ -267,6 +282,8 @@ impl LightTrader {
         }
         if let Some(limiter) = &mut self.limiter {
             if !limiter.would_allow(ts) {
+                limiter.note_rejected();
+                self.trading.note_suppressed();
                 return TickOutcome::NoOrder {
                     prediction: *prediction,
                     reason: NoOrderReason::RateLimited,
@@ -302,10 +319,10 @@ impl LightTrader {
         }
     }
 
-    /// Convenience: feeds a recorded trace, returning every order it
-    /// generated with its triggering timestamp.
-    pub fn replay(&mut self, trace: &lt_feed::TickTrace) -> Vec<(Timestamp, OrderMessage)> {
-        let mut orders = Vec::new();
+    /// Feeds a recorded trace, returning one outcome per inference with
+    /// its triggering timestamp (warmup ticks produce no entry).
+    pub fn replay_outcomes(&mut self, trace: &lt_feed::TickTrace) -> Vec<(Timestamp, TickOutcome)> {
+        let mut outcomes = Vec::new();
         for tick in trace {
             self.offload
                 .on_tick_staged(&tick.snapshot, tick.ts, &self.stages);
@@ -316,13 +333,24 @@ impl LightTrader {
             self.offload.pop_batch(usize::MAX);
             let prediction = self.model.forward_scratch(&tensor, &mut self.scratch);
             self.inferences += 1;
-            if let TickOutcome::Order { order, .. } =
-                self.gated_decision(&prediction, &tick.snapshot, tick.ts)
-            {
-                orders.push((tick.ts, order));
-            }
+            outcomes.push((
+                tick.ts,
+                self.gated_decision(&prediction, &tick.snapshot, tick.ts),
+            ));
         }
-        orders
+        outcomes
+    }
+
+    /// Convenience: feeds a recorded trace, returning every order it
+    /// generated with its triggering timestamp.
+    pub fn replay(&mut self, trace: &lt_feed::TickTrace) -> Vec<(Timestamp, OrderMessage)> {
+        self.replay_outcomes(trace)
+            .into_iter()
+            .filter_map(|(ts, outcome)| match outcome {
+                TickOutcome::Order { order, .. } => Some((ts, order)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -451,6 +479,81 @@ mod tests {
         let without = free.replay(&session.trace).len();
         // The switch can only reduce (or match) order flow.
         assert!(with_kill <= without);
+    }
+
+    #[test]
+    fn suppression_counters_agree_with_outcomes() {
+        let session = SessionBuilder::normal_traffic()
+            .duration_secs(0.3)
+            .seed(3)
+            .build();
+        let aggressive = RiskLimits {
+            min_confidence: 0.0,
+            max_position: 100_000,
+            order_qty: 1,
+            max_spread_ticks: 1_000,
+        };
+        // A tight rate limit exercises the gate that used to bypass the
+        // counters.
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(7)
+            .risk(aggressive)
+            .normalization(session.norm.clone())
+            .order_rate_limit(5)
+            .build();
+        let mut orders = 0u64;
+        let mut no_orders = 0u64;
+        let mut rate_limited = 0u64;
+        for (_, outcome) in system.replay_outcomes(&session.trace) {
+            match outcome {
+                TickOutcome::Warmup => {}
+                TickOutcome::Order { .. } => orders += 1,
+                TickOutcome::NoOrder { reason, .. } => {
+                    no_orders += 1;
+                    if reason == NoOrderReason::RateLimited {
+                        rate_limited += 1;
+                    }
+                }
+            }
+        }
+        // Every inference is exactly one order or one suppression, and
+        // the engine/limiter counters must agree with the outcomes.
+        assert_eq!(system.inferences(), orders + no_orders);
+        assert_eq!(system.orders_sent(), orders);
+        assert_eq!(system.suppressed(), no_orders);
+        assert_eq!(system.rate_limited(), rate_limited);
+        assert!(rate_limited > 0, "rate limiter never engaged");
+
+        // Same invariant through the kill-switch path.
+        let mut killed_system = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(7)
+            .risk(aggressive)
+            .normalization(session.norm.clone())
+            .kill_switch(-1)
+            .build();
+        let outcomes = killed_system.replay_outcomes(&session.trace);
+        let killed = outcomes
+            .iter()
+            .filter(|(_, o)| {
+                matches!(
+                    o,
+                    TickOutcome::NoOrder {
+                        reason: NoOrderReason::Killed,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        let kill_orders = outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, TickOutcome::Order { .. }))
+            .count() as u64;
+        assert!(killed > 0, "kill switch never engaged");
+        assert_eq!(
+            killed_system.suppressed(),
+            killed_system.inferences() - kill_orders,
+            "kill-switch suppressions must land in the counter"
+        );
     }
 
     #[test]

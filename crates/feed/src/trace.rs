@@ -37,6 +37,24 @@ impl TickTrace {
         }
     }
 
+    /// Builds a trace from already-ordered records (e.g. a replayed
+    /// delivery stream from a degraded ingress path).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the records are not in non-decreasing
+    /// timestamp order.
+    pub fn from_records(symbol: Symbol, records: Vec<TickRecord>) -> Self {
+        debug_assert!(
+            records.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "ticks must be time-ordered"
+        );
+        TickTrace {
+            symbol,
+            ticks: records,
+        }
+    }
+
     /// Appends a tick.
     ///
     /// # Panics

@@ -6,6 +6,11 @@
 //!
 //! * [`parser`] — the packet parser: datagram intake, checksum and
 //!   sequence-gap tracking, SBE decoding;
+//! * [`seq`] — channel-sequence tracking with outstanding-gap ranges,
+//!   late-fill recovery, and wrap-safe widening;
+//! * [`arbiter`] — A/B feed arbitration: first valid copy of each
+//!   sequence wins, gaps on one feed fill from the other, and per-feed
+//!   health plus recovered/lost accounting survive the session;
 //! * [`local_book`] — the depth-limited local LOB mirror the HFT system
 //!   maintains from tick data;
 //! * [`offload`] — the offload engine of Fig. 5: Z-score normalization
@@ -22,18 +27,22 @@
 //! * [`stages`] — the per-stage latency budget of the conventional
 //!   pipeline (~1 µs end-to-end on an FPGA, §II-A).
 
+pub mod arbiter;
 pub mod dma;
 pub mod local_book;
 pub mod offload;
 pub mod parser;
 pub mod rate_limit;
+pub mod seq;
 pub mod stages;
 pub mod trading;
 
+pub use arbiter::{ArbiterStats, FeedArbiter, FeedHealth, FeedId};
 pub use dma::{Descriptor, DescriptorRing};
 pub use local_book::LocalBook;
 pub use offload::{OffloadEngine, TensorTicket};
 pub use parser::{PacketParser, ParserStats};
 pub use rate_limit::{KillReason, KillSwitch, OrderRateLimiter};
+pub use seq::{SeqObservation, SeqTracker};
 pub use stages::{IngressStamp, PipelineLatencies};
 pub use trading::{RiskLimits, TradingEngine};

@@ -6,6 +6,7 @@
 //! gaps (the classic A/B-feed arbitration concern), and decodes the SBE
 //! payload into [`MarketEvent`]s.
 
+use crate::seq::{SeqObservation, SeqTracker};
 use lt_lob::MarketEvent;
 use lt_protocol::framing::Datagram;
 use lt_protocol::sbe::SbeDecoder;
@@ -21,17 +22,21 @@ pub struct ParserStats {
     pub events: u64,
     /// Datagrams dropped for checksum or decode errors.
     pub corrupt: u64,
-    /// Sequence gaps observed (number of missing datagrams).
+    /// Sequence gaps observed (number of missing datagrams, cumulative —
+    /// a gap later filled by a late packet still counts here).
     pub gap_packets: u64,
-    /// Duplicate / out-of-order datagrams skipped.
+    /// True duplicate datagrams skipped (already delivered).
     pub duplicates: u64,
+    /// Late datagrams that filled a previously-recorded gap and were
+    /// accepted.
+    pub recovered: u64,
 }
 
 /// A stateful market-data packet parser for one channel.
 #[derive(Debug, Clone, Default)]
 pub struct PacketParser {
     decoder: SbeDecoder,
-    next_seq: Option<u32>,
+    tracker: SeqTracker,
     stats: ParserStats,
 }
 
@@ -46,12 +51,19 @@ impl PacketParser {
         self.stats
     }
 
+    /// Sequence values recorded as gaps and not yet filled.
+    pub fn outstanding_gaps(&self) -> u64 {
+        self.tracker.outstanding()
+    }
+
     /// Ingests one raw datagram, returning its decoded events.
     ///
     /// Corrupt datagrams are counted and skipped (an empty vector comes
     /// back); gapped sequence numbers are recorded but later data is
     /// still processed — the trading pipeline must keep up with the live
-    /// feed rather than stall on retransmission.
+    /// feed rather than stall on retransmission. A late packet that
+    /// fills a recorded gap is accepted and counted as `recovered`; only
+    /// already-delivered sequences are dropped as duplicates.
     pub fn ingest(&mut self, bytes: &[u8]) -> Vec<MarketEvent> {
         let datagram = match Datagram::decode(bytes) {
             Ok(d) => d,
@@ -60,17 +72,16 @@ impl PacketParser {
                 return Vec::new();
             }
         };
-        if let Some(expected) = self.next_seq {
-            if datagram.channel_seq < expected {
+        match self.tracker.observe(datagram.channel_seq) {
+            SeqObservation::Duplicate => {
                 self.stats.duplicates += 1;
                 return Vec::new();
             }
-            if datagram.channel_seq > expected {
-                self.stats.gap_packets += u64::from(datagram.channel_seq - expected);
-            }
+            SeqObservation::Recovered => self.stats.recovered += 1,
+            SeqObservation::Gap { missing } => self.stats.gap_packets += missing,
+            SeqObservation::First | SeqObservation::InOrder => {}
         }
-        self.next_seq = Some(datagram.channel_seq + 1);
-        match self.decode_payload(&datagram.payload) {
+        match self.decode_payload(&datagram) {
             Ok(events) => {
                 self.stats.packets += 1;
                 self.stats.events += events.len() as u64;
@@ -83,8 +94,15 @@ impl PacketParser {
         }
     }
 
-    fn decode_payload(&self, payload: &[u8]) -> Result<Vec<MarketEvent>, DecodeError> {
-        self.decoder.decode_all(payload)
+    fn decode_payload(&self, datagram: &Datagram) -> Result<Vec<MarketEvent>, DecodeError> {
+        let events = self.decoder.decode_all(&datagram.payload)?;
+        if events.len() != usize::from(datagram.msg_count) {
+            return Err(DecodeError::MessageCountMismatch {
+                declared: datagram.msg_count,
+                decoded: events.len(),
+            });
+        }
+        Ok(events)
     }
 }
 
@@ -177,5 +195,55 @@ mod tests {
         let d = Datagram::new(0, Timestamp::ZERO, 1, vec![0xAA; 20]).encode();
         assert!(parser.ingest(&d).is_empty());
         assert_eq!(parser.stats().corrupt, 1);
+    }
+
+    #[test]
+    fn msg_count_mismatch_is_corrupt() {
+        let mut parser = PacketParser::new();
+        // Well-formed SBE payload of 2 events, but the header claims 3.
+        let enc = SbeEncoder::new();
+        let mut payload = BytesMut::new();
+        enc.encode_into(&event(1), &mut payload);
+        enc.encode_into(&event(2), &mut payload);
+        let d = Datagram::new(0, Timestamp::from_nanos(1), 3, payload.to_vec()).encode();
+        assert!(parser.ingest(&d).is_empty());
+        assert_eq!(parser.stats().corrupt, 1);
+        assert_eq!(parser.stats().events, 0);
+    }
+
+    #[test]
+    fn late_gap_filler_is_recovered_not_duplicate() {
+        let mut parser = PacketParser::new();
+        parser.ingest(&datagram(0, &[event(1)]));
+        // Packets 1 and 2 lost for now; 3 arrives and records the gap.
+        parser.ingest(&datagram(3, &[event(4)]));
+        assert_eq!(parser.stats().gap_packets, 2);
+        // Packet 1 arrives late: accepted, decoded, counted as recovered.
+        let out = parser.ingest(&datagram(1, &[event(2)]));
+        assert_eq!(out, vec![event(2)]);
+        let s = parser.stats();
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.duplicates, 0);
+        assert_eq!(s.packets, 3);
+        // Cumulative gap count is unchanged; one seq is still outstanding.
+        assert_eq!(s.gap_packets, 2);
+        assert_eq!(parser.outstanding_gaps(), 1);
+        // The same packet again *is* a duplicate.
+        assert!(parser.ingest(&datagram(1, &[event(2)])).is_empty());
+        assert_eq!(parser.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn sequence_wrap_does_not_panic() {
+        let mut parser = PacketParser::new();
+        parser.ingest(&datagram(u32::MAX - 1, &[event(1)]));
+        parser.ingest(&datagram(u32::MAX, &[event(2)]));
+        // The wire sequence wraps to 0; the parser keeps accepting.
+        let out = parser.ingest(&datagram(0, &[event(3)]));
+        assert_eq!(out.len(), 1);
+        let s = parser.stats();
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.gap_packets, 0);
+        assert_eq!(s.duplicates, 0);
     }
 }

@@ -81,6 +81,14 @@ impl OrderRateLimiter {
     pub fn record(&mut self, now: Timestamp) {
         self.sends.push_back(now);
     }
+
+    /// Counts a rejection decided by the caller. Pairs with
+    /// [`Self::would_allow`]: callers that probe first and suppress the
+    /// order themselves must still record the rejection, or
+    /// [`Self::rejected`] undercounts.
+    pub fn note_rejected(&mut self) {
+        self.rejected += 1;
+    }
 }
 
 /// Why the kill switch tripped.

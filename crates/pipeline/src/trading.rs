@@ -123,6 +123,14 @@ impl TradingEngine {
         self.suppressed
     }
 
+    /// Records a suppression decided *outside* the engine (the kill
+    /// switch or the messaging-rate limiter short-circuits before
+    /// [`Self::on_prediction`] runs), so the suppression total agrees
+    /// with the per-tick outcomes the caller reports.
+    pub fn note_suppressed(&mut self) {
+        self.suppressed += 1;
+    }
+
     /// Post-processes one inference result against the current book.
     ///
     /// Returns the order to transmit, or the risk-gate reason it was

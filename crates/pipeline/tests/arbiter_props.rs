@@ -1,0 +1,159 @@
+//! Property tests for A/B feed arbitration.
+//!
+//! The defining property of the arbitration layer: as long as every
+//! channel sequence survives on at least one feed, the delivered stream —
+//! whatever the mix of drops, within-feed duplicates, and arbitrary
+//! arrival interleaving — is exactly the lossless reference stream.
+
+use bytes::BytesMut;
+use lt_lob::events::MarketEventKind;
+use lt_lob::{BookDelta, MarketEvent, OrderId, Price, Qty, Side, Timestamp};
+use lt_pipeline::{FeedArbiter, FeedId};
+use lt_protocol::framing::Datagram;
+use lt_protocol::sbe::SbeEncoder;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn event(seq: u64) -> MarketEvent {
+    MarketEvent {
+        seq,
+        ts: Timestamp::from_nanos(seq * 10),
+        kind: MarketEventKind::Book(BookDelta::Add {
+            id: OrderId::new(seq),
+            side: Side::Bid,
+            price: Price::new(100 + seq as i64),
+            qty: Qty::new(1),
+        }),
+    }
+}
+
+fn packet(channel_seq: u32) -> Vec<u8> {
+    let enc = SbeEncoder::new();
+    let mut payload = BytesMut::new();
+    enc.encode_into(&event(u64::from(channel_seq)), &mut payload);
+    Datagram::new(channel_seq, Timestamp::from_nanos(1), 1, payload.to_vec()).encode()
+}
+
+/// Per-sequence fate on each feed: (on A, on B, duplicated on A,
+/// duplicated on B). Coerced so at least one feed carries the packet.
+fn fate() -> impl Strategy<Value = (bool, bool, bool, bool)> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
+}
+
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrated_stream_equals_lossless_reference(
+        fates in vec(fate(), 1..48),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Build the offered packet stream: every sequence survives on at
+        // least one feed (a sequence dropped by both is coerced onto A).
+        let mut offered: Vec<(FeedId, u32)> = Vec::new();
+        let mut missing_a = 0u64;
+        let mut missing_b = 0u64;
+        for (i, &(a, b, dup_a, dup_b)) in fates.iter().enumerate() {
+            let seq = i as u32;
+            let on_a = a || !b;
+            if on_a {
+                offered.push((FeedId::A, seq));
+                if dup_a {
+                    offered.push((FeedId::A, seq));
+                }
+            } else {
+                missing_a += 1;
+            }
+            if b {
+                offered.push((FeedId::B, seq));
+                if dup_b {
+                    offered.push((FeedId::B, seq));
+                }
+            } else {
+                missing_b += 1;
+            }
+        }
+        shuffle(&mut offered, shuffle_seed);
+
+        let mut arb = FeedArbiter::new();
+        let mut delivered: Vec<MarketEvent> = Vec::new();
+        for &(feed, seq) in &offered {
+            delivered.extend(arb.on_packet_events(feed, &packet(seq)));
+        }
+        arb.close(fates.len() as u64);
+
+        // Exactly the lossless reference, independent of arrival order.
+        delivered.sort_by_key(|e| e.seq);
+        let reference: Vec<MarketEvent> =
+            (0..fates.len() as u64).map(event).collect();
+        prop_assert_eq!(&delivered, &reference);
+
+        // Accounting invariants.
+        let stats = arb.stats();
+        prop_assert_eq!(stats.delivered, fates.len() as u64);
+        prop_assert_eq!(arb.lost(), 0);
+        prop_assert_eq!(stats.corrupt, 0);
+        prop_assert_eq!(
+            stats.delivered + stats.cross_duplicates,
+            offered.len() as u64,
+            "every valid packet is delivered or deduped"
+        );
+        prop_assert_eq!(arb.recovered_for(FeedId::A), missing_a);
+        prop_assert_eq!(arb.recovered_for(FeedId::B), missing_b);
+        prop_assert_eq!(arb.recovered(), missing_a + missing_b);
+    }
+
+    #[test]
+    fn corrupt_copies_never_block_the_intact_feed(
+        n in 1usize..32,
+        flip_bits in vec((any::<proptest::sample::Index>(), any::<proptest::sample::Index>()), 1..8),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Feed A delivers every packet, but a handful of B-side copies
+        // are bit-flipped in flight. No corruption on B may ever consume
+        // a sequence or corrupt the delivered stream.
+        let mut offered: Vec<(FeedId, Vec<u8>)> = Vec::new();
+        for seq in 0..n as u32 {
+            offered.push((FeedId::A, packet(seq)));
+            offered.push((FeedId::B, packet(seq)));
+        }
+        let mut corrupted = 0u64;
+        for (pick, bit) in &flip_bits {
+            let victim = 1 + 2 * pick.index(n); // a B-side copy
+            let bytes = &mut offered[victim].1;
+            let bit = bit.index(bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+        // The same B copy may be flipped twice (back to valid); count
+        // the copies that actually differ from the pristine encoding.
+        for (i, (feed, bytes)) in offered.iter().enumerate() {
+            if *feed == FeedId::B && bytes != &packet((i / 2) as u32) {
+                corrupted += 1;
+            }
+        }
+        shuffle(&mut offered, shuffle_seed);
+
+        let mut arb = FeedArbiter::new();
+        let mut delivered: Vec<MarketEvent> = Vec::new();
+        for (feed, bytes) in &offered {
+            delivered.extend(arb.on_packet_events(*feed, bytes));
+        }
+        arb.close(n as u64);
+
+        delivered.sort_by_key(|e| e.seq);
+        let reference: Vec<MarketEvent> = (0..n as u64).map(event).collect();
+        prop_assert_eq!(&delivered, &reference);
+        prop_assert_eq!(arb.lost(), 0);
+        prop_assert_eq!(arb.stats().corrupt, corrupted);
+        prop_assert_eq!(arb.feed_health(FeedId::A).corrupt, 0);
+    }
+}

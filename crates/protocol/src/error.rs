@@ -35,6 +35,14 @@ pub enum DecodeError {
         /// Checksum computed over the payload.
         computed: u32,
     },
+    /// A datagram header declared a message count that does not match the
+    /// number of messages actually decoded from the payload.
+    MessageCountMismatch {
+        /// Count carried in the datagram header.
+        declared: u16,
+        /// Messages actually decoded from the payload.
+        decoded: usize,
+    },
     /// A FIX field was malformed (missing `=`, non-numeric tag, ...).
     MalformedField(String),
     /// A required FIX tag was absent.
@@ -58,6 +66,12 @@ impl fmt::Display for DecodeError {
                 write!(
                     f,
                     "bad checksum: frame says {expected:#x}, computed {computed:#x}"
+                )
+            }
+            DecodeError::MessageCountMismatch { declared, decoded } => {
+                write!(
+                    f,
+                    "message count mismatch: header says {declared}, decoded {decoded}"
                 )
             }
             DecodeError::MalformedField(s) => write!(f, "malformed FIX field {s:?}"),

@@ -44,11 +44,25 @@ impl Datagram {
         }
     }
 
-    /// Additive checksum over the payload.
-    fn checksum(payload: &[u8]) -> u32 {
-        payload
-            .iter()
-            .fold(0u32, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u32))
+    /// Rolling 31-multiplier checksum over the header fields *and* the
+    /// payload. Covering the header matters: a flipped bit in
+    /// `channel_seq`, `sent`, or `msg_count` must fail validation, or gap
+    /// tracking and timestamping run on corrupted values. The multiplier
+    /// 31 is odd (invertible mod 2^32), so any single-bit corruption
+    /// anywhere in the covered bytes changes the sum.
+    fn checksum(channel_seq: u32, sent: Timestamp, msg_count: u16, payload: &[u8]) -> u32 {
+        let step = |acc: u32, b: u8| acc.wrapping_mul(31).wrapping_add(b as u32);
+        let mut acc = 0u32;
+        for b in channel_seq.to_le_bytes() {
+            acc = step(acc, b);
+        }
+        for b in sent.nanos().to_le_bytes() {
+            acc = step(acc, b);
+        }
+        for b in msg_count.to_le_bytes() {
+            acc = step(acc, b);
+        }
+        payload.iter().fold(acc, |acc, &b| step(acc, b))
     }
 
     /// Serializes the datagram.
@@ -57,7 +71,12 @@ impl Datagram {
         buf.put_u32_le(self.channel_seq);
         buf.put_u64_le(self.sent.nanos());
         buf.put_u16_le(self.msg_count);
-        buf.put_u32_le(Self::checksum(&self.payload));
+        buf.put_u32_le(Self::checksum(
+            self.channel_seq,
+            self.sent,
+            self.msg_count,
+            &self.payload,
+        ));
         buf.put_slice(&self.payload);
         buf.to_vec()
     }
@@ -67,7 +86,7 @@ impl Datagram {
     /// # Errors
     ///
     /// Returns [`DecodeError::Truncated`] if the header is incomplete and
-    /// [`DecodeError::BadChecksum`] on payload corruption.
+    /// [`DecodeError::BadChecksum`] on header or payload corruption.
     pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
         if bytes.len() < Self::HEADER_SIZE {
             return Err(DecodeError::Truncated {
@@ -81,7 +100,7 @@ impl Datagram {
         let msg_count = buf.get_u16_le();
         let expected = buf.get_u32_le();
         let payload = buf.to_vec();
-        let computed = Self::checksum(&payload);
+        let computed = Self::checksum(channel_seq, sent, msg_count, &payload);
         if computed != expected {
             return Err(DecodeError::BadChecksum { expected, computed });
         }
@@ -137,9 +156,10 @@ impl WireCost {
         self.bits_per_sec
     }
 
-    /// Time to clock `bytes` onto the wire.
+    /// Time to clock `bytes` onto the wire, rounded up to the next whole
+    /// nanosecond — a partial byte still occupies the wire.
     pub fn serialization_delay(&self, bytes: usize) -> Duration {
-        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.bits_per_sec as u128;
+        let nanos = (bytes as u128 * 8 * 1_000_000_000).div_ceil(self.bits_per_sec as u128);
         Duration::from_nanos(nanos as u64)
     }
 }
@@ -175,6 +195,24 @@ mod tests {
     }
 
     #[test]
+    fn header_corruption_detected() {
+        let d = Datagram::new(9, Timestamp::from_nanos(1), 1, vec![10, 20, 30]);
+        let clean = d.encode();
+        // Any single flipped byte in seq, sent, or msg_count must fail.
+        for pos in 0..14 {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x01;
+            assert!(
+                matches!(
+                    Datagram::decode(&bytes),
+                    Err(DecodeError::BadChecksum { .. })
+                ),
+                "header byte {pos} corruption slipped through"
+            );
+        }
+    }
+
+    #[test]
     fn truncated_header_detected() {
         assert!(matches!(
             Datagram::decode(&[0u8; 5]),
@@ -204,6 +242,18 @@ mod tests {
                 .as_nanos(),
             1000
         );
+    }
+
+    #[test]
+    fn serialization_delay_rounds_up() {
+        let wire = WireCost::ten_gbe();
+        // 1 byte = 8 bits @ 10 Gb/s = 0.8 ns: a partial nanosecond still
+        // occupies the wire, so this must charge 1 ns, not 0.
+        assert_eq!(wire.serialization_delay(1).as_nanos(), 1);
+        // 3 bytes = 2.4 ns -> 3 ns.
+        assert_eq!(wire.serialization_delay(3).as_nanos(), 3);
+        // An exact division is unchanged.
+        assert_eq!(wire.serialization_delay(5).as_nanos(), 4);
     }
 
     #[test]

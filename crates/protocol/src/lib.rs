@@ -18,7 +18,10 @@
 //!   sequence-gap recovery) that wraps the business messages;
 //! * [`framing`] — UDP-style market-data datagrams (channel sequence,
 //!   packet time, message count, additive checksum) and wire-size
-//!   accounting used by the latency model.
+//!   accounting used by the latency model;
+//! * [`netem`] — deterministic, seeded fault injection (drop / duplicate /
+//!   reorder / delay / bit-corrupt) over encoded datagrams, used to drive
+//!   the A/B feed arbitration experiments.
 //!
 //! All codecs round-trip losslessly; this is verified by unit tests and
 //! property tests over arbitrary messages.
@@ -27,6 +30,7 @@ pub mod error;
 pub mod fix;
 pub mod framing;
 pub mod ilink;
+pub mod netem;
 pub mod sbe;
 pub mod session;
 
@@ -34,5 +38,6 @@ pub use error::DecodeError;
 pub use fix::{FixDecoder, FixEncoder};
 pub use framing::{Datagram, WireCost, ETHERNET_IPV4_UDP_OVERHEAD};
 pub use ilink::{OrderMessage, OrderMessageKind};
+pub use netem::{ChannelStats, Delivery, FaultRates, LossyChannel};
 pub use sbe::{MessageHeader, SbeDecoder, SbeEncoder, SCHEMA_ID, SCHEMA_VERSION};
 pub use session::{OrderSession, SessionMessage, SessionState};

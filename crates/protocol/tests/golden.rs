@@ -122,8 +122,9 @@ fn datagram_golden_bytes() {
     assert_eq!(&bytes[0..4], &[7, 0, 0, 0], "channel seq");
     assert_eq!(&bytes[4..12], &[9, 0, 0, 0, 0, 0, 0, 0], "sent ts");
     assert_eq!(&bytes[12..14], &[1, 0], "msg count");
-    // checksum over payload [0xAA, 0xBB] with the 31-multiplier fold:
-    // (0x00*31 + 0xAA)*31 + 0xBB = 0x1551.
-    assert_eq!(&bytes[14..18], &[0x51, 0x15, 0, 0], "checksum");
+    // checksum over header fields + payload with the 31-multiplier fold:
+    // folding seq LE [7,0,0,0], sent LE [9,0,...,0], count LE [1,0],
+    // then payload [0xAA, 0xBB] gives 0x703C6B20.
+    assert_eq!(&bytes[14..18], &[0x20, 0x6B, 0x3C, 0x70], "checksum");
     assert_eq!(&bytes[18..], &[0xAA, 0xBB], "payload");
 }

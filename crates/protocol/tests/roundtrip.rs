@@ -166,4 +166,27 @@ proptest! {
         bytes[pos] ^= flip;
         prop_assert!(Datagram::decode(&bytes).is_err());
     }
+
+    /// Every single-bit flip anywhere in an encoded datagram — header
+    /// fields, checksum, or payload — fails to decode. The checksum
+    /// covering the header is what makes the header bits detectable.
+    #[test]
+    fn datagram_detects_every_single_bit_flip(
+        seq in any::<u32>(),
+        ts in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let d = Datagram::new(seq, Timestamp::from_nanos(ts), 1, payload);
+        let clean = d.encode();
+        for pos in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[pos] ^= 1 << bit;
+                prop_assert!(
+                    Datagram::decode(&bytes).is_err(),
+                    "bit {} of byte {} slipped through", bit, pos
+                );
+            }
+        }
+    }
 }

@@ -1,5 +1,6 @@
 //! Back-test configuration.
 
+use crate::ingress::IngressFaults;
 use lt_accel::PowerCondition;
 use lt_dnn::ModelKind;
 use lt_pipeline::PipelineLatencies;
@@ -26,6 +27,10 @@ pub struct BacktestConfig {
     pub window: usize,
     /// Conventional-pipeline stage budget (ingress stamps + egress).
     pub stages: PipelineLatencies,
+    /// Ingress fault injection for the redundant A/B feed pair. Defaults
+    /// to lossless, which bypasses the ingress stage entirely — a config
+    /// without faults behaves bit-identically to one predating the field.
+    pub faults: IngressFaults,
 }
 
 impl BacktestConfig {
@@ -40,6 +45,7 @@ impl BacktestConfig {
             queue_capacity: 64,
             window: 100,
             stages: PipelineLatencies::fpga(),
+            faults: IngressFaults::lossless(),
         }
     }
 
@@ -64,6 +70,13 @@ impl BacktestConfig {
         self
     }
 
+    /// Injects ingress faults on the redundant A/B feed pair.
+    #[must_use]
+    pub fn with_faults(mut self, faults: IngressFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -78,6 +91,7 @@ impl BacktestConfig {
         if let Err(stage) = self.stages.validate() {
             panic!("pipeline stage '{stage}' has zero latency");
         }
+        self.faults.validate();
     }
 }
 

@@ -21,10 +21,17 @@
 //!   (CPU + Alveo U250) comparison systems, profiled per §IV-B;
 //! * [`traffic`] — the calibrated market-traffic preset and deadline
 //!   whose single-accelerator response rates land on Fig. 11(b).
+//!
+//! [`ingress`] closes the loop with the wire: it pushes a trace through
+//! two independently seeded lossy channels (the redundant A/B multicast
+//! pair) and re-assembles the survivors by feed arbitration, so
+//! back-tests can sweep packet-loss rates against tick-to-trade and
+//! response-rate degradation deterministically.
 
 pub mod baseline;
 pub mod config;
 pub mod engine;
+pub mod ingress;
 pub mod lighttrader;
 pub mod metrics;
 pub mod sweep;
@@ -34,7 +41,9 @@ pub mod traffic;
 pub use baseline::{run_single_device, SingleDeviceSystem};
 pub use config::BacktestConfig;
 pub use engine::{EngineCtx, Event, EventQueue, PendingOrder, SimModel};
+pub use ingress::{degrade_trace, FeedReport, IngressFaults, IngressReport};
 pub use lighttrader::run_lighttrader;
+pub use lt_protocol::netem::FaultRates;
 pub use metrics::{BacktestMetrics, StageSummary};
 pub use sweep::run_sweep;
 pub use telemetry::{QueryTimeline, Stage, StageBreakdown};

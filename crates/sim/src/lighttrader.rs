@@ -513,12 +513,33 @@ impl SimModel for SimState {
 /// Replays `trace` through a LightTrader configuration and reports the
 /// back-test metrics.
 ///
+/// When the configuration carries ingress faults
+/// ([`BacktestConfig::with_faults`]), the trace is first pushed through
+/// the fault-injected A/B ingress ([`crate::ingress::degrade_trace`]):
+/// ticks lost on both feeds never reach the book, delayed copies arrive
+/// late, and the resulting [`crate::ingress::IngressReport`] is attached
+/// to the metrics. A lossless fault profile skips the ingress stage
+/// entirely, so the default configuration is bit-identical to the
+/// pre-fault behaviour.
+///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see
 /// [`BacktestConfig::validate`]).
 pub fn run_lighttrader(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetrics {
     cfg.validate();
+    if cfg.faults.enabled() {
+        let (degraded, report) = crate::ingress::degrade_trace(trace, &cfg.faults);
+        let mut metrics = run_clean(&degraded, cfg);
+        metrics.ingress = Some(report);
+        return metrics;
+    }
+    run_clean(trace, cfg)
+}
+
+/// The fault-free back-test core: replays an (already degraded or
+/// pristine) trace through the system model.
+fn run_clean(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetrics {
     let profile = DeviceProfile::lighttrader();
     // The static (conservative) grid is capped at 2.0 GHz — Table III
     // never exceeds it — but the chip itself reaches 2.2 GHz (Table I).

@@ -1,5 +1,6 @@
 //! Back-test outcome accounting.
 
+use crate::ingress::IngressReport;
 use crate::telemetry::{Stage, StageBreakdown};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -92,6 +93,9 @@ pub struct BacktestMetrics {
     pub batches: u64,
     /// Sum of issued batch sizes (for mean batch size).
     pub batched_queries: u64,
+    /// What the fault-injected ingress did to the feed, when the run was
+    /// degraded; `None` for a clean (lossless) run.
+    pub ingress: Option<IngressReport>,
 }
 
 impl BacktestMetrics {

@@ -1,0 +1,123 @@
+//! Fault-injected ingress: the acceptance suite.
+//!
+//! * Zero fault rates bypass the ingress stage, so a faulted-but-lossless
+//!   configuration is bit-identical to the plain one.
+//! * Seeded loss + reorder on feed A only: feed B carries every packet,
+//!   so the arbiter recovers 100% of what A dropped and nothing is
+//!   permanently lost.
+//! * Same-seed degraded runs serialize byte-identically — fault
+//!   injection keeps the back-test re-runnable.
+
+use lt_accel::PowerCondition;
+use lt_dnn::ModelKind;
+use lt_sim::traffic::{evaluation_trace, scheduling_deadline_for};
+use lt_sim::{run_lighttrader, BacktestConfig, BacktestMetrics, FaultRates, IngressFaults};
+
+const SECS: f64 = 3.0;
+const SEED: u64 = 4242;
+
+fn base_config() -> BacktestConfig {
+    BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob))
+}
+
+fn serialize(m: &BacktestMetrics) -> String {
+    let json = serde_json::to_string(m).expect("metrics serialize");
+    format!("{json}|energy_bits={:016x}", m.energy_j.to_bits())
+}
+
+#[test]
+fn lossless_faults_are_bit_identical_to_no_faults() {
+    let trace = evaluation_trace(SECS, SEED);
+    let plain = run_lighttrader(&trace, &base_config());
+    let faulted = run_lighttrader(
+        &trace,
+        &base_config().with_faults(IngressFaults::lossless()),
+    );
+    assert_eq!(serialize(&plain), serialize(&faulted));
+    assert!(faulted.ingress.is_none(), "lossless runs attach no report");
+}
+
+#[test]
+fn loss_on_feed_a_recovers_everything_from_feed_b() {
+    let trace = evaluation_trace(SECS, SEED);
+    let faults = IngressFaults {
+        feed_a: FaultRates {
+            drop: 0.01,
+            reorder: 0.01,
+            reorder_delay_ns: 2_000,
+            ..FaultRates::lossless()
+        },
+        feed_b: FaultRates::lossless(),
+        seed: 7,
+    };
+    let m = run_lighttrader(&trace, &base_config().with_faults(faults));
+    let report = m.ingress.expect("degraded run attaches a report");
+    assert_eq!(report.offered, trace.len() as u64);
+    assert_eq!(report.lost, 0, "feed B carried every packet");
+    assert_eq!(report.delivered, report.offered);
+    assert!(report.recovered > 0, "1% over {} packets", trace.len());
+    assert_eq!(
+        report.recovered, report.feed_a.channel.dropped,
+        "every A-side drop is recovered from B"
+    );
+    assert_eq!(report.feed_a.recovered_from_other, report.recovered);
+    assert_eq!(report.feed_b.lost_on_feed, 0);
+    // Every delivered tick still turns into exactly one query outcome.
+    assert_eq!(
+        m.total(),
+        report.delivered - (base_config().window as u64 - 1)
+    );
+}
+
+#[test]
+fn symmetric_loss_degrades_but_stays_accounted() {
+    let trace = evaluation_trace(SECS, SEED);
+    let clean = run_lighttrader(&trace, &base_config());
+    let faults = IngressFaults::symmetric(
+        FaultRates {
+            drop: 0.3,
+            ..FaultRates::lossless()
+        },
+        19,
+    );
+    let m = run_lighttrader(&trace, &base_config().with_faults(faults));
+    let report = m.ingress.expect("report attached");
+    assert!(report.lost > 0, "30% on both feeds must overlap somewhere");
+    assert_eq!(report.delivered + report.lost, report.offered);
+    assert!(
+        m.total() < clean.total(),
+        "lost ticks must reduce the query count ({} vs {})",
+        m.total(),
+        clean.total()
+    );
+}
+
+#[test]
+fn same_seed_degraded_runs_are_byte_identical() {
+    let faults = IngressFaults {
+        feed_a: FaultRates {
+            drop: 0.02,
+            duplicate: 0.01,
+            reorder: 0.05,
+            corrupt: 0.01,
+            delay_ns: 1_000,
+            jitter_ns: 500,
+            reorder_delay_ns: 10_000,
+        },
+        feed_b: FaultRates {
+            drop: 0.01,
+            ..FaultRates::lossless()
+        },
+        seed: 99,
+    };
+    let cfg = base_config().with_faults(faults);
+    let first = serialize(&run_lighttrader(&evaluation_trace(SECS, SEED), &cfg));
+    let second = serialize(&run_lighttrader(&evaluation_trace(SECS, SEED), &cfg));
+    assert_eq!(first, second, "degraded runs must replay exactly");
+
+    let mut other = cfg;
+    other.faults.seed = 100;
+    let third = serialize(&run_lighttrader(&evaluation_trace(SECS, SEED), &other));
+    assert_ne!(first, third, "a different seed must change the outcome");
+}

@@ -24,6 +24,11 @@ cargo test -q
 echo "== engine refactor gates: golden parity + determinism =="
 cargo test -q --release -p lt-sim --test golden_parity --test determinism
 
+echo "== ingress gates: fault injection + arbitration properties =="
+cargo test -q --release -p lt-sim --test faults
+cargo test -q --release -p lt-pipeline --test arbiter_props
+cargo test -q --release -p lt-protocol --test roundtrip
+
 if [[ "$fast" == "0" ]]; then
     echo "== sim wall-clock smoke (budget 1.15x seed) =="
     cargo test -q --release -p lt-sim --test wallclock_smoke -- --ignored
