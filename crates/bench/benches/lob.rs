@@ -1,0 +1,147 @@
+//! Ladder-vs-reference order-book benchmarks: the book maintenance +
+//! feature-extraction hot path replayed through the shared [`BookStore`]
+//! interface, plus feature extraction on a resting book in isolation.
+//!
+//! For the machine-readable speedup report (and the 3x regression floor)
+//! see the `bench_lob` binary, which emits `BENCH_lob.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lt_lob::prelude::*;
+use lt_lob::Order;
+use std::hint::black_box;
+
+const N_OPS: usize = 10_000;
+const DEPTH: usize = 10;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+enum BookOp {
+    Insert(Order),
+    Remove(OrderId),
+    Sweep(Side, Qty),
+}
+
+/// Same dense-touch mix as `bench_lob`: 60% passive adds within 8 ticks
+/// of the touch, 20% cancels, 20% FIFO sweeps.
+fn generate_book_ops(n: usize) -> Vec<BookOp> {
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut live: Vec<OrderId> = Vec::new();
+    let mut next_id = 1u64;
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        let roll = xorshift(&mut state) % 10;
+        if roll < 6 || live.is_empty() {
+            let side = if xorshift(&mut state).is_multiple_of(2) {
+                Side::Bid
+            } else {
+                Side::Ask
+            };
+            let base = if side == Side::Bid { 9_992 } else { 10_001 };
+            let id = OrderId::new(next_id);
+            next_id += 1;
+            live.push(id);
+            let qty = Qty::new(1 + xorshift(&mut state) % 9);
+            ops.push(BookOp::Insert(Order {
+                id,
+                side,
+                price: Price::new(base + (xorshift(&mut state) % 8) as i64),
+                remaining: qty,
+                original: qty,
+                arrival: Timestamp::from_nanos(i as u64 + 1),
+                seq: i as u64 + 1,
+            }));
+        } else if roll < 8 {
+            let id = live.swap_remove((xorshift(&mut state) % live.len() as u64) as usize);
+            ops.push(BookOp::Remove(id));
+        } else {
+            let side = if xorshift(&mut state).is_multiple_of(2) {
+                Side::Bid
+            } else {
+                Side::Ask
+            };
+            ops.push(BookOp::Sweep(side, Qty::new(1 + xorshift(&mut state) % 12)));
+        }
+    }
+    ops
+}
+
+fn apply_op<B: BookStore>(book: &mut B, op: &BookOp) {
+    match op {
+        BookOp::Insert(order) => book.insert(*order),
+        BookOp::Remove(id) => {
+            black_box(book.remove(*id));
+        }
+        BookOp::Sweep(side, qty) => {
+            let mut left = *qty;
+            while !left.is_zero() && book.best(*side).is_some() {
+                let avail = book.front(*side).expect("non-empty side").remaining;
+                let fill = avail.min(left);
+                black_box(book.fill_front(*side, fill));
+                left -= fill;
+            }
+        }
+    }
+}
+
+/// Replay with a depth-10 feature row per op — the floored path.
+fn bench_book_replay(c: &mut Criterion) {
+    let ops = generate_book_ops(N_OPS);
+    let mut g = c.benchmark_group("lob/replay");
+    let mut features = vec![0.0f32; LobSnapshot::feature_count(DEPTH)];
+    g.bench_function("ladder", |b| {
+        b.iter(|| {
+            let mut book = LadderBook::default();
+            for op in &ops {
+                apply_op(&mut book, op);
+                book.write_features(DEPTH, &mut features);
+            }
+            features[0]
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut book = ReferenceBook::new();
+            for (i, op) in ops.iter().enumerate() {
+                apply_op(&mut book, op);
+                let snap = book.snapshot(DEPTH, Timestamp::from_nanos(i as u64 + 1));
+                black_box(snap.to_features(DEPTH));
+            }
+            book.len()
+        })
+    });
+    g.finish();
+}
+
+/// Feature extraction alone, on a resting book built from the op stream.
+fn bench_feature_extraction(c: &mut Criterion) {
+    let ops = generate_book_ops(N_OPS);
+    let mut ladder = LadderBook::default();
+    let mut reference = ReferenceBook::new();
+    for op in &ops {
+        apply_op(&mut ladder, op);
+        apply_op(&mut reference, op);
+    }
+    let mut features = vec![0.0f32; LobSnapshot::feature_count(DEPTH)];
+    let mut g = c.benchmark_group("lob/features");
+    g.bench_function("ladder_write", |b| {
+        b.iter(|| {
+            ladder.write_features(DEPTH, &mut features);
+            features[0]
+        })
+    });
+    g.bench_function("reference_snapshot", |b| {
+        b.iter(|| {
+            let snap = reference.snapshot(DEPTH, Timestamp::from_nanos(1));
+            black_box(snap.to_features(DEPTH))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(lob, bench_book_replay, bench_feature_extraction);
+criterion_main!(lob);

@@ -1,0 +1,430 @@
+//! Order-book replay benchmark: drives the contiguous-ladder hot path
+//! ([`LadderBook`] + `snapshot_into` + `write_features`) and the map-based
+//! oracle ([`ReferenceBook`] + `snapshot` + `to_features`) through the same
+//! deterministic streams, and emits a machine-readable `BENCH_lob.json`
+//! in the current directory.
+//!
+//! ```text
+//! cargo run --release -p lt-bench --bin bench_lob
+//! ```
+//!
+//! Two sections:
+//!
+//! * `book` — the book maintenance + feature-extraction path itself,
+//!   replayed through the [`BookStore`] write interface (insert, cancel,
+//!   FIFO sweeps) with a depth-10 snapshot and feature row per op. This
+//!   is the path the ladder rework targets and it carries the 3x
+//!   regression floor.
+//! * `engine` — full [`MatchingEngine`] replay (order validation +
+//!   matching + tick-event emission on top of the book). Informational:
+//!   the engine's per-order event buffers are identical on both sides
+//!   and dilute the book speedup.
+//!
+//! Exits nonzero if the `book` replay speedup falls below the floor, so
+//! CI catches hot-path regressions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lt_lob::prelude::*;
+use lt_lob::Order;
+
+/// Minimum acceptable book-path replay speedup (ladder vs reference).
+const SPEEDUP_FLOOR: f64 = 3.0;
+/// Operations per replay.
+const N_OPS: usize = 50_000;
+/// Feature depth per tick (the paper's ten-level snapshot).
+const DEPTH: usize = 10;
+/// Interleaved timed repetition pairs; throughput is best-of, the
+/// speedup is the median of per-pair ratios.
+const REPS: usize = 9;
+
+/// Deterministic xorshift64* generator shared by both stream builders.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+// ---------------------------------------------------------------------
+// Section 1: the book path (floored).
+// ---------------------------------------------------------------------
+
+/// One pre-resolved book operation, identical for both stores.
+enum BookOp {
+    /// Rest a passive order (never crosses: bids <= 9_999, asks >= 10_001).
+    Insert(Order),
+    /// Cancel by id (may already be gone — a no-op on both stores).
+    Remove(OrderId),
+    /// Aggress into `side` for up to `qty`, peeling FIFO fronts.
+    Sweep(Side, Qty),
+}
+
+fn generate_book_ops(n: usize) -> Vec<BookOp> {
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut live: Vec<OrderId> = Vec::new();
+    let mut next_id = 1u64;
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        let roll = xorshift(&mut state) % 10;
+        if roll < 6 || live.is_empty() {
+            let side = if xorshift(&mut state).is_multiple_of(2) {
+                Side::Bid
+            } else {
+                Side::Ask
+            };
+            let base = if side == Side::Bid { 9_992 } else { 10_001 };
+            let id = OrderId::new(next_id);
+            next_id += 1;
+            live.push(id);
+            let qty = Qty::new(1 + xorshift(&mut state) % 9);
+            ops.push(BookOp::Insert(Order {
+                id,
+                side,
+                price: Price::new(base + (xorshift(&mut state) % 8) as i64),
+                remaining: qty,
+                original: qty,
+                arrival: Timestamp::from_nanos(i as u64 + 1),
+                seq: i as u64 + 1,
+            }));
+        } else if roll < 8 {
+            let id = live.swap_remove((xorshift(&mut state) % live.len() as u64) as usize);
+            ops.push(BookOp::Remove(id));
+        } else {
+            let side = if xorshift(&mut state).is_multiple_of(2) {
+                Side::Bid
+            } else {
+                Side::Ask
+            };
+            ops.push(BookOp::Sweep(side, Qty::new(1 + xorshift(&mut state) % 12)));
+        }
+    }
+    ops
+}
+
+/// Applies one op to a store. Sweeps peel the FIFO front of the best
+/// level exactly like the matching engine's inner fill loop.
+fn apply_op<B: BookStore>(book: &mut B, op: &BookOp) {
+    match op {
+        BookOp::Insert(order) => book.insert(*order),
+        BookOp::Remove(id) => {
+            black_box(book.remove(*id));
+        }
+        BookOp::Sweep(side, qty) => {
+            let mut left = *qty;
+            while !left.is_zero() && book.best(*side).is_some() {
+                let avail = book.front(*side).expect("non-empty side").remaining;
+                let fill = avail.min(left);
+                black_box(book.fill_front(*side, fill));
+                left -= fill;
+            }
+        }
+    }
+}
+
+/// The hot path under test: ladder store, direct book→buffer feature
+/// extraction into a reusable row — no allocation per op.
+fn replay_book_ladder(ops: &[BookOp], features: &mut [f32]) -> f32 {
+    let mut book = LadderBook::default();
+    let mut checksum = 0.0f32;
+    for op in ops.iter() {
+        apply_op(&mut book, op);
+        book.write_features(DEPTH, features);
+        checksum += features[0];
+    }
+    checksum
+}
+
+/// The pre-ladder baseline: map-based store, allocating snapshot and
+/// feature vector on every op.
+fn replay_book_reference(ops: &[BookOp]) -> f32 {
+    let mut book = ReferenceBook::new();
+    let mut checksum = 0.0f32;
+    for (i, op) in ops.iter().enumerate() {
+        apply_op(&mut book, op);
+        let snap = book.snapshot(DEPTH, Timestamp::from_nanos(i as u64 + 1));
+        let features = snap.to_features(DEPTH);
+        checksum += features[0];
+    }
+    checksum
+}
+
+// ---------------------------------------------------------------------
+// Section 2: full matching-engine replay (informational).
+// ---------------------------------------------------------------------
+
+enum Action {
+    New(NewOrder),
+    Cancel(OrderId),
+    Replace(OrderId, Price, Qty),
+}
+
+/// Passive adds around the touch, cancels, replaces, and aggressive IOC
+/// sweeps — the same mix the equivalence suite uses.
+fn generate_actions(n: usize) -> Vec<Action> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut live: Vec<OrderId> = Vec::new();
+    let mut next_id = 1u64;
+    let mut actions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = xorshift(&mut state) % 10;
+        if roll < 5 || live.is_empty() {
+            let side = if xorshift(&mut state).is_multiple_of(2) {
+                Side::Bid
+            } else {
+                Side::Ask
+            };
+            let base = if side == Side::Bid { 9_992 } else { 10_001 };
+            let price = Price::new(base + (xorshift(&mut state) % 8) as i64);
+            let id = OrderId::new(next_id);
+            next_id += 1;
+            live.push(id);
+            actions.push(Action::New(NewOrder::limit(
+                id,
+                side,
+                price,
+                Qty::new(1 + xorshift(&mut state) % 9),
+            )));
+        } else if roll < 7 {
+            let id = live.swap_remove((xorshift(&mut state) % live.len() as u64) as usize);
+            actions.push(Action::Cancel(id));
+        } else if roll < 8 {
+            let id = live[(xorshift(&mut state) % live.len() as u64) as usize];
+            let base = if xorshift(&mut state).is_multiple_of(2) {
+                9_992
+            } else {
+                10_001
+            };
+            actions.push(Action::Replace(
+                id,
+                Price::new(base + (xorshift(&mut state) % 8) as i64),
+                Qty::new(1 + xorshift(&mut state) % 9),
+            ));
+        } else {
+            let side = if xorshift(&mut state).is_multiple_of(2) {
+                Side::Bid
+            } else {
+                Side::Ask
+            };
+            let price = Price::new(if side == Side::Bid { 10_004 } else { 9_996 });
+            let id = OrderId::new(next_id);
+            next_id += 1;
+            actions.push(Action::New(NewOrder::ioc(
+                id,
+                side,
+                price,
+                Qty::new(1 + xorshift(&mut state) % 12),
+            )));
+        }
+    }
+    actions
+}
+
+fn step<B: BookStore>(engine: &mut MatchingEngine<B>, action: &Action, ts: Timestamp) {
+    match action {
+        Action::New(order) => {
+            black_box(engine.submit(*order, ts));
+        }
+        Action::Cancel(id) => {
+            black_box(engine.cancel(*id, ts));
+        }
+        Action::Replace(id, price, qty) => {
+            black_box(engine.replace(*id, *price, *qty, ts));
+        }
+    }
+}
+
+fn replay_engine_ladder(actions: &[Action], snap: &mut LobSnapshot, features: &mut [f32]) -> f32 {
+    let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+    let mut checksum = 0.0f32;
+    for (i, action) in actions.iter().enumerate() {
+        let ts = Timestamp::from_nanos(i as u64 + 1);
+        step(&mut engine, action, ts);
+        engine.book().snapshot_into(DEPTH, ts, snap);
+        snap.write_features(DEPTH, features);
+        checksum += features[0];
+    }
+    checksum
+}
+
+fn replay_engine_reference(actions: &[Action]) -> f32 {
+    let mut engine = MatchingEngine::new_reference(Symbol::new("ESU6"));
+    let mut checksum = 0.0f32;
+    for (i, action) in actions.iter().enumerate() {
+        let ts = Timestamp::from_nanos(i as u64 + 1);
+        step(&mut engine, action, ts);
+        let snap = engine.book().snapshot(DEPTH, ts);
+        let features = snap.to_features(DEPTH);
+        checksum += features[0];
+    }
+    checksum
+}
+
+// ---------------------------------------------------------------------
+// Measurement plumbing.
+// ---------------------------------------------------------------------
+
+/// One timed execution of `f`, in nanoseconds.
+fn time_once<F: FnMut() -> f32>(f: &mut F) -> f64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_nanos() as f64
+}
+
+/// Times two replays as interleaved pairs so machine-load drift hits
+/// both sides equally, and returns `(best_a_ns, best_b_ns,
+/// median_pairwise_b_over_a)`. The median of per-pair ratios is robust
+/// to a noisy neighbor stealing one rep.
+fn time_pair<A: FnMut() -> f32, B: FnMut() -> f32>(mut a: A, mut b: B) -> (f64, f64, f64) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let ta = time_once(&mut a);
+        let tb = time_once(&mut b);
+        best_a = best_a.min(ta);
+        best_b = best_b.min(tb);
+        ratios.push(tb / ta);
+    }
+    ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite ratios"));
+    (best_a, best_b, ratios[ratios.len() / 2])
+}
+
+/// Per-event latencies (ns) for one instrumented replay, into a buffer
+/// preallocated so instrumentation does not allocate mid-replay.
+fn per_event_ns<F: FnMut(usize)>(n: usize, mut event: F) -> Vec<u64> {
+    let mut lat = Vec::with_capacity(n);
+    for i in 0..n {
+        let start = Instant::now();
+        event(i);
+        lat.push(start.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    lat
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Measurement {
+    events_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+impl Measurement {
+    fn new(n: usize, total_ns: f64, sorted_lat: &[u64]) -> Self {
+        Measurement {
+            events_per_sec: n as f64 / (total_ns / 1e9),
+            p50_ns: percentile(sorted_lat, 0.50),
+            p99_ns: percentile(sorted_lat, 0.99),
+        }
+    }
+
+    fn json(&self, name: &str) -> String {
+        format!(
+            "    \"{}\": {{\"events_per_sec\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+            name, self.events_per_sec, self.p50_ns, self.p99_ns
+        )
+    }
+
+    fn print(&self, section: &str, name: &str) {
+        println!(
+            "{section:<8} {name:<10} {:>12.0} events/s   p50 {:>6} ns   p99 {:>6} ns",
+            self.events_per_sec, self.p50_ns, self.p99_ns
+        );
+    }
+}
+
+fn main() {
+    let ops = generate_book_ops(N_OPS);
+    let actions = generate_actions(N_OPS);
+    let mut snap = LobSnapshot::default();
+    let mut features = vec![0.0f32; LobSnapshot::feature_count(DEPTH)];
+
+    // Warm-up; also proves each pair of replays computes the same thing.
+    assert_eq!(
+        replay_book_ladder(&ops, &mut features),
+        replay_book_reference(&ops),
+        "book replays must agree"
+    );
+    assert_eq!(
+        replay_engine_ladder(&actions, &mut snap, &mut features),
+        replay_engine_reference(&actions),
+        "engine replays must agree"
+    );
+
+    // Section 1: book path.
+    let (ladder_ns, reference_ns, book_speedup) = time_pair(
+        || replay_book_ladder(&ops, &mut features),
+        || replay_book_reference(&ops),
+    );
+    let mut book = LadderBook::default();
+    let ladder_lat = per_event_ns(ops.len(), |i| {
+        apply_op(&mut book, &ops[i]);
+        book.write_features(DEPTH, &mut features);
+    });
+    let mut book = ReferenceBook::new();
+    let reference_lat = per_event_ns(ops.len(), |i| {
+        apply_op(&mut book, &ops[i]);
+        let snap = book.snapshot(DEPTH, Timestamp::from_nanos(i as u64 + 1));
+        black_box(snap.to_features(DEPTH));
+    });
+    let book_ladder = Measurement::new(ops.len(), ladder_ns, &ladder_lat);
+    let book_reference = Measurement::new(ops.len(), reference_ns, &reference_lat);
+
+    // Section 2: engine replay.
+    let (ladder_ns, reference_ns, engine_speedup) = time_pair(
+        || replay_engine_ladder(&actions, &mut snap, &mut features),
+        || replay_engine_reference(&actions),
+    );
+    let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+    let ladder_lat = per_event_ns(actions.len(), |i| {
+        let ts = Timestamp::from_nanos(i as u64 + 1);
+        step(&mut engine, &actions[i], ts);
+        engine.book().snapshot_into(DEPTH, ts, &mut snap);
+        snap.write_features(DEPTH, &mut features);
+    });
+    let mut engine = MatchingEngine::new_reference(Symbol::new("ESU6"));
+    let reference_lat = per_event_ns(actions.len(), |i| {
+        let ts = Timestamp::from_nanos(i as u64 + 1);
+        step(&mut engine, &actions[i], ts);
+        let snap = engine.book().snapshot(DEPTH, ts);
+        black_box(snap.to_features(DEPTH));
+    });
+    let engine_ladder = Measurement::new(actions.len(), ladder_ns, &ladder_lat);
+    let engine_reference = Measurement::new(actions.len(), reference_ns, &reference_lat);
+
+    book_ladder.print("book", "ladder");
+    book_reference.print("book", "reference");
+    println!("book     speedup    {book_speedup:>10.2}x (floor {SPEEDUP_FLOOR:.1}x)");
+    engine_ladder.print("engine", "ladder");
+    engine_reference.print("engine", "reference");
+    println!("engine   speedup    {engine_speedup:>10.2}x (informational)");
+
+    let json = format!(
+        "{{\n  \"book\": {{\n{},\n{},\n    \"speedup\": {:.2}\n  }},\n  \"engine\": {{\n{},\n{},\n    \"speedup\": {:.2}\n  }},\n  \"events\": {},\n  \"speedup\": {:.2},\n  \"speedup_floor\": {:.1}\n}}\n",
+        book_ladder.json("ladder"),
+        book_reference.json("reference"),
+        book_speedup,
+        engine_ladder.json("ladder"),
+        engine_reference.json("reference"),
+        engine_speedup,
+        N_OPS,
+        book_speedup,
+        SPEEDUP_FLOOR,
+    );
+    std::fs::write("BENCH_lob.json", &json).expect("write BENCH_lob.json");
+    println!("\nwrote BENCH_lob.json");
+
+    if book_speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "REGRESSION: book replay speedup {book_speedup:.2}x below the \
+             {SPEEDUP_FLOOR:.1}x floor"
+        );
+        std::process::exit(1);
+    }
+}

@@ -149,6 +149,7 @@ impl LightTraderBuilder {
                 .map(|floor| KillSwitch::new(floor, 10)),
             inferences: 0,
             scratch: ScratchPad::new(),
+            snap: lt_lob::LobSnapshot::default(),
             stages: self.stages,
             model,
         }
@@ -168,6 +169,9 @@ pub struct LightTrader {
     /// Buffer pool reused across inferences: after the first (warm-up)
     /// forward pass, steady-state inference is allocation-free.
     scratch: ScratchPad,
+    /// Snapshot scratch reused across ticks: once its level vectors
+    /// reach depth capacity, the tick path takes no snapshot allocation.
+    snap: lt_lob::LobSnapshot,
     /// Stage budget stamped onto each query's ingress telemetry.
     stages: PipelineLatencies,
 }
@@ -246,10 +250,15 @@ impl LightTrader {
 
     fn process_event(&mut self, event: &MarketEvent) -> TickOutcome {
         self.book.apply(event);
-        let snapshot = self.book.snapshot(10, event.ts);
+        // The scratch snapshot is taken out of `self` for the duration of
+        // the tick (gated_decision needs `&mut self` alongside it) and
+        // put back on every exit path, keeping its level capacity.
+        let mut snapshot = std::mem::take(&mut self.snap);
+        self.book.snapshot_into(10, event.ts, &mut snapshot);
         self.offload
             .on_tick_staged(&snapshot, event.ts, &self.stages);
         if !self.offload.is_warm() {
+            self.snap = snapshot;
             return TickOutcome::Warmup;
         }
         // In the functional path the "accelerator" is the host: run the
@@ -260,7 +269,9 @@ impl LightTrader {
         self.offload.pop_batch(usize::MAX);
         let prediction = self.model.forward_scratch(&tensor, &mut self.scratch);
         self.inferences += 1;
-        self.gated_decision(&prediction, &snapshot, event.ts)
+        let outcome = self.gated_decision(&prediction, &snapshot, event.ts);
+        self.snap = snapshot;
+        outcome
     }
 
     /// Applies the kill switch and rate limiter around the trading

@@ -4,8 +4,16 @@
 //! the conventional trading algorithms" (§III-A); these are the standard
 //! microstructure signals such conventional overlays use: microprice,
 //! depth-weighted imbalance, and realized tick volatility.
+//!
+//! Each signal comes in two forms: a snapshot-based function for replayed
+//! traces, and a `book_*` variant that reads a live [`BookStore`] through
+//! its `for_each_level` visitor, so strategies polling the book every tick
+//! never allocate a `Vec<LevelView>` per query.
 
+use crate::book::LevelView;
 use crate::snapshot::LobSnapshot;
+use crate::store::BookStore;
+use crate::types::Side;
 
 /// The microprice: the depth-weighted mid,
 /// `(ask_qty·bid_px + bid_qty·ask_px) / (bid_qty + ask_qty)`.
@@ -85,11 +93,62 @@ pub fn quantity_to_sweep(
     )
 }
 
+/// Best level of `side` read without allocating.
+fn book_top<B: BookStore>(book: &B, side: Side) -> Option<LevelView> {
+    let mut out = None;
+    book.for_each_level(side, 1, |v| out = Some(v));
+    out
+}
+
+/// [`microprice`] computed directly from a live book — no snapshot, no
+/// allocation.
+pub fn book_microprice<B: BookStore>(book: &B) -> Option<f64> {
+    let bid = book_top(book, Side::Bid)?;
+    let ask = book_top(book, Side::Ask)?;
+    let bq = bid.qty.contracts() as f64;
+    let aq = ask.qty.contracts() as f64;
+    if bq + aq == 0.0 {
+        return Some((bid.price.ticks() as f64 + ask.price.ticks() as f64) / 2.0);
+    }
+    Some((aq * bid.price.ticks() as f64 + bq * ask.price.ticks() as f64) / (bq + aq))
+}
+
+/// [`depth_imbalance`] computed directly from a live book via the level
+/// visitor — no snapshot, no allocation.
+pub fn book_depth_imbalance<B: BookStore>(book: &B, depth: usize) -> f64 {
+    let sum = |side: Side| -> f64 {
+        let mut total = 0.0;
+        book.for_each_level(side, depth, |v| total += v.qty.contracts() as f64);
+        total
+    };
+    let b = sum(Side::Bid);
+    let a = sum(Side::Ask);
+    if b + a == 0.0 {
+        0.0
+    } else {
+        (b - a) / (b + a)
+    }
+}
+
+/// [`quantity_to_sweep`] computed directly from a live book via the level
+/// visitor — no snapshot, no allocation.
+pub fn book_quantity_to_sweep<B: BookStore>(book: &B, side: Side, levels: usize) -> Option<u64> {
+    let mut visited = 0usize;
+    let mut total = 0u64;
+    book.for_each_level(side, levels, |v| {
+        visited += 1;
+        total += v.qty.contracts();
+    });
+    (visited == levels).then_some(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matching::MatchingEngine;
+    use crate::order::NewOrder;
     use crate::snapshot::SnapshotLevel;
-    use crate::types::{Price, Qty, Side, Timestamp};
+    use crate::types::{OrderId, Price, Qty, Side, Symbol, Timestamp};
 
     fn snap(bid_px: i64, bid_q: u64, ask_px: i64, ask_q: u64) -> LobSnapshot {
         LobSnapshot {
@@ -151,6 +210,63 @@ mod tests {
             .collect();
         assert!(realized_tick_volatility(&wild) > realized_tick_volatility(&calm));
         assert_eq!(realized_tick_volatility(&[]), 0.0);
+    }
+
+    #[test]
+    fn book_variants_match_snapshot_variants() {
+        let mut e = MatchingEngine::new(Symbol::new("ESU6"));
+        let t = Timestamp::from_nanos(1);
+        for (i, (side, px, q)) in [
+            (Side::Bid, 99, 40),
+            (Side::Bid, 98, 7),
+            (Side::Ask, 101, 10),
+            (Side::Ask, 103, 3),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            e.submit(
+                NewOrder::limit(
+                    OrderId::new(i as u64 + 1),
+                    side,
+                    Price::new(px),
+                    Qty::new(q),
+                ),
+                t,
+            );
+        }
+        let snap = e.book().snapshot(10, t);
+        assert_eq!(book_microprice(e.book()), microprice(&snap));
+        for depth in [1usize, 2, 10] {
+            assert_eq!(
+                book_depth_imbalance(e.book(), depth),
+                depth_imbalance(&snap, depth),
+                "depth {depth}"
+            );
+        }
+        for side in [Side::Bid, Side::Ask] {
+            for levels in [0usize, 1, 2, 3] {
+                assert_eq!(
+                    book_quantity_to_sweep(e.book(), side, levels),
+                    quantity_to_sweep(&snap, side, levels),
+                    "{side:?} x{levels}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn book_variants_handle_empty_and_one_sided_books() {
+        let mut e = MatchingEngine::new(Symbol::new("ESU6"));
+        assert_eq!(book_microprice(e.book()), None);
+        assert_eq!(book_depth_imbalance(e.book(), 10), 0.0);
+        assert_eq!(book_quantity_to_sweep(e.book(), Side::Bid, 1), None);
+        e.submit(
+            NewOrder::limit(OrderId::new(1), Side::Bid, Price::new(99), Qty::new(5)),
+            Timestamp::from_nanos(1),
+        );
+        assert_eq!(book_microprice(e.book()), None, "one-sided");
+        assert!(book_depth_imbalance(e.book(), 10) > 0.0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! The resting limit order book.
+//! The map-based resting limit order book, kept as the behavioral oracle.
 
 use crate::order::Order;
 use crate::snapshot::{LobSnapshot, SnapshotLevel};
+use crate::store::BookStore;
 use crate::types::{OrderId, Price, Qty, Side, Timestamp};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -30,23 +31,26 @@ impl Level {
     }
 }
 
-/// A limit order book for a single symbol.
+/// The map-based limit order book for a single symbol.
 ///
 /// Bids and asks are kept in separate [`BTreeMap`]s keyed by price so that
 /// best-price lookups and level iteration are ordered; each level is a FIFO
 /// queue, giving the exchange's price/time priority (paper §II-A).
 ///
 /// The book only *stores* orders — crossing and trade generation live in
-/// [`MatchingEngine`](crate::matching::MatchingEngine).
+/// [`MatchingEngine`](crate::matching::MatchingEngine). The hot path uses
+/// the contiguous [`LadderBook`](crate::ladder::LadderBook) instead; this
+/// implementation survives as the easy-to-audit oracle the differential
+/// suite (`tests/book_equivalence.rs`) checks the ladder against.
 #[derive(Debug, Clone, Default)]
-pub struct Book {
+pub struct ReferenceBook {
     bids: BTreeMap<Price, Level>,
     asks: BTreeMap<Price, Level>,
     /// Locates a resting order by id: (side, price).
     index: HashMap<OrderId, (Side, Price)>,
 }
 
-impl Book {
+impl ReferenceBook {
     /// Creates an empty book.
     pub fn new() -> Self {
         Self::default()
@@ -115,9 +119,9 @@ impl Book {
         self.index.contains_key(&id)
     }
 
-    /// Iterates the best `depth` levels of `side` from most to least
-    /// aggressive.
-    pub fn levels(&self, side: Side, depth: usize) -> Vec<LevelView> {
+    /// Visits the best `depth` levels of `side` from most to least
+    /// aggressive without allocating.
+    pub fn for_each_level<F: FnMut(LevelView)>(&self, side: Side, depth: usize, mut f: F) {
         let levels = self.side_levels(side);
         let view = |(&price, level): (&Price, &Level)| LevelView {
             price,
@@ -125,9 +129,17 @@ impl Book {
             orders: level.queue.len(),
         };
         match side {
-            Side::Bid => levels.iter().rev().take(depth).map(view).collect(),
-            Side::Ask => levels.iter().take(depth).map(view).collect(),
+            Side::Bid => levels.iter().rev().take(depth).map(view).for_each(&mut f),
+            Side::Ask => levels.iter().take(depth).map(view).for_each(&mut f),
         }
+    }
+
+    /// Iterates the best `depth` levels of `side` from most to least
+    /// aggressive. Thin allocating wrapper over [`Self::for_each_level`].
+    pub fn levels(&self, side: Side, depth: usize) -> Vec<LevelView> {
+        let mut out = Vec::with_capacity(depth.min(self.len()));
+        self.for_each_level(side, depth, |v| out.push(v));
+        out
     }
 
     /// Builds the `depth`-level snapshot consumed by the trading pipeline.
@@ -254,6 +266,56 @@ impl Book {
     }
 }
 
+impl BookStore for ReferenceBook {
+    fn len(&self) -> usize {
+        ReferenceBook::len(self)
+    }
+
+    fn best_bid(&self) -> Option<Price> {
+        ReferenceBook::best_bid(self)
+    }
+
+    fn best_ask(&self) -> Option<Price> {
+        ReferenceBook::best_ask(self)
+    }
+
+    fn qty_at(&self, side: Side, price: Price) -> Qty {
+        ReferenceBook::qty_at(self, side, price)
+    }
+
+    fn order(&self, id: OrderId) -> Option<&Order> {
+        ReferenceBook::order(self, id)
+    }
+
+    fn contains(&self, id: OrderId) -> bool {
+        ReferenceBook::contains(self, id)
+    }
+
+    fn for_each_level<F: FnMut(LevelView)>(&self, side: Side, depth: usize, f: F) {
+        ReferenceBook::for_each_level(self, side, depth, f);
+    }
+
+    fn insert(&mut self, order: Order) {
+        ReferenceBook::insert(self, order);
+    }
+
+    fn remove(&mut self, id: OrderId) -> Option<Order> {
+        ReferenceBook::remove(self, id)
+    }
+
+    fn front(&self, side: Side) -> Option<&Order> {
+        ReferenceBook::front(self, side)
+    }
+
+    fn fill_front(&mut self, side: Side, fill: Qty) -> OrderId {
+        ReferenceBook::fill_front(self, side, fill)
+    }
+
+    fn crossable_qty(&self, side: Side, limit: Price) -> Qty {
+        ReferenceBook::crossable_qty(self, side, limit)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,7 +334,7 @@ mod tests {
 
     #[test]
     fn empty_book_has_no_best_prices() {
-        let book = Book::new();
+        let book = ReferenceBook::new();
         assert!(book.is_empty());
         assert_eq!(book.best_bid(), None);
         assert_eq!(book.best_ask(), None);
@@ -283,7 +345,7 @@ mod tests {
 
     #[test]
     fn best_prices_and_spread() {
-        let mut book = Book::new();
+        let mut book = ReferenceBook::new();
         book.insert(order(1, Side::Bid, 99, 5, 1));
         book.insert(order(2, Side::Bid, 98, 5, 2));
         book.insert(order(3, Side::Ask, 101, 5, 3));
@@ -297,7 +359,7 @@ mod tests {
 
     #[test]
     fn level_aggregation_and_order_lookup() {
-        let mut book = Book::new();
+        let mut book = ReferenceBook::new();
         book.insert(order(1, Side::Bid, 99, 5, 1));
         book.insert(order(2, Side::Bid, 99, 7, 2));
         assert_eq!(book.qty_at(Side::Bid, Price::new(99)), Qty::new(12));
@@ -311,7 +373,7 @@ mod tests {
 
     #[test]
     fn levels_are_ordered_most_aggressive_first() {
-        let mut book = Book::new();
+        let mut book = ReferenceBook::new();
         for (i, p) in [97, 99, 98].iter().enumerate() {
             book.insert(order(i as u64 + 1, Side::Bid, *p, 1, i as u64));
         }
@@ -336,7 +398,7 @@ mod tests {
 
     #[test]
     fn remove_clears_empty_levels() {
-        let mut book = Book::new();
+        let mut book = ReferenceBook::new();
         book.insert(order(1, Side::Ask, 101, 5, 1));
         let removed = book.remove(OrderId::new(1)).unwrap();
         assert_eq!(removed.remaining, Qty::new(5));
@@ -347,7 +409,7 @@ mod tests {
 
     #[test]
     fn fill_front_respects_fifo() {
-        let mut book = Book::new();
+        let mut book = ReferenceBook::new();
         book.insert(order(1, Side::Bid, 99, 5, 1));
         book.insert(order(2, Side::Bid, 99, 5, 2));
         // Partial fill leaves order 1 at the front.
@@ -362,7 +424,7 @@ mod tests {
 
     #[test]
     fn crossable_qty_stops_at_limit() {
-        let mut book = Book::new();
+        let mut book = ReferenceBook::new();
         book.insert(order(1, Side::Ask, 101, 5, 1));
         book.insert(order(2, Side::Ask, 102, 5, 2));
         book.insert(order(3, Side::Ask, 105, 5, 3));
@@ -375,7 +437,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate order id")]
     fn duplicate_insert_panics() {
-        let mut book = Book::new();
+        let mut book = ReferenceBook::new();
         book.insert(order(1, Side::Bid, 99, 5, 1));
         book.insert(order(1, Side::Bid, 98, 5, 2));
     }

@@ -57,36 +57,54 @@ impl LobSnapshot {
     /// `[ask_price_i, ask_qty_i, bid_price_i, bid_qty_i]` — the DeepLOB
     /// input layout. Missing levels are padded by extrapolating the last
     /// seen price one tick further (zero quantity), so the vector length is
-    /// always `4 * depth`.
+    /// always `4 * depth`. Allocating wrapper over
+    /// [`Self::write_features`].
     pub fn to_features(&self, depth: usize) -> Vec<f32> {
-        let mut out = Vec::with_capacity(depth * 4);
+        let mut out = vec![0.0; Self::feature_count(depth)];
+        self.write_features(depth, &mut out);
+        out
+    }
+
+    /// Writes the `depth`-level feature vector into `out` in place — the
+    /// allocation-free path the offload engine's recycled row buffers use.
+    /// Layout and padding are identical to [`Self::to_features`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len() == Self::feature_count(depth)`.
+    pub fn write_features(&self, depth: usize, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            Self::feature_count(depth),
+            "feature buffer sized for depth"
+        );
         let last_ask = self.asks.last().map(|l| l.price.ticks()).unwrap_or(0);
         let last_bid = self.bids.last().map(|l| l.price.ticks()).unwrap_or(0);
         for i in 0..depth {
+            let base = i * 4;
             match self.asks.get(i) {
                 Some(l) => {
-                    out.push(l.price.ticks() as f32);
-                    out.push(l.qty.contracts() as f32);
+                    out[base] = l.price.ticks() as f32;
+                    out[base + 1] = l.qty.contracts() as f32;
                 }
                 None => {
                     let pad = last_ask + (i as i64 - self.asks.len() as i64 + 1);
-                    out.push(pad as f32);
-                    out.push(0.0);
+                    out[base] = pad as f32;
+                    out[base + 1] = 0.0;
                 }
             }
             match self.bids.get(i) {
                 Some(l) => {
-                    out.push(l.price.ticks() as f32);
-                    out.push(l.qty.contracts() as f32);
+                    out[base + 2] = l.price.ticks() as f32;
+                    out[base + 3] = l.qty.contracts() as f32;
                 }
                 None => {
                     let pad = last_bid - (i as i64 - self.bids.len() as i64 + 1);
-                    out.push(pad as f32);
-                    out.push(0.0);
+                    out[base + 2] = pad as f32;
+                    out[base + 3] = 0.0;
                 }
             }
         }
-        out
     }
 
     /// Order-book imbalance at the top level in `[-1, 1]`
@@ -157,6 +175,20 @@ mod tests {
         // Level 3 pads one tick further out.
         assert_eq!(f[12], 105.0);
         assert_eq!(f[14], 96.0);
+    }
+
+    #[test]
+    fn write_features_matches_to_features() {
+        let s = snap();
+        for depth in [0usize, 1, 2, 4, 8] {
+            let mut buf = vec![123.0; LobSnapshot::feature_count(depth)];
+            s.write_features(depth, &mut buf);
+            assert_eq!(buf, s.to_features(depth), "depth {depth}");
+        }
+        let empty = LobSnapshot::default();
+        let mut buf = vec![123.0; LobSnapshot::feature_count(3)];
+        empty.write_features(3, &mut buf);
+        assert_eq!(buf, empty.to_features(3));
     }
 
     #[test]

@@ -5,26 +5,62 @@
 //! (§II-A). [`LocalBook`] consumes the decoded tick stream and keeps an
 //! aggregated per-level view plus the per-order index needed to apply
 //! modifies and deletes.
+//!
+//! The per-level aggregates live in contiguous [`PriceLadder`]s rather
+//! than `BTreeMap`s: after the price band warms up, applying a tick and
+//! extracting a snapshot ([`LocalBook::snapshot_into`]) or feature row
+//! ([`LocalBook::write_features`]) performs no heap allocation — this is
+//! the first hop of the zero-alloc tick path proven in
+//! `tests/zero_alloc.rs`.
 
 use lt_lob::events::MarketEventKind;
 use lt_lob::snapshot::SnapshotLevel;
-use lt_lob::{BookDelta, LobSnapshot, MarketEvent, OrderId, Price, Qty, Side, Timestamp};
-use std::collections::{BTreeMap, HashMap};
+use lt_lob::IdHashBuilder;
+use lt_lob::{
+    BookDelta, LobSnapshot, MarketEvent, OrderId, Price, PriceLadder, Qty, Side, Timestamp,
+};
+use std::collections::HashMap;
 
 /// A depth-limited mirror of the exchange book, maintained from ticks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LocalBook {
-    bids: BTreeMap<Price, Qty>,
-    asks: BTreeMap<Price, Qty>,
-    orders: HashMap<OrderId, (Side, Price, Qty)>,
+    bids: PriceLadder,
+    asks: PriceLadder,
+    orders: HashMap<OrderId, (Side, Price, Qty), IdHashBuilder>,
     applied: u64,
     last_trade: Option<(Price, Qty)>,
+}
+
+impl Default for LocalBook {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LocalBook {
     /// Creates an empty mirror.
     pub fn new() -> Self {
-        Self::default()
+        LocalBook {
+            bids: PriceLadder::new(Side::Bid),
+            asks: PriceLadder::new(Side::Ask),
+            orders: HashMap::default(),
+            applied: 0,
+            last_trade: None,
+        }
+    }
+
+    /// Pre-sizes the per-order index for a session expected to carry up
+    /// to `orders` resting orders.
+    ///
+    /// The ladders grow to their steady-state span on first touch, but
+    /// the order index is a hash map whose deletion tombstones can force
+    /// a reallocating rehash at a load-dependent (and hash-seed-
+    /// dependent) moment. Reserving ~3× the expected live-order
+    /// high-water mark keeps the table sparse enough that tombstone
+    /// cleanup always rehashes in place, making the post-warm-up tick
+    /// path deterministically allocation-free.
+    pub fn reserve_orders(&mut self, orders: usize) {
+        self.orders.reserve(orders.saturating_mul(3));
     }
 
     /// Number of events applied so far.
@@ -39,12 +75,12 @@ impl LocalBook {
 
     /// Best bid price.
     pub fn best_bid(&self) -> Option<Price> {
-        self.bids.keys().next_back().copied()
+        self.bids.best_price()
     }
 
     /// Best ask price.
     pub fn best_ask(&self) -> Option<Price> {
-        self.asks.keys().next().copied()
+        self.asks.best_price()
     }
 
     /// Applies one tick to the mirror.
@@ -70,7 +106,7 @@ impl LocalBook {
                 qty,
             } => {
                 self.orders.insert(id, (side, price, qty));
-                *self.side_mut(side).entry(price).or_insert(Qty::ZERO) += qty;
+                self.side_mut(side).deposit(price, qty);
             }
             BookDelta::Modify {
                 id,
@@ -86,31 +122,21 @@ impl LocalBook {
                 if remaining.is_zero() {
                     self.orders.remove(&id);
                 }
-                let levels = self.side_mut(side);
-                if let Some(level) = levels.get_mut(&price) {
-                    // level = level - old + remaining, never below zero.
-                    *level = level.saturating_sub(old) + remaining;
-                    if level.is_zero() {
-                        levels.remove(&price);
-                    }
-                }
+                // level = level - old + remaining, never below zero; the
+                // ladder drops the level when it reaches zero and ignores
+                // prices it no longer tracks, exactly like the map did.
+                self.side_mut(side).rescale(price, old, remaining);
             }
             BookDelta::Delete { id, side, price } => {
                 let Some((_, _, qty)) = self.orders.remove(&id) else {
                     return;
                 };
-                let levels = self.side_mut(side);
-                if let Some(level) = levels.get_mut(&price) {
-                    *level = level.saturating_sub(qty);
-                    if level.is_zero() {
-                        levels.remove(&price);
-                    }
-                }
+                self.side_mut(side).withdraw(price, qty);
             }
         }
     }
 
-    fn side_mut(&mut self, side: Side) -> &mut BTreeMap<Price, Qty> {
+    fn side_mut(&mut self, side: Side) -> &mut PriceLadder {
         match side {
             Side::Bid => &mut self.bids,
             Side::Ask => &mut self.asks,
@@ -119,11 +145,70 @@ impl LocalBook {
 
     /// Builds the ten-level snapshot the offload engine consumes.
     pub fn snapshot(&self, depth: usize, ts: Timestamp) -> LobSnapshot {
-        let level = |(&price, &qty): (&Price, &Qty)| SnapshotLevel { price, qty };
-        LobSnapshot {
-            ts,
-            bids: self.bids.iter().rev().take(depth).map(level).collect(),
-            asks: self.asks.iter().take(depth).map(level).collect(),
+        let mut out = LobSnapshot::default();
+        self.snapshot_into(depth, ts, &mut out);
+        out
+    }
+
+    /// Refills `out` with the `depth`-level snapshot, reusing its level
+    /// buffers — the allocation-free path the tick loop uses.
+    pub fn snapshot_into(&self, depth: usize, ts: Timestamp, out: &mut LobSnapshot) {
+        out.ts = ts;
+        out.bids.clear();
+        out.asks.clear();
+        self.bids.for_each_level(depth, |v| {
+            out.bids.push(SnapshotLevel {
+                price: v.price,
+                qty: v.qty,
+            });
+        });
+        self.asks.for_each_level(depth, |v| {
+            out.asks.push(SnapshotLevel {
+                price: v.price,
+                qty: v.qty,
+            });
+        });
+    }
+
+    /// Writes the `depth`-level DeepLOB feature row straight from the
+    /// ladders into `out` — the direct book→buffer path, bit-identical to
+    /// `self.snapshot(depth, ts).to_features(depth)` but with no
+    /// intermediate snapshot at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len() == LobSnapshot::feature_count(depth)`.
+    pub fn write_features(&self, depth: usize, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            LobSnapshot::feature_count(depth),
+            "feature buffer sized for depth"
+        );
+        let mut n_asks = 0usize;
+        let mut last_ask = 0i64;
+        self.asks.for_each_level(depth, |v| {
+            out[n_asks * 4] = v.price.ticks() as f32;
+            out[n_asks * 4 + 1] = v.qty.contracts() as f32;
+            last_ask = v.price.ticks();
+            n_asks += 1;
+        });
+        for i in n_asks..depth {
+            let pad = last_ask + (i as i64 - n_asks as i64 + 1);
+            out[i * 4] = pad as f32;
+            out[i * 4 + 1] = 0.0;
+        }
+        let mut n_bids = 0usize;
+        let mut last_bid = 0i64;
+        self.bids.for_each_level(depth, |v| {
+            out[n_bids * 4 + 2] = v.price.ticks() as f32;
+            out[n_bids * 4 + 3] = v.qty.contracts() as f32;
+            last_bid = v.price.ticks();
+            n_bids += 1;
+        });
+        for i in n_bids..depth {
+            let pad = last_bid - (i as i64 - n_bids as i64 + 1);
+            out[i * 4 + 2] = pad as f32;
+            out[i * 4 + 3] = 0.0;
         }
     }
 }
@@ -217,6 +302,89 @@ mod tests {
         let snap = book.snapshot(3, Timestamp::ZERO);
         assert_eq!(snap.bids.len(), 3);
         assert_eq!(snap.bids[0].price, Price::new(109));
+    }
+
+    fn modify(seq: u64, id: u64, side: Side, price: i64, remaining: u64) -> MarketEvent {
+        MarketEvent {
+            seq,
+            ts: Timestamp::from_nanos(seq),
+            kind: MarketEventKind::Book(BookDelta::Modify {
+                id: OrderId::new(id),
+                side,
+                price: Price::new(price),
+                remaining: Qty::new(remaining),
+            }),
+        }
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffers_and_matches_snapshot() {
+        let mut book = LocalBook::new();
+        for (i, p) in (95..105).enumerate() {
+            book.apply(&add(i as u64, i as u64 + 1, Side::Bid, p, 2));
+            book.apply(&add(i as u64 + 50, i as u64 + 51, Side::Ask, p + 20, 3));
+        }
+        let mut reused = LobSnapshot::default();
+        // Pre-dirty the buffers to prove the refill clears them.
+        reused.bids.push(SnapshotLevel {
+            price: Price::new(1),
+            qty: Qty::new(1),
+        });
+        for depth in [1usize, 3, 10, 20] {
+            let ts = Timestamp::from_nanos(depth as u64);
+            book.snapshot_into(depth, ts, &mut reused);
+            assert_eq!(reused, book.snapshot(depth, ts), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn write_features_matches_snapshot_features() {
+        let mut book = LocalBook::new();
+        // Empty book first.
+        let mut buf = vec![f32::NAN; LobSnapshot::feature_count(10)];
+        book.write_features(10, &mut buf);
+        assert_eq!(buf, book.snapshot(10, Timestamp::ZERO).to_features(10));
+        // Shallow one-sided book (padding from the bid side only).
+        book.apply(&add(1, 1, Side::Bid, 100, 5));
+        book.write_features(10, &mut buf);
+        assert_eq!(buf, book.snapshot(10, Timestamp::ZERO).to_features(10));
+        // Deep two-sided book, including modifies that shrink levels.
+        for (i, p) in (95..105).enumerate() {
+            book.apply(&add(i as u64 + 10, i as u64 + 10, Side::Bid, p, 2));
+            book.apply(&add(i as u64 + 60, i as u64 + 60, Side::Ask, p + 20, 3));
+        }
+        book.apply(&modify(200, 12, Side::Bid, 97, 1));
+        for depth in [1usize, 4, 10, 16] {
+            let mut buf = vec![f32::NAN; LobSnapshot::feature_count(depth)];
+            book.write_features(depth, &mut buf);
+            assert_eq!(
+                buf,
+                book.snapshot(depth, Timestamp::ZERO).to_features(depth),
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn modify_of_known_order_rescales_level() {
+        let mut book = LocalBook::new();
+        book.apply(&add(1, 1, Side::Ask, 101, 5));
+        book.apply(&add(2, 2, Side::Ask, 101, 7));
+        book.apply(&modify(3, 1, Side::Ask, 101, 2));
+        let snap = book.snapshot(10, Timestamp::ZERO);
+        assert_eq!(snap.best_ask().unwrap().qty, Qty::new(9));
+        // Modify-to-zero drops the order; level keeps the survivor.
+        book.apply(&modify(4, 1, Side::Ask, 101, 0));
+        assert_eq!(
+            book.snapshot(10, Timestamp::ZERO).best_ask().unwrap().qty,
+            Qty::new(7)
+        );
+        // Unknown modify is ignored.
+        book.apply(&modify(5, 42, Side::Ask, 101, 1));
+        assert_eq!(
+            book.snapshot(10, Timestamp::ZERO).best_ask().unwrap().qty,
+            Qty::new(7)
+        );
     }
 
     /// The mirror tracks the matching engine exactly for add/delete flows.

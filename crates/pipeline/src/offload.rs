@@ -32,13 +32,26 @@ pub struct TensorTicket {
 }
 
 /// The offload engine: normalization, windowing, and the tensor queue.
+///
+/// The sliding feature window is one flat, pre-allocated ring of
+/// `window × 4·depth` floats: each tick's features are written, normalized,
+/// and BF16-rounded *in place* in the next row slot, so steady-state
+/// ingestion never allocates. The ticket queue is likewise pre-sized to
+/// its capacity. Together with the ladder-backed
+/// [`LocalBook`](crate::local_book::LocalBook) this makes the whole
+/// book→features→ticket tick path allocation-free after warm-up (proven
+/// in `tests/zero_alloc.rs`).
 #[derive(Debug, Clone)]
 pub struct OffloadEngine {
     norm: NormStats,
     window: usize,
     depth: usize,
-    /// Sliding window of normalized feature vectors (newest at the back).
-    features: VecDeque<Vec<f32>>,
+    /// Flat ring of `window` normalized feature rows, recycled in place.
+    ring: Vec<f32>,
+    /// Rows currently valid (saturates at `window` once warm).
+    rows: usize,
+    /// Ring slot the next tick's row will overwrite.
+    next_row: usize,
     /// Tensors awaiting an accelerator.
     queue: VecDeque<TensorTicket>,
     /// Queue capacity; ticks arriving beyond it are dropped immediately.
@@ -51,7 +64,9 @@ pub struct OffloadEngine {
 
 impl OffloadEngine {
     /// Creates an engine with the paper's geometry: the feature FIFO
-    /// spans `window` ticks of `depth`-level snapshots.
+    /// spans `window` ticks of `depth`-level snapshots. All steady-state
+    /// storage (the feature ring and the ticket queue) is allocated here,
+    /// up front.
     ///
     /// # Panics
     ///
@@ -64,8 +79,10 @@ impl OffloadEngine {
             norm,
             window,
             depth,
-            features: VecDeque::with_capacity(window),
-            queue: VecDeque::new(),
+            ring: vec![0.0; window * LobSnapshot::feature_count(depth)],
+            rows: 0,
+            next_row: 0,
+            queue: VecDeque::with_capacity(capacity),
             capacity,
             next_tick_id: 0,
             dropped_full: 0,
@@ -128,18 +145,20 @@ impl OffloadEngine {
         ready_at: Timestamp,
         ingress: IngressStamp,
     ) -> Option<TensorTicket> {
-        let mut features = snapshot.to_features(self.depth);
-        self.norm.normalize(&mut features);
-        for f in &mut features {
+        let width = LobSnapshot::feature_count(self.depth);
+        let row = &mut self.ring[self.next_row * width..(self.next_row + 1) * width];
+        snapshot.write_features(self.depth, row);
+        self.norm.normalize(row);
+        for f in row {
             *f = bf16_round(*f);
         }
-        if self.features.len() == self.window {
-            self.features.pop_front();
+        self.next_row = (self.next_row + 1) % self.window;
+        if self.rows < self.window {
+            self.rows += 1;
         }
-        self.features.push_back(features);
         let tick_id = self.next_tick_id;
         self.next_tick_id += 1;
-        if self.features.len() < self.window {
+        if self.rows < self.window {
             return None;
         }
         if self.queue.len() >= self.capacity {
@@ -156,9 +175,15 @@ impl OffloadEngine {
         Some(ticket)
     }
 
-    /// True once the feature FIFO holds a full window.
+    /// True once the feature ring holds a full window.
     pub fn is_warm(&self) -> bool {
-        self.features.len() == self.window
+        self.rows == self.window
+    }
+
+    /// Pops the oldest queued ticket, if any — the allocation-free
+    /// single-ticket variant of [`Self::pop_batch`].
+    pub fn pop_ticket(&mut self) -> Option<TensorTicket> {
+        self.queue.pop_front()
     }
 
     /// Pops up to `batch` tickets, oldest first, for DMA to an
@@ -207,8 +232,11 @@ impl OffloadEngine {
         assert!(self.is_warm(), "feature FIFO not warm yet");
         let width = self.depth * 4;
         let mut data = Vec::with_capacity(self.window * width);
-        for row in &self.features {
-            data.extend_from_slice(row);
+        // Once warm, `next_row` is the oldest row in the ring; emit rows
+        // in chronological order from there.
+        for k in 0..self.window {
+            let r = (self.next_row + k) % self.window;
+            data.extend_from_slice(&self.ring[r * width..(r + 1) * width]);
         }
         Tensor::from_vec(data, &[self.window, width])
     }
@@ -278,6 +306,18 @@ mod tests {
         assert_eq!(e.queue_len(), 1);
         // Requesting more than available returns what exists.
         assert_eq!(e.pop_batch(10).len(), 1);
+    }
+
+    #[test]
+    fn pop_ticket_is_fifo_and_matches_pop_batch() {
+        let mut e = engine(1, 10);
+        for i in 0..3u64 {
+            e.on_tick(&snap(i, 100), Timestamp::from_micros(i));
+        }
+        assert_eq!(e.pop_ticket().unwrap().tick_id, 0);
+        assert_eq!(e.pop_ticket().unwrap().tick_id, 1);
+        assert_eq!(e.pop_batch(5).len(), 1);
+        assert!(e.pop_ticket().is_none());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Proof that the steady-state tick hot path performs **zero heap
+//! allocations**: feed event → [`LocalBook`] update → depth-10 snapshot →
+//! feature extraction → normalization → ticket queue.
+//!
+//! Same counting-global-allocator technique as `lt-dnn`'s
+//! `tests/zero_alloc.rs`: every allocation on this thread bumps a
+//! thread-local counter, a warm-up replay sizes the ladder band, order
+//! index, snapshot buffers, and feature ring, and a second replay of the
+//! identical event stream is then asserted to allocate nothing at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use lt_feed::NormStats;
+use lt_lob::prelude::*;
+use lt_pipeline::stages::PipelineLatencies;
+use lt_pipeline::{LocalBook, OffloadEngine};
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn bump() {
+        // `try_with`: the TLS slot may already be torn down during thread
+        // exit, and the allocator must never panic.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Builds a realistic tick-data stream by running a matching engine:
+/// passive adds around the touch, cancels, and aggressive IOC sweeps so
+/// the stream contains Add, Modify (partial fills), Delete, and Trade
+/// events. Allocation here is irrelevant — only the replay is counted.
+fn generate_events(n_actions: u64) -> Vec<MarketEvent> {
+    let mut engine = MatchingEngine::new(Symbol::new("ESU6"));
+    let mut events = Vec::new();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut rng = move || {
+        // xorshift64*: deterministic, dependency-free.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut live: Vec<OrderId> = Vec::new();
+    let mut next_id = 1u64;
+    for step in 0..n_actions {
+        let ts = Timestamp::from_nanos(step + 1);
+        let roll = rng() % 10;
+        let outcome = if roll < 5 || live.is_empty() {
+            // Passive add within ±8 ticks of the pivot.
+            let side = if rng() % 2 == 0 { Side::Bid } else { Side::Ask };
+            let base = if side == Side::Bid { 9_992 } else { 10_001 };
+            let price = Price::new(base + (rng() % 8) as i64);
+            let id = OrderId::new(next_id);
+            next_id += 1;
+            live.push(id);
+            engine.submit(
+                NewOrder::limit(id, side, price, Qty::new(1 + rng() % 9)),
+                ts,
+            )
+        } else if roll < 7 {
+            let id = live.swap_remove((rng() % live.len() as u64) as usize);
+            engine.cancel(id, ts)
+        } else {
+            // Aggressive IOC sweeping into the far side.
+            let side = if rng() % 2 == 0 { Side::Bid } else { Side::Ask };
+            let price = Price::new(if side == Side::Bid { 10_004 } else { 9_996 });
+            let id = OrderId::new(next_id);
+            next_id += 1;
+            engine.submit(NewOrder::ioc(id, side, price, Qty::new(1 + rng() % 12)), ts)
+        };
+        events.extend(outcome.events);
+    }
+    events
+}
+
+/// Replays the full stream through the book→snapshot→offload path,
+/// returning how many tickets were enqueued (a trivial checksum so the
+/// optimizer cannot elide the work).
+fn replay(
+    events: &[MarketEvent],
+    book: &mut LocalBook,
+    offload: &mut OffloadEngine,
+    snap: &mut LobSnapshot,
+    stages: &PipelineLatencies,
+) -> u64 {
+    let mut tickets = 0u64;
+    for event in events {
+        book.apply(event);
+        book.snapshot_into(10, event.ts, snap);
+        if offload.on_tick_staged(snap, event.ts, stages).is_some() {
+            tickets += 1;
+        }
+        if offload.pop_ticket().is_some() {
+            tickets += 1;
+        }
+    }
+    tickets
+}
+
+#[test]
+fn tick_hot_path_is_allocation_free_after_warmup() {
+    let events = generate_events(2_000);
+    assert!(
+        events.len() > 2_000,
+        "stream should include fills/cancels beyond the raw adds"
+    );
+
+    let mut book = LocalBook::new();
+    let mut offload = OffloadEngine::new(NormStats::identity(10), 100, 64);
+    let mut snap = LobSnapshot::default();
+    let stages = PipelineLatencies::fpga();
+
+    // Size the order index for the whole session up front; without this
+    // the hash map's deletion tombstones can force one reallocating
+    // rehash at a hash-seed-dependent moment mid-replay.
+    book.reserve_orders(2_000);
+
+    // Warm-up: two full replays. The first sizes the ladder band, the
+    // snapshot vectors, and fills the feature ring; the second covers
+    // capacity high-water effects of replaying onto an already-populated
+    // book (the order index briefly holds both the leftover resting
+    // orders and the stream's own).
+    let warm_a = replay(&events, &mut book, &mut offload, &mut snap, &stages);
+    let warm_b = replay(&events, &mut book, &mut offload, &mut snap, &stages);
+    assert!(warm_a > 0 && warm_b > 0, "offload engine must emit tickets");
+
+    let before = allocations();
+    let tickets = replay(&events, &mut book, &mut offload, &mut snap, &stages);
+    let after = allocations();
+
+    assert!(tickets > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state tick path (book update + snapshot_into + \
+         on_tick_staged + pop_ticket) must not allocate"
+    );
+}
+
+#[test]
+fn write_features_path_is_allocation_free_after_warmup() {
+    // The snapshot-free variant: LocalBook::write_features straight into
+    // a caller-owned buffer, no LobSnapshot in the loop at all.
+    let events = generate_events(500);
+    let mut book = LocalBook::new();
+    book.reserve_orders(500);
+    let mut features = vec![0.0f32; LobSnapshot::feature_count(10)];
+
+    let mut replay_features = |book: &mut LocalBook, acc: &mut f32| {
+        for event in &events {
+            book.apply(event);
+            book.write_features(10, &mut features);
+            *acc += features[0];
+        }
+    };
+
+    let mut acc = 0.0f32;
+    replay_features(&mut book, &mut acc);
+    replay_features(&mut book, &mut acc);
+
+    let before = allocations();
+    replay_features(&mut book, &mut acc);
+    let after = allocations();
+
+    assert!(acc.is_finite());
+    assert_eq!(after - before, 0, "write_features path must not allocate");
+}

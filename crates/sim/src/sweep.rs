@@ -11,7 +11,19 @@ use crate::config::BacktestConfig;
 use crate::lighttrader::run_lighttrader;
 use crate::metrics::BacktestMetrics;
 use lt_feed::TickTrace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Runs every configuration against `trace`, in parallel, returning the
 /// metrics in input order.
@@ -21,7 +33,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// # Panics
 ///
-/// Panics if any individual back-test panics (invalid configuration).
+/// Panics if any individual back-test panics (invalid configuration),
+/// naming the offending configuration's index, its debug description,
+/// and the original panic message — with hundreds of configurations per
+/// sweep, a bare "worker panicked" is undebuggable.
 pub fn run_sweep(
     trace: &TickTrace,
     configs: &[BacktestConfig],
@@ -41,8 +56,8 @@ pub fn run_sweep(
 
     let mut results: Vec<Option<BacktestMetrics>> = vec![None; configs.len()];
     let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, BacktestMetrics)>();
-    crossbeam::scope(|scope| {
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<BacktestMetrics, String>)>();
+    let failure = crossbeam::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
@@ -51,16 +66,34 @@ pub fn run_sweep(
                 if i >= configs.len() {
                     break;
                 }
-                let metrics = run_lighttrader(trace, &configs[i]);
-                tx.send((i, metrics)).expect("collector alive");
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| run_lighttrader(trace, &configs[i])))
+                        .map_err(|payload| panic_message(payload.as_ref()).to_owned());
+                tx.send((i, outcome)).expect("collector alive");
             });
         }
         drop(tx);
-        for (i, metrics) in rx {
-            results[i] = Some(metrics);
+        let mut first_failure: Option<(usize, String)> = None;
+        for (i, outcome) in rx {
+            match outcome {
+                Ok(metrics) => results[i] = Some(metrics),
+                Err(message) => {
+                    let earlier = first_failure.as_ref().is_some_and(|(j, _)| *j < i);
+                    if !earlier {
+                        first_failure = Some((i, message));
+                    }
+                }
+            }
         }
+        first_failure
     })
     .expect("sweep worker panicked");
+    if let Some((i, message)) = failure {
+        panic!(
+            "sweep config #{i} panicked: {message}\n  config: {:?}",
+            configs[i]
+        );
+    }
     results
         .into_iter()
         .map(|r| r.expect("every index produced"))
@@ -140,6 +173,38 @@ mod tests {
         let trace = trace();
         let out = run_sweep(&trace, &configs()[..4], 0);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn panicking_config_is_named_in_the_panic() {
+        let trace = trace();
+        let mut cfgs = configs()[..3].to_vec();
+        // Invalid: zero accelerators trips config validation inside the
+        // worker.
+        cfgs.push(BacktestConfig::new(
+            ModelKind::VanillaCnn,
+            0,
+            PowerCondition::Limited,
+        ));
+        let err = std::panic::catch_unwind(|| run_sweep(&trace, &cfgs, 2))
+            .expect_err("invalid config must panic");
+        let message = if let Some(s) = err.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            format!("{err:?}")
+        };
+        assert!(
+            message.contains("sweep config #3"),
+            "panic names the config index: {message}"
+        );
+        assert!(
+            message.contains("at least one accelerator"),
+            "panic carries the original message: {message}"
+        );
+        assert!(
+            message.contains("n_accels: 0"),
+            "panic carries the config description: {message}"
+        );
     }
 
     #[test]

@@ -29,12 +29,19 @@ cargo test -q --release -p lt-sim --test faults
 cargo test -q --release -p lt-pipeline --test arbiter_props
 cargo test -q --release -p lt-protocol --test roundtrip
 
+echo "== hot-path book gates: ladder/reference equivalence + zero-alloc =="
+cargo test -q --release -p lt-lob --test book_equivalence
+cargo test -q --release -p lt-pipeline --test zero_alloc
+
 if [[ "$fast" == "0" ]]; then
     echo "== sim wall-clock smoke (budget 1.15x seed) =="
     cargo test -q --release -p lt-sim --test wallclock_smoke -- --ignored
 
     echo "== bench smoke: cargo bench -- --test =="
     cargo bench -- --test
+
+    echo "== lob replay regression (3x floor) =="
+    cargo run --release -p lt-bench --bin bench_lob
 fi
 
 echo "== all checks passed =="
