@@ -1,0 +1,75 @@
+//! Multi-symbol sharded back-test benchmarks: session generation,
+//! coalesced cross-symbol back-test, and the independent per-symbol
+//! fleet it replaces.
+//!
+//! For the machine-readable scaling report (and the 1.5x aggregate
+//! throughput floor at 8 symbols) see the `bench_multi` binary, which
+//! emits `BENCH_multi.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lighttrader::dnn::ModelKind;
+use lighttrader::feed::{MultiMarketSession, MultiSessionBuilder};
+use lighttrader::prelude::*;
+use lighttrader::sim::traffic::scheduling_deadline_for;
+use lighttrader::sim::{run_lighttrader, run_multi};
+use std::hint::black_box;
+
+const SECS: f64 = 0.25;
+const SYMBOLS: usize = 4;
+const SKEW: f64 = 2.5;
+
+fn session() -> MultiMarketSession {
+    MultiSessionBuilder::normal_traffic()
+        .symbols(SYMBOLS)
+        .skew(SKEW)
+        .duration_secs(SECS)
+        .seed(7)
+        .build()
+}
+
+fn cfg(n_accels: usize) -> BacktestConfig {
+    BacktestConfig::new(ModelKind::DeepLob, n_accels, PowerCondition::Sufficient)
+        .with_policy(Policy::Both)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob))
+}
+
+fn bench_session_generation(c: &mut Criterion) {
+    c.bench_function("multi/generate_4sym", |b| b.iter(|| black_box(session())));
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let s = session();
+    c.bench_function("multi/merge_4sym", |b| b.iter(|| black_box(s.merged())));
+}
+
+fn bench_coalesced(c: &mut Criterion) {
+    let s = session();
+    let cfg = cfg(SYMBOLS).with_symbols(SYMBOLS, SKEW);
+    c.bench_function("multi/coalesced_backtest_4sym", |b| {
+        b.iter(|| black_box(run_multi(&s, &cfg)))
+    });
+}
+
+fn bench_independent(c: &mut Criterion) {
+    let s = session();
+    let cfg = cfg(1);
+    c.bench_function("multi/independent_backtests_4sym", |b| {
+        b.iter(|| {
+            let responded: u64 = s
+                .sessions
+                .iter()
+                .map(|sym| run_lighttrader(&sym.trace, &cfg).responded)
+                .sum();
+            black_box(responded)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_session_generation,
+    bench_merge,
+    bench_coalesced,
+    bench_independent
+);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Multi-symbol scaling benchmark: cross-symbol batched offload vs
+//! independent per-symbol pipelines, on the same accelerator fleet.
+//!
+//! ```text
+//! cargo run --release -p lt-bench --bin bench_multi [-- --secs N]
+//! ```
+//!
+//! For each symbol count N in {1, 2, 4, 8} the harness generates one
+//! correlated multi-instrument session (Zipf skew concentrates traffic
+//! on the leading symbol) and back-tests it two ways with an N-chip
+//! accelerator fleet:
+//!
+//! * **coalesced** — ONE sharded LightTrader: every symbol's feature
+//!   rows feed a single tensor queue, the workload scheduler batches
+//!   across symbols, and the whole fleet absorbs any symbol's burst;
+//! * **independent** — N single-symbol LightTraders, each statically
+//!   pinned to 1/N-th of the fleet (one chip each), replaying its own
+//!   symbol's trace in isolation.
+//!
+//! Throughput is *simulated* and therefore deterministic: in-time
+//! responses per simulated second, summed over symbols. The skewed load
+//! overwhelms the hot symbol's private chip while the tail's chips sit
+//! idle — exactly the fragmentation cross-symbol coalescing removes —
+//! so at 8 symbols the coalesced pipeline must beat the independent
+//! fleet by at least [`AGGREGATE_FLOOR`]. Emits `BENCH_multi.json` and
+//! exits nonzero when the floor is violated.
+
+use lighttrader::dnn::ModelKind;
+use lighttrader::feed::MultiSessionBuilder;
+use lighttrader::prelude::*;
+use lighttrader::sim::traffic::scheduling_deadline_for;
+use lighttrader::sim::{run_lighttrader, run_multi};
+
+/// Minimum acceptable coalesced/independent aggregate-throughput ratio
+/// at the largest symbol count.
+const AGGREGATE_FLOOR: f64 = 1.5;
+/// Symbol counts swept (the fleet always has one chip per symbol).
+const SYMBOL_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Zipf skew: the hot symbol carries ~6x its even share at 8 symbols.
+const SKEW: f64 = 2.5;
+/// Session seed (the determinism suite pins the same constant).
+const SEED: u64 = 4242;
+/// Default simulated session length in seconds.
+const DEFAULT_SECS: f64 = 2.0;
+
+/// One point of the scaling curve.
+struct Point {
+    symbols: usize,
+    coalesced_per_sec: f64,
+    independent_per_sec: f64,
+    ratio: f64,
+    coalesced_mean_batch: f64,
+}
+
+fn cfg(kind: ModelKind, n_accels: usize) -> BacktestConfig {
+    BacktestConfig::new(kind, n_accels, PowerCondition::Sufficient)
+        .with_policy(Policy::Both)
+        .with_t_avail(scheduling_deadline_for(kind))
+}
+
+fn measure(symbols: usize, secs: f64) -> Point {
+    let session = MultiSessionBuilder::normal_traffic()
+        .symbols(symbols)
+        .skew(SKEW)
+        .duration_secs(secs)
+        .seed(SEED)
+        .build();
+    let duration = secs;
+
+    // Coalesced: one sharded system, the full fleet behind one queue.
+    let coalesced = run_multi(
+        &session,
+        &cfg(ModelKind::DeepLob, symbols).with_symbols(symbols, SKEW),
+    );
+    let coalesced_per_sec = coalesced.aggregate.responded as f64 / duration;
+
+    // Independent: one chip per symbol, each replaying its own trace.
+    let independent_responded: u64 = session
+        .sessions
+        .iter()
+        .map(|s| run_lighttrader(&s.trace, &cfg(ModelKind::DeepLob, 1)).responded)
+        .sum();
+    let independent_per_sec = independent_responded as f64 / duration;
+
+    Point {
+        symbols,
+        coalesced_per_sec,
+        independent_per_sec,
+        ratio: coalesced_per_sec / independent_per_sec,
+        coalesced_mean_batch: coalesced.aggregate.mean_batch(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut secs = DEFAULT_SECS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--secs" {
+            secs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--secs needs a number");
+        }
+    }
+
+    println!(
+        "{:>8} {:>16} {:>16} {:>8} {:>12}",
+        "symbols", "coalesced/s", "independent/s", "ratio", "mean batch"
+    );
+    let curve: Vec<Point> = SYMBOL_COUNTS.iter().map(|&n| measure(n, secs)).collect();
+    for p in &curve {
+        println!(
+            "{:>8} {:>16.0} {:>16.0} {:>7.2}x {:>12.2}",
+            p.symbols, p.coalesced_per_sec, p.independent_per_sec, p.ratio, p.coalesced_mean_batch
+        );
+    }
+
+    let last = curve.last().expect("non-empty sweep");
+    let rows: Vec<String> = curve
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"symbols\": {}, \"coalesced_per_sec\": {:.0}, \
+                 \"independent_per_sec\": {:.0}, \"ratio\": {:.3}, \
+                 \"coalesced_mean_batch\": {:.3}}}",
+                p.symbols,
+                p.coalesced_per_sec,
+                p.independent_per_sec,
+                p.ratio,
+                p.coalesced_mean_batch
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"curve\": [\n{}\n  ],\n  \"skew\": {SKEW},\n  \"secs\": {secs},\n  \
+         \"ratio_at_max_symbols\": {:.3},\n  \"ratio_floor\": {AGGREGATE_FLOOR}\n}}\n",
+        rows.join(",\n"),
+        last.ratio,
+    );
+    std::fs::write("BENCH_multi.json", &json).expect("write BENCH_multi.json");
+    println!("\nwrote BENCH_multi.json");
+
+    if last.ratio < AGGREGATE_FLOOR {
+        eprintln!(
+            "REGRESSION: coalesced/independent aggregate throughput {:.2}x at \
+             {} symbols is below the {AGGREGATE_FLOOR:.1}x floor",
+            last.ratio, last.symbols
+        );
+        std::process::exit(1);
+    }
+}

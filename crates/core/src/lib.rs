@@ -60,8 +60,14 @@ pub mod prelude {
     pub use crate::system::{LightTrader, LightTraderBuilder, TickOutcome};
     pub use lt_accel::{AccelSpec, DeviceProfile, OperatingPoint, PowerCondition};
     pub use lt_dnn::{Model, ModelKind, Prediction, PriceDirection, Tensor};
-    pub use lt_feed::{HawkesParams, MarketSession, SessionBuilder, TickTrace};
+    pub use lt_feed::{
+        HawkesParams, MarketSession, MultiMarketSession, MultiSessionBuilder, SessionBuilder,
+        TickTrace,
+    };
     pub use lt_lob::prelude::*;
     pub use lt_sched::Policy;
-    pub use lt_sim::{run_lighttrader, run_single_device, BacktestConfig, BacktestMetrics};
+    pub use lt_sim::{
+        run_lighttrader, run_multi, run_single_device, BacktestConfig, BacktestMetrics,
+        MultiMetrics,
+    };
 }

@@ -26,6 +26,7 @@
 pub mod agents;
 pub mod bursts;
 pub mod hawkes;
+pub mod multi;
 pub mod session;
 pub mod stats;
 pub mod trace;
@@ -34,6 +35,7 @@ pub mod trace_io;
 pub use agents::{AgentFlow, AgentParams};
 pub use bursts::FlashParams;
 pub use hawkes::{HawkesParams, HawkesProcess};
+pub use multi::{MultiMarketSession, MultiSessionBuilder};
 pub use session::{MarketSession, SessionBuilder};
 pub use stats::NormStats;
 pub use trace::{TickRecord, TickTrace, TraceStats};

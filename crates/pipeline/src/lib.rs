@@ -17,6 +17,9 @@
 //!   against historical statistics, BF16 conversion, the feature-vector
 //!   FIFO that assembles `[window, 40]` input tensors, and stale-tensor
 //!   management;
+//! * [`multi_offload`] — the cross-symbol generalization: per-symbol
+//!   feature shards feeding one coalesced tensor queue, so a single
+//!   accelerator batch mixes rows from many instruments;
 //! * [`dma`] — the DMA descriptor ring that carries input tensors to the
 //!   accelerators and results back;
 //! * [`trading`] — the trading engine: risk-checked order generation from
@@ -30,6 +33,7 @@
 pub mod arbiter;
 pub mod dma;
 pub mod local_book;
+pub mod multi_offload;
 pub mod offload;
 pub mod parser;
 pub mod rate_limit;
@@ -40,7 +44,8 @@ pub mod trading;
 pub use arbiter::{ArbiterStats, FeedArbiter, FeedHealth, FeedId};
 pub use dma::{Descriptor, DescriptorRing};
 pub use local_book::LocalBook;
-pub use offload::{OffloadEngine, TensorTicket};
+pub use multi_offload::{MultiOffload, ShardCounters, ShardTicket};
+pub use offload::{FeatureWindow, OffloadEngine, TensorTicket};
 pub use parser::{PacketParser, ParserStats};
 pub use rate_limit::{KillReason, KillSwitch, OrderRateLimiter};
 pub use seq::{SeqObservation, SeqTracker};

@@ -1,0 +1,413 @@
+//! The cross-symbol offload engine: per-symbol feature shards feeding
+//! one coalesced tensor queue.
+//!
+//! The paper's offload engine (Fig. 5) serves a single instrument. To
+//! serve N symbols with one accelerator fleet, each symbol keeps its own
+//! sliding [`FeatureWindow`] (its book history is independent), but every
+//! warm tick enqueues into a *shared* FIFO of [`ShardTicket`]s. The
+//! scheduler batches straight off that shared queue, so a single
+//! accelerator batch coalesces feature rows from many symbols and the
+//! per-batch fixed costs (DMA descriptor setup, kernel launch) amortize
+//! across the whole fleet's traffic instead of fragmenting per symbol.
+//! Tickets carry their shard index, so completions fan back out to the
+//! right symbol's trading engine.
+//!
+//! All steady-state storage (every shard's ring, the shared queue) is
+//! allocated up front; the ingest → pop path is allocation-free after
+//! warm-up exactly like the single-symbol engine (`tests/zero_alloc.rs`).
+
+use crate::offload::{FeatureWindow, TensorTicket};
+use crate::stages::{IngressStamp, PipelineLatencies};
+use lt_feed::NormStats;
+use lt_lob::{LobSnapshot, Timestamp};
+use std::collections::VecDeque;
+
+/// A queued inference request tagged with the symbol shard it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTicket {
+    /// Index of the originating symbol shard.
+    pub shard: u16,
+    /// The tick identity and timing of the request.
+    pub ticket: TensorTicket,
+}
+
+/// Outcome counters of one symbol shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Ticks dropped at admission because the shared queue was full.
+    pub dropped_full: u64,
+    /// Tensors dropped because their deadline lapsed while queued.
+    pub dropped_stale: u64,
+    /// Tensors deferred to the conventional pipeline by Algorithm 1.
+    pub deferred: u64,
+}
+
+/// One symbol's slice of the engine: its feature window, tick counter,
+/// and outcome counters.
+#[derive(Debug, Clone)]
+struct Shard {
+    features: FeatureWindow,
+    next_tick_id: u64,
+    counters: ShardCounters,
+}
+
+/// The cross-symbol offload engine: N feature shards, one shared
+/// coalesced ticket queue.
+#[derive(Debug, Clone)]
+pub struct MultiOffload {
+    shards: Vec<Shard>,
+    /// The shared tensor queue, FIFO across all shards.
+    queue: VecDeque<ShardTicket>,
+    /// Shared capacity: `capacity_per_shard × n_shards`.
+    capacity: usize,
+    dropped_full: u64,
+    dropped_stale: u64,
+    deferred: u64,
+}
+
+impl MultiOffload {
+    /// Creates an engine with one shard per entry of `norms`, each with
+    /// the same `window`, sharing a queue of `capacity_per_shard` slots
+    /// per shard. With a single shard this is behaviourally identical to
+    /// [`crate::OffloadEngine`] — same warm-up, admission, and FIFO
+    /// semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms` is empty, any window/stats is unusable, or
+    /// `capacity_per_shard` is zero.
+    pub fn new(norms: Vec<NormStats>, window: usize, capacity_per_shard: usize) -> Self {
+        assert!(!norms.is_empty(), "need at least one shard");
+        assert!(capacity_per_shard > 0, "capacity must be positive");
+        assert!(norms.len() <= u16::MAX as usize, "shard index must fit u16");
+        let capacity = capacity_per_shard * norms.len();
+        MultiOffload {
+            shards: norms
+                .into_iter()
+                .map(|norm| Shard {
+                    features: FeatureWindow::new(norm, window),
+                    next_tick_id: 0,
+                    counters: ShardCounters::default(),
+                })
+                .collect(),
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped_full: 0,
+            dropped_stale: 0,
+            deferred: 0,
+        }
+    }
+
+    /// Number of symbol shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Tensors currently queued for the DNN pipeline, across all shards.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The oldest queued ticket across all shards, if any.
+    pub fn oldest(&self) -> Option<ShardTicket> {
+        self.queue.front().copied()
+    }
+
+    /// Ticks dropped because the shared queue was full (all shards).
+    pub fn dropped_full(&self) -> u64 {
+        self.dropped_full
+    }
+
+    /// Tensors dropped stale while queued (all shards).
+    pub fn dropped_stale(&self) -> u64 {
+        self.dropped_stale
+    }
+
+    /// Tensors deferred to the conventional pipeline (all shards).
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// Outcome counters of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_counters(&self, shard: usize) -> ShardCounters {
+        self.shards[shard].counters
+    }
+
+    /// Ingests one tick for `shard`, deriving `ready_at` from the
+    /// pipeline's ingress budget (the staged twin of
+    /// [`crate::OffloadEngine::on_tick_staged`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn on_tick_staged(
+        &mut self,
+        shard: u16,
+        snapshot: &LobSnapshot,
+        now: Timestamp,
+        stages: &PipelineLatencies,
+    ) -> Option<ShardTicket> {
+        let stamp = stages.ingress_stamp();
+        self.ingest(shard, snapshot, now + stamp.total(), stamp)
+    }
+
+    /// Ingests one tick for `shard` with a pre-computed `ready_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn on_tick(
+        &mut self,
+        shard: u16,
+        snapshot: &LobSnapshot,
+        ready_at: Timestamp,
+    ) -> Option<ShardTicket> {
+        self.ingest(shard, snapshot, ready_at, IngressStamp::ZERO)
+    }
+
+    fn ingest(
+        &mut self,
+        shard: u16,
+        snapshot: &LobSnapshot,
+        ready_at: Timestamp,
+        ingress: IngressStamp,
+    ) -> Option<ShardTicket> {
+        let s = &mut self.shards[shard as usize];
+        let warm = s.features.push(snapshot);
+        let tick_id = s.next_tick_id;
+        s.next_tick_id += 1;
+        if !warm {
+            return None;
+        }
+        if self.queue.len() >= self.capacity {
+            s.counters.dropped_full += 1;
+            self.dropped_full += 1;
+            return None;
+        }
+        let ticket = ShardTicket {
+            shard,
+            ticket: TensorTicket {
+                tick_id,
+                tick_ts: snapshot.ts,
+                ready_at,
+                ingress,
+            },
+        };
+        self.queue.push_back(ticket);
+        Some(ticket)
+    }
+
+    /// Pops the oldest queued ticket, if any.
+    pub fn pop_ticket(&mut self) -> Option<ShardTicket> {
+        self.queue.pop_front()
+    }
+
+    /// Pops up to `batch` tickets, oldest first across all shards,
+    /// appending them to `out` — the cross-symbol coalescing step.
+    /// Allocation-free with a recycled caller-owned buffer.
+    pub fn pop_batch_into(&mut self, batch: usize, out: &mut Vec<ShardTicket>) {
+        let n = batch.min(self.queue.len());
+        out.extend(self.queue.drain(..n));
+    }
+
+    /// Removes the oldest ticket (Algorithm 1's defer path), attributing
+    /// it to its shard.
+    pub fn defer_oldest(&mut self) -> Option<ShardTicket> {
+        let t = self.queue.pop_front();
+        if let Some(t) = t {
+            self.shards[t.shard as usize].counters.deferred += 1;
+            self.deferred += 1;
+        }
+        t
+    }
+
+    /// Drops every queued ticket whose `tick_ts + deadline` is already in
+    /// the past, attributing each to its shard, and returns how many
+    /// were dropped. Allocation-free.
+    pub fn drop_stale(&mut self, now: Timestamp, deadline: std::time::Duration) -> u64 {
+        let mut dropped = 0u64;
+        while let Some(front) = self.queue.front() {
+            if (front.ticket.tick_ts + deadline) <= now {
+                let t = self.queue.pop_front().expect("front just seen");
+                self.shards[t.shard as usize].counters.dropped_stale += 1;
+                dropped += 1;
+            } else {
+                break;
+            }
+        }
+        self.dropped_stale += dropped;
+        dropped
+    }
+
+    /// Drains every still-queued ticket as stale (end-of-session
+    /// accounting), attributing each to its shard, and returns the count.
+    pub fn drain_leftover(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        while let Some(t) = self.queue.pop_front() {
+            self.shards[t.shard as usize].counters.dropped_stale += 1;
+            dropped += 1;
+        }
+        self.dropped_stale += dropped;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OffloadEngine;
+    use lt_lob::snapshot::SnapshotLevel;
+    use lt_lob::{Price, Qty};
+    use std::time::Duration;
+
+    fn snap(ts_us: u64, mid: i64) -> LobSnapshot {
+        LobSnapshot {
+            ts: Timestamp::from_micros(ts_us),
+            bids: vec![SnapshotLevel {
+                price: Price::new(mid - 1),
+                qty: Qty::new(5),
+            }],
+            asks: vec![SnapshotLevel {
+                price: Price::new(mid + 1),
+                qty: Qty::new(5),
+            }],
+        }
+    }
+
+    fn engine(shards: usize, window: usize, capacity_per_shard: usize) -> MultiOffload {
+        MultiOffload::new(
+            vec![NormStats::identity(1); shards],
+            window,
+            capacity_per_shard,
+        )
+    }
+
+    #[test]
+    fn shards_warm_independently() {
+        let mut e = engine(2, 2, 8);
+        // Shard 0 gets two ticks (warm), shard 1 only one (still cold).
+        assert!(e
+            .on_tick(0, &snap(1, 100), Timestamp::from_micros(1))
+            .is_none());
+        assert!(e
+            .on_tick(1, &snap(2, 200), Timestamp::from_micros(2))
+            .is_none());
+        let t = e
+            .on_tick(0, &snap(3, 100), Timestamp::from_micros(3))
+            .unwrap();
+        assert_eq!(t.shard, 0);
+        assert_eq!(t.ticket.tick_id, 1);
+        assert!(e
+            .on_tick(1, &snap(4, 200), Timestamp::from_micros(4))
+            .is_some());
+        assert_eq!(e.queue_len(), 2);
+    }
+
+    #[test]
+    fn queue_is_fifo_across_shards() {
+        let mut e = engine(3, 1, 8);
+        for (i, shard) in [(1u64, 2u16), (2, 0), (3, 1), (4, 2)] {
+            e.on_tick(shard, &snap(i, 100), Timestamp::from_micros(i));
+        }
+        let mut out = Vec::new();
+        e.pop_batch_into(3, &mut out);
+        let shards: Vec<u16> = out.iter().map(|t| t.shard).collect();
+        assert_eq!(shards, vec![2, 0, 1], "arrival order, not shard order");
+        assert_eq!(e.oldest().unwrap().shard, 2);
+    }
+
+    #[test]
+    fn per_shard_tick_ids_are_independent() {
+        let mut e = engine(2, 1, 8);
+        e.on_tick(0, &snap(1, 100), Timestamp::from_micros(1));
+        e.on_tick(0, &snap(2, 100), Timestamp::from_micros(2));
+        e.on_tick(1, &snap(3, 100), Timestamp::from_micros(3));
+        let mut out = Vec::new();
+        e.pop_batch_into(8, &mut out);
+        assert_eq!(out[0].ticket.tick_id, 0);
+        assert_eq!(out[1].ticket.tick_id, 1);
+        assert_eq!(out[2].ticket.tick_id, 0, "shard 1 counts from zero");
+    }
+
+    #[test]
+    fn shared_capacity_scales_with_shards_and_attributes_drops() {
+        let mut e = engine(2, 1, 2); // shared capacity 4
+        for i in 0..6u64 {
+            e.on_tick((i % 2) as u16, &snap(i, 100), Timestamp::from_micros(i));
+        }
+        assert_eq!(e.queue_len(), 4);
+        assert_eq!(e.dropped_full(), 2);
+        assert_eq!(e.shard_counters(0).dropped_full, 1);
+        assert_eq!(e.shard_counters(1).dropped_full, 1);
+    }
+
+    #[test]
+    fn stale_drops_and_defers_attribute_to_shards() {
+        let mut e = engine(2, 1, 8);
+        e.on_tick(0, &snap(0, 100), Timestamp::from_micros(0));
+        e.on_tick(1, &snap(10, 100), Timestamp::from_micros(10));
+        e.on_tick(0, &snap(900, 100), Timestamp::from_micros(900));
+        let dropped = e.drop_stale(Timestamp::from_micros(1_200), Duration::from_millis(1));
+        assert_eq!(dropped, 2);
+        assert_eq!(e.shard_counters(0).dropped_stale, 1);
+        assert_eq!(e.shard_counters(1).dropped_stale, 1);
+        let d = e.defer_oldest().unwrap();
+        assert_eq!(d.shard, 0);
+        assert_eq!(e.shard_counters(0).deferred, 1);
+        assert_eq!(e.deferred(), 1);
+        assert_eq!(e.queue_len(), 0);
+    }
+
+    #[test]
+    fn drain_leftover_accounts_every_queued_ticket() {
+        let mut e = engine(2, 1, 8);
+        for i in 0..5u64 {
+            e.on_tick((i % 2) as u16, &snap(i, 100), Timestamp::from_micros(i));
+        }
+        assert_eq!(e.drain_leftover(), 5);
+        assert_eq!(e.dropped_stale(), 5);
+        assert_eq!(
+            e.shard_counters(0).dropped_stale + e.shard_counters(1).dropped_stale,
+            5
+        );
+        assert_eq!(e.queue_len(), 0);
+    }
+
+    /// A single shard must behave exactly like the single-symbol engine:
+    /// same warm-up, admission, FIFO, and stale semantics on the same
+    /// tick stream.
+    #[test]
+    fn single_shard_matches_offload_engine() {
+        let stages = PipelineLatencies::fpga();
+        let mut single = OffloadEngine::new(NormStats::identity(1), 3, 4);
+        let mut multi = engine(1, 3, 4);
+        for i in 0..12u64 {
+            let s = snap(i * 50, 100 + i as i64);
+            let now = Timestamp::from_micros(i * 50);
+            let a = single.on_tick_staged(&s, now, &stages);
+            let b = multi.on_tick_staged(0, &s, now, &stages);
+            assert_eq!(a, b.map(|t| t.ticket));
+            if i == 6 {
+                let popped = single.pop_ticket();
+                assert_eq!(popped, multi.pop_ticket().map(|t| t.ticket));
+            }
+        }
+        let deadline = Duration::from_micros(200);
+        let now = Timestamp::from_micros(520);
+        let stale = single.drop_stale(now, deadline);
+        assert_eq!(stale.len() as u64, multi.drop_stale(now, deadline));
+        assert_eq!(single.queue_len(), multi.queue_len());
+        assert_eq!(single.dropped_full(), multi.dropped_full());
+        assert_eq!(single.dropped_stale(), multi.dropped_stale());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = MultiOffload::new(Vec::new(), 3, 4);
+    }
+}

@@ -31,18 +31,14 @@ pub struct TensorTicket {
     pub ingress: IngressStamp,
 }
 
-/// The offload engine: normalization, windowing, and the tensor queue.
-///
-/// The sliding feature window is one flat, pre-allocated ring of
-/// `window × 4·depth` floats: each tick's features are written, normalized,
-/// and BF16-rounded *in place* in the next row slot, so steady-state
-/// ingestion never allocates. The ticket queue is likewise pre-sized to
-/// its capacity. Together with the ladder-backed
-/// [`LocalBook`](crate::local_book::LocalBook) this makes the whole
-/// book→features→ticket tick path allocation-free after warm-up (proven
-/// in `tests/zero_alloc.rs`).
+/// The sliding feature window of one instrument shard: one flat,
+/// pre-allocated ring of `window × 4·depth` floats. Each tick's features
+/// are written, normalized, and BF16-rounded *in place* in the next row
+/// slot, so steady-state ingestion never allocates. Both the
+/// single-symbol [`OffloadEngine`] and the cross-symbol
+/// [`MultiOffload`](crate::multi_offload::MultiOffload) build on it.
 #[derive(Debug, Clone)]
-pub struct OffloadEngine {
+pub struct FeatureWindow {
     norm: NormStats,
     window: usize,
     depth: usize,
@@ -52,6 +48,86 @@ pub struct OffloadEngine {
     rows: usize,
     /// Ring slot the next tick's row will overwrite.
     next_row: usize,
+}
+
+impl FeatureWindow {
+    /// Allocates the full ring up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(norm: NormStats, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        let depth = norm.depth();
+        FeatureWindow {
+            norm,
+            window,
+            depth,
+            ring: vec![0.0; window * LobSnapshot::feature_count(depth)],
+            rows: 0,
+            next_row: 0,
+        }
+    }
+
+    /// Writes `snapshot`'s feature row into the next ring slot,
+    /// normalizes and BF16-rounds it in place, and returns whether the
+    /// window is warm after the push.
+    pub fn push(&mut self, snapshot: &LobSnapshot) -> bool {
+        let width = LobSnapshot::feature_count(self.depth);
+        let row = &mut self.ring[self.next_row * width..(self.next_row + 1) * width];
+        snapshot.write_features(self.depth, row);
+        self.norm.normalize(row);
+        for f in row {
+            *f = bf16_round(*f);
+        }
+        self.next_row = (self.next_row + 1) % self.window;
+        if self.rows < self.window {
+            self.rows += 1;
+        }
+        self.rows == self.window
+    }
+
+    /// True once the ring holds a full window of rows.
+    pub fn is_warm(&self) -> bool {
+        self.rows == self.window
+    }
+
+    /// The configured window length, in ticks.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Materializes the window as a `[window, 4*depth]` tensor, rows in
+    /// chronological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not warm yet.
+    pub fn tensor(&self) -> Tensor {
+        assert!(self.is_warm(), "feature FIFO not warm yet");
+        let width = self.depth * 4;
+        let mut data = Vec::with_capacity(self.window * width);
+        // Once warm, `next_row` is the oldest row in the ring; emit rows
+        // in chronological order from there.
+        for k in 0..self.window {
+            let r = (self.next_row + k) % self.window;
+            data.extend_from_slice(&self.ring[r * width..(r + 1) * width]);
+        }
+        Tensor::from_vec(data, &[self.window, width])
+    }
+}
+
+/// The offload engine: normalization, windowing, and the tensor queue.
+///
+/// The sliding feature window is a [`FeatureWindow`] ring recycled in
+/// place, so steady-state ingestion never allocates. The ticket queue is
+/// likewise pre-sized to its capacity. Together with the ladder-backed
+/// [`LocalBook`](crate::local_book::LocalBook) this makes the whole
+/// book→features→ticket tick path allocation-free after warm-up (proven
+/// in `tests/zero_alloc.rs`).
+#[derive(Debug, Clone)]
+pub struct OffloadEngine {
+    features: FeatureWindow,
     /// Tensors awaiting an accelerator.
     queue: VecDeque<TensorTicket>,
     /// Queue capacity; ticks arriving beyond it are dropped immediately.
@@ -72,16 +148,9 @@ impl OffloadEngine {
     ///
     /// Panics if `window`, `capacity`, or the stats' depth is unusable.
     pub fn new(norm: NormStats, window: usize, capacity: usize) -> Self {
-        assert!(window > 0, "window must be positive");
         assert!(capacity > 0, "capacity must be positive");
-        let depth = norm.depth();
         OffloadEngine {
-            norm,
-            window,
-            depth,
-            ring: vec![0.0; window * LobSnapshot::feature_count(depth)],
-            rows: 0,
-            next_row: 0,
+            features: FeatureWindow::new(norm, window),
             queue: VecDeque::with_capacity(capacity),
             capacity,
             next_tick_id: 0,
@@ -145,20 +214,10 @@ impl OffloadEngine {
         ready_at: Timestamp,
         ingress: IngressStamp,
     ) -> Option<TensorTicket> {
-        let width = LobSnapshot::feature_count(self.depth);
-        let row = &mut self.ring[self.next_row * width..(self.next_row + 1) * width];
-        snapshot.write_features(self.depth, row);
-        self.norm.normalize(row);
-        for f in row {
-            *f = bf16_round(*f);
-        }
-        self.next_row = (self.next_row + 1) % self.window;
-        if self.rows < self.window {
-            self.rows += 1;
-        }
+        let warm = self.features.push(snapshot);
         let tick_id = self.next_tick_id;
         self.next_tick_id += 1;
-        if self.rows < self.window {
+        if !warm {
             return None;
         }
         if self.queue.len() >= self.capacity {
@@ -177,7 +236,7 @@ impl OffloadEngine {
 
     /// True once the feature ring holds a full window.
     pub fn is_warm(&self) -> bool {
-        self.rows == self.window
+        self.features.is_warm()
     }
 
     /// Pops the oldest queued ticket, if any — the allocation-free
@@ -188,9 +247,24 @@ impl OffloadEngine {
 
     /// Pops up to `batch` tickets, oldest first, for DMA to an
     /// accelerator.
+    ///
+    /// Allocates a fresh vector per call; hot paths should prefer
+    /// [`Self::pop_batch_into`] with a recycled buffer.
     pub fn pop_batch(&mut self, batch: usize) -> Vec<TensorTicket> {
+        let mut out = Vec::new();
+        self.pop_batch_into(batch, &mut out);
+        out
+    }
+
+    /// Pops up to `batch` tickets, oldest first, appending them to `out`.
+    ///
+    /// With a recycled caller-owned buffer (cleared between batches and
+    /// grown to the maximum batch size once) this path performs zero
+    /// heap allocations in steady state (proven in
+    /// `tests/zero_alloc.rs`).
+    pub fn pop_batch_into(&mut self, batch: usize, out: &mut Vec<TensorTicket>) {
         let n = batch.min(self.queue.len());
-        self.queue.drain(..n).collect()
+        out.extend(self.queue.drain(..n));
     }
 
     /// Removes the oldest ticket (Algorithm 1's defer path).
@@ -229,16 +303,7 @@ impl OffloadEngine {
     ///
     /// Panics if the FIFO is not warm yet.
     pub fn latest_tensor(&self) -> Tensor {
-        assert!(self.is_warm(), "feature FIFO not warm yet");
-        let width = self.depth * 4;
-        let mut data = Vec::with_capacity(self.window * width);
-        // Once warm, `next_row` is the oldest row in the ring; emit rows
-        // in chronological order from there.
-        for k in 0..self.window {
-            let r = (self.next_row + k) % self.window;
-            data.extend_from_slice(&self.ring[r * width..(r + 1) * width]);
-        }
-        Tensor::from_vec(data, &[self.window, width])
+        self.features.tensor()
     }
 }
 
@@ -318,6 +383,29 @@ mod tests {
         assert_eq!(e.pop_ticket().unwrap().tick_id, 1);
         assert_eq!(e.pop_batch(5).len(), 1);
         assert!(e.pop_ticket().is_none());
+    }
+
+    #[test]
+    fn pop_batch_into_recycles_the_buffer() {
+        let mut e = engine(1, 10);
+        for i in 0..6u64 {
+            e.on_tick(&snap(i, 100), Timestamp::from_micros(i));
+        }
+        let mut buf = Vec::with_capacity(4);
+        e.pop_batch_into(4, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf[0].tick_id, 0);
+        assert_eq!(buf[3].tick_id, 3);
+        // A recycled (cleared) buffer picks up where the queue left off.
+        buf.clear();
+        e.pop_batch_into(4, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].tick_id, 4);
+        // Appending without clearing extends rather than overwrites.
+        e.on_tick(&snap(7, 100), Timestamp::from_micros(7));
+        e.pop_batch_into(1, &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[2].tick_id, 6);
     }
 
     #[test]

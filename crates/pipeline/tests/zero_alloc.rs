@@ -14,7 +14,7 @@ use std::cell::Cell;
 use lt_feed::NormStats;
 use lt_lob::prelude::*;
 use lt_pipeline::stages::PipelineLatencies;
-use lt_pipeline::{LocalBook, OffloadEngine};
+use lt_pipeline::{LocalBook, MultiOffload, OffloadEngine, ShardTicket, TensorTicket};
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
@@ -167,6 +167,157 @@ fn tick_hot_path_is_allocation_free_after_warmup() {
         0,
         "steady-state tick path (book update + snapshot_into + \
          on_tick_staged + pop_ticket) must not allocate"
+    );
+}
+
+/// The batched pop path: ingest as usual, and every fourth event drain a
+/// coalesced batch into a recycled caller-owned buffer via
+/// `pop_batch_into`. The warm-up replays size the buffer once; after
+/// that, popping batches must allocate nothing.
+fn replay_batched(
+    events: &[MarketEvent],
+    book: &mut LocalBook,
+    offload: &mut OffloadEngine,
+    snap: &mut LobSnapshot,
+    stages: &PipelineLatencies,
+    batch_buf: &mut Vec<TensorTicket>,
+) -> u64 {
+    let mut tickets = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        book.apply(event);
+        book.snapshot_into(10, event.ts, snap);
+        offload.on_tick_staged(snap, event.ts, stages);
+        if i % 4 == 3 {
+            batch_buf.clear();
+            offload.pop_batch_into(4, batch_buf);
+            tickets += batch_buf.len() as u64;
+        }
+    }
+    tickets
+}
+
+#[test]
+fn batched_pop_path_is_allocation_free_after_warmup() {
+    let events = generate_events(2_000);
+    let mut book = LocalBook::new();
+    let mut offload = OffloadEngine::new(NormStats::identity(10), 100, 64);
+    let mut snap = LobSnapshot::default();
+    let stages = PipelineLatencies::fpga();
+    let mut batch_buf: Vec<TensorTicket> = Vec::new();
+    book.reserve_orders(2_000);
+
+    let warm_a = replay_batched(
+        &events,
+        &mut book,
+        &mut offload,
+        &mut snap,
+        &stages,
+        &mut batch_buf,
+    );
+    let warm_b = replay_batched(
+        &events,
+        &mut book,
+        &mut offload,
+        &mut snap,
+        &stages,
+        &mut batch_buf,
+    );
+    assert!(warm_a > 0 && warm_b > 0, "batched pops must drain tickets");
+
+    let before = allocations();
+    let tickets = replay_batched(
+        &events,
+        &mut book,
+        &mut offload,
+        &mut snap,
+        &stages,
+        &mut batch_buf,
+    );
+    let after = allocations();
+
+    assert!(tickets > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched pop path (on_tick_staged + pop_batch_into \
+         into a recycled buffer) must not allocate"
+    );
+}
+
+/// The cross-symbol hot path: one book per shard, every event fanned to
+/// its shard's book and ingested into the shared `MultiOffload` queue,
+/// with coalesced cross-shard batches drained into a recycled buffer.
+fn replay_multi(
+    events: &[MarketEvent],
+    books: &mut [LocalBook],
+    offload: &mut MultiOffload,
+    snap: &mut LobSnapshot,
+    stages: &PipelineLatencies,
+    batch_buf: &mut Vec<ShardTicket>,
+) -> u64 {
+    let n = books.len();
+    let mut tickets = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        let shard = i % n;
+        books[shard].apply(event);
+        books[shard].snapshot_into(10, event.ts, snap);
+        offload.on_tick_staged(shard as u16, snap, event.ts, stages);
+        if i % 4 == 3 {
+            batch_buf.clear();
+            offload.pop_batch_into(4, batch_buf);
+            tickets += batch_buf.len() as u64;
+        }
+    }
+    tickets
+}
+
+#[test]
+fn cross_symbol_path_is_allocation_free_after_warmup() {
+    let events = generate_events(2_000);
+    let mut books: Vec<LocalBook> = (0..4).map(|_| LocalBook::new()).collect();
+    for book in &mut books {
+        book.reserve_orders(2_000);
+    }
+    let mut offload = MultiOffload::new(vec![NormStats::identity(10); 4], 50, 64);
+    let mut snap = LobSnapshot::default();
+    let stages = PipelineLatencies::fpga();
+    let mut batch_buf: Vec<ShardTicket> = Vec::new();
+
+    let warm_a = replay_multi(
+        &events,
+        &mut books,
+        &mut offload,
+        &mut snap,
+        &stages,
+        &mut batch_buf,
+    );
+    let warm_b = replay_multi(
+        &events,
+        &mut books,
+        &mut offload,
+        &mut snap,
+        &stages,
+        &mut batch_buf,
+    );
+    assert!(warm_a > 0 && warm_b > 0, "shards must emit tickets");
+
+    let before = allocations();
+    let tickets = replay_multi(
+        &events,
+        &mut books,
+        &mut offload,
+        &mut snap,
+        &stages,
+        &mut batch_buf,
+    );
+    let after = allocations();
+
+    assert!(tickets > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state cross-symbol path (per-shard book update + shared \
+         MultiOffload ingest + coalesced pop_batch_into) must not allocate"
     );
 }
 

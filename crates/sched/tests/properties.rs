@@ -81,6 +81,62 @@ proptest! {
         }
     }
 
+    /// The committed batch size is monotone non-decreasing in queue
+    /// depth: more queued tensors never make Algorithm 1 batch *less*.
+    /// (The candidate grid at a deeper queue is a superset of the
+    /// shallower one, enumerated in the same order with the same
+    /// first-wins tie-break — the property the cross-symbol coalesced
+    /// queue relies on: merging shards can only grow batches.)
+    #[test]
+    fn algorithm1_batch_is_monotone_in_queue_depth(
+        kind in kind_strategy(),
+        queued in 1u32..40,
+        t_avail_us in 50u64..10_000,
+        power_avail in 0.5f64..55.0,
+    ) {
+        let profile = DeviceProfile::lighttrader();
+        let table = DvfsTable::evaluation();
+        let t_avail = Duration::from_micros(t_avail_us);
+        let decide = |q: u32| schedule_workload(&profile, kind, q, t_avail, power_avail, &table);
+        let shallow = decide(queued);
+        let deep = decide(queued + 1);
+        match (shallow, deep) {
+            (Some(a), Some(b)) => prop_assert!(
+                b.batch >= a.batch,
+                "queue {} -> batch {}, queue {} -> batch {}",
+                queued, a.batch, queued + 1, b.batch
+            ),
+            (Some(_), None) => prop_assert!(false, "deeper queue lost feasibility"),
+            _ => {}
+        }
+    }
+
+    /// Beyond MAX_BATCH queued tensors the decision saturates: queue
+    /// depth stops influencing the commitment entirely.
+    #[test]
+    fn algorithm1_saturates_at_max_batch(
+        kind in kind_strategy(),
+        extra in 0u32..64,
+        t_avail_us in 50u64..10_000,
+        power_avail in 0.5f64..55.0,
+    ) {
+        let profile = DeviceProfile::lighttrader();
+        let table = DvfsTable::evaluation();
+        let t_avail = Duration::from_micros(t_avail_us);
+        let at_cap = schedule_workload(
+            &profile, kind, lt_sched::MAX_BATCH, t_avail, power_avail, &table);
+        let beyond = schedule_workload(
+            &profile, kind, lt_sched::MAX_BATCH + extra, t_avail, power_avail, &table);
+        match (at_cap, beyond) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.batch, b.batch);
+                prop_assert!((a.point.freq_ghz - b.point.freq_ghz).abs() < 1e-12);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "feasibility flipped past MAX_BATCH"),
+        }
+    }
+
     /// Redistribution never exceeds the budget and never downgrades.
     #[test]
     fn redistribution_is_budget_safe_and_monotone(

@@ -128,7 +128,7 @@ impl SingleDeviceModel<'_> {
             // Stale management at issue time.
             let stale = self.offload.drop_stale(start, self.stale_budget);
             ctx.metrics.dropped_stale += stale.len() as u64;
-            let Some(ticket) = self.offload.pop_batch(1).first().copied() else {
+            let Some(ticket) = self.offload.pop_ticket() else {
                 break;
             };
             let issue = start.max(ticket.ready_at);
@@ -153,6 +153,7 @@ impl SingleDeviceModel<'_> {
                         tick_ts: ticket.tick_ts,
                         deadline: ticket.tick_ts + self.t_avail,
                         breakdown,
+                        shard: 0,
                     }],
                 },
             );

@@ -31,6 +31,13 @@ pub struct BacktestConfig {
     /// to lossless, which bypasses the ingress stage entirely — a config
     /// without faults behaves bit-identically to one predating the field.
     pub faults: IngressFaults,
+    /// Number of instruments served by the sharded pipeline. The default
+    /// of 1 is the historical single-instrument configuration and stays
+    /// bit-identical to configs predating the field.
+    pub symbols: usize,
+    /// Zipf traffic-skew exponent across symbols (0 = even split); only
+    /// meaningful when `symbols > 1`.
+    pub symbol_skew: f64,
 }
 
 impl BacktestConfig {
@@ -46,6 +53,8 @@ impl BacktestConfig {
             window: 100,
             stages: PipelineLatencies::fpga(),
             faults: IngressFaults::lossless(),
+            symbols: 1,
+            symbol_skew: 0.0,
         }
     }
 
@@ -77,6 +86,15 @@ impl BacktestConfig {
         self
     }
 
+    /// Serves `symbols` instruments with a Zipf traffic skew of `skew`
+    /// through the sharded pipeline (see [`crate::run_multi`]).
+    #[must_use]
+    pub fn with_symbols(mut self, symbols: usize, skew: f64) -> Self {
+        self.symbols = symbols;
+        self.symbol_skew = skew;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -91,6 +109,16 @@ impl BacktestConfig {
         if let Err(stage) = self.stages.validate() {
             panic!("pipeline stage '{stage}' has zero latency");
         }
+        assert!(self.symbols >= 1, "need at least one symbol");
+        assert!(
+            self.symbols <= lt_feed::multi::MAX_SYMBOLS,
+            "at most {} symbols",
+            lt_feed::multi::MAX_SYMBOLS
+        );
+        assert!(
+            self.symbol_skew >= 0.0 && self.symbol_skew.is_finite(),
+            "symbol skew must be >= 0"
+        );
         self.faults.validate();
     }
 }

@@ -42,6 +42,10 @@ pub struct PendingOrder {
     pub deadline: Timestamp,
     /// Exact per-stage split of `order_out - tick_ts`.
     pub breakdown: StageBreakdown,
+    /// Symbol shard the triggering tick belonged to (0 for
+    /// single-instrument runs), so completions fan back out to the right
+    /// shard's accounting.
+    pub shard: u16,
 }
 
 /// A scheduled simulation event.
@@ -218,6 +222,12 @@ pub trait SimModel {
     ) {
     }
 
+    /// The engine scored one wired-out order against its deadline
+    /// (`in_time` is the verdict it already recorded in the metrics).
+    /// Models that track per-shard outcomes hook in here; the default is
+    /// a no-op.
+    fn on_order_scored(&mut self, _order: &PendingOrder, _in_time: bool, _ctx: &mut EngineCtx) {}
+
     /// The event queue has drained: account for whatever never ran.
     fn on_finish(&mut self, ctx: &mut EngineCtx);
 }
@@ -260,11 +270,13 @@ pub fn run<M: SimModel>(model: &mut M, trace: &TickTrace) -> BacktestMetrics {
             }
             Event::OrderOut { orders } => {
                 for order in orders {
-                    if ts <= order.deadline {
+                    let in_time = ts <= order.deadline;
+                    if in_time {
                         ctx.metrics.record_breakdown(&order.breakdown);
                     } else {
                         ctx.metrics.late += 1;
                     }
+                    model.on_order_scored(&order, in_time, &mut ctx);
                 }
             }
         }

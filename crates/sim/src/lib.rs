@@ -34,6 +34,7 @@ pub mod engine;
 pub mod ingress;
 pub mod lighttrader;
 pub mod metrics;
+pub mod multi;
 pub mod sweep;
 pub mod telemetry;
 pub mod traffic;
@@ -45,6 +46,9 @@ pub use ingress::{degrade_trace, FeedReport, IngressFaults, IngressReport};
 pub use lighttrader::run_lighttrader;
 pub use lt_protocol::netem::FaultRates;
 pub use metrics::{BacktestMetrics, StageSummary};
+pub use multi::{run_multi, MultiMetrics, SymbolOutcome};
 pub use sweep::run_sweep;
 pub use telemetry::{QueryTimeline, Stage, StageBreakdown};
-pub use traffic::{evaluation_deadline, evaluation_trace, EVALUATION_SEED};
+pub use traffic::{
+    evaluation_deadline, evaluation_trace, multi_evaluation_session, EVALUATION_SEED,
+};

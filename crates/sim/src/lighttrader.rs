@@ -44,7 +44,7 @@ use lt_accel::{Accelerator, DeviceProfile};
 use lt_dnn::ModelKind;
 use lt_feed::{NormStats, TickRecord, TickTrace};
 use lt_lob::Timestamp;
-use lt_pipeline::{OffloadEngine, PipelineLatencies, TensorTicket};
+use lt_pipeline::{MultiOffload, PipelineLatencies, ShardTicket};
 use lt_sched::{plan_uprates, schedule_workload};
 use std::time::Duration;
 
@@ -58,7 +58,7 @@ struct InFlight {
     energy_j: f64,
     batch: u32,
     point: OperatingPoint,
-    tickets: Vec<TensorTicket>,
+    tickets: Vec<ShardTicket>,
     /// Completion token; a rescale invalidates the previous one.
     batch_id: BatchId,
     /// When the batch claimed the accelerator (before the DVFS switch).
@@ -67,8 +67,26 @@ struct InFlight {
     switch_total: Duration,
 }
 
+/// Per-shard outcome tallies the engine cannot see (it scores orders
+/// shard-blind); drops and defers live in the offload engine's own
+/// per-shard counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardScore {
+    /// Raw trace ticks ingested for this shard (including warm-up).
+    pub(crate) ticks: u64,
+    /// Queries answered within the available time.
+    pub(crate) responded: u64,
+    /// Queries whose answer arrived after the deadline.
+    pub(crate) late: u64,
+}
+
 /// The LightTrader system model driven by the shared event engine.
-struct SimState {
+///
+/// One instance serves both the single-instrument back-test (one shard,
+/// the historical configuration) and the sharded multi-symbol back-test:
+/// per-symbol feature windows feed one coalesced tensor queue, and the
+/// scheduler batches across symbols off that shared queue.
+pub(crate) struct SimState {
     profile: DeviceProfile,
     /// Full candidate table for DVFS decisions.
     table: DvfsTable,
@@ -89,7 +107,17 @@ struct SimState {
     per_accel_budget_w: f64,
     accels: Vec<Accelerator>,
     in_flight: Vec<Option<InFlight>>,
-    offload: OffloadEngine,
+    offload: MultiOffload,
+    /// Shard of each trace tick, parallel to the merged trace (empty for
+    /// single-instrument runs, where every tick is shard 0).
+    tick_shards: Vec<u16>,
+    /// Ticks consumed so far (ticks arrive strictly in trace order).
+    cursor: usize,
+    /// Per-shard outcome tallies (always at least one entry).
+    per_shard: Vec<ShardScore>,
+    /// Recycled ticket buffers: batches pop into one of these and settle
+    /// returns it, so steady-state issue never allocates ticket storage.
+    spare: Vec<Vec<ShardTicket>>,
 }
 
 impl SimState {
@@ -248,22 +276,27 @@ impl SimState {
         let orders: Vec<PendingOrder> = flight
             .tickets
             .iter()
-            .map(|ticket| PendingOrder {
-                tick_ts: ticket.tick_ts,
-                deadline: ticket.tick_ts + self.t_avail,
+            .map(|t| PendingOrder {
+                tick_ts: t.ticket.tick_ts,
+                deadline: t.ticket.tick_ts + self.t_avail,
                 breakdown: QueryTimeline {
-                    ingress: ticket.ingress,
-                    tick_ts: ticket.tick_ts,
-                    ready_at: ticket.ready_at,
+                    ingress: t.ticket.ingress,
+                    tick_ts: t.ticket.tick_ts,
+                    ready_at: t.ticket.ready_at,
                     issue: flight.issue_base,
                     completion: flight.completion,
                     dvfs_switch: flight.switch_total,
                     egress: self.egress,
                 }
                 .breakdown(),
+                shard: t.shard,
             })
             .collect();
         ctx.queue.push_at(order_out, Event::OrderOut { orders });
+        // Recycle the ticket buffer for the next issued batch.
+        let mut tickets = flight.tickets;
+        tickets.clear();
+        self.spare.push(tickets);
     }
 
     /// Issues work onto every idle accelerator at `ctx.now`.
@@ -275,13 +308,12 @@ impl SimState {
             }
             loop {
                 // Stale management before every scheduling attempt.
-                let stale = self.offload.drop_stale(now, self.stale_budget);
-                ctx.metrics.dropped_stale += stale.len() as u64;
+                ctx.metrics.dropped_stale += self.offload.drop_stale(now, self.stale_budget);
                 let Some(oldest) = self.offload.oldest() else {
                     break 'accels; // queue empty: nothing for any accel
                 };
-                let deadline = oldest.tick_ts + self.dnn_budget;
-                let effective_now = now.max(oldest.ready_at);
+                let deadline = oldest.ticket.tick_ts + self.dnn_budget;
+                let effective_now = now.max(oldest.ticket.ready_at);
                 let t_remaining = deadline.since(effective_now.min(deadline));
                 let queued = self.offload.queue_len() as u32;
 
@@ -305,11 +337,12 @@ impl SimState {
                 match decision {
                     Some((batch, point)) => {
                         let switch = self.accels[aid].set_point(point, effective_now);
-                        let tickets = self.offload.pop_batch(batch as usize);
+                        let mut tickets = self.spare.pop().unwrap_or_default();
+                        self.offload.pop_batch_into(batch as usize, &mut tickets);
                         debug_assert_eq!(tickets.len(), batch as usize);
                         let ready = tickets
                             .iter()
-                            .map(|t| t.ready_at)
+                            .map(|t| t.ticket.ready_at)
                             .max()
                             .expect("non-empty batch");
                         let issue_base = effective_now.max(ready);
@@ -464,11 +497,31 @@ impl SimState {
 
 impl SimModel for SimState {
     fn on_tick(&mut self, tick: &TickRecord, ctx: &mut EngineCtx) {
+        // Ticks arrive strictly in trace order, so the cursor tracks the
+        // engine's tick index; single-instrument runs carry no shard map
+        // and route everything to shard 0.
+        let shard = if self.tick_shards.is_empty() {
+            0
+        } else {
+            let s = self.tick_shards[self.cursor];
+            self.cursor += 1;
+            s
+        };
+        self.per_shard[shard as usize].ticks += 1;
         let before_full = self.offload.dropped_full();
         self.offload
-            .on_tick_staged(&tick.snapshot, tick.ts, &self.stages);
+            .on_tick_staged(shard, &tick.snapshot, tick.ts, &self.stages);
         ctx.metrics.dropped_full += self.offload.dropped_full() - before_full;
         self.try_issue(ctx);
+    }
+
+    fn on_order_scored(&mut self, order: &PendingOrder, in_time: bool, _ctx: &mut EngineCtx) {
+        let score = &mut self.per_shard[order.shard as usize];
+        if in_time {
+            score.responded += 1;
+        } else {
+            score.late += 1;
+        }
     }
 
     fn on_batch_complete(&mut self, aid: usize, batch: BatchId, ctx: &mut EngineCtx) {
@@ -505,8 +558,7 @@ impl SimModel for SimState {
 
     fn on_finish(&mut self, ctx: &mut EngineCtx) {
         // Any tensors still queued at session end can never be answered.
-        let leftover = self.offload.queue_len() as u64;
-        ctx.metrics.dropped_stale += leftover;
+        ctx.metrics.dropped_stale += self.offload.drain_leftover();
     }
 }
 
@@ -540,6 +592,20 @@ pub fn run_lighttrader(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetri
 /// The fault-free back-test core: replays an (already degraded or
 /// pristine) trace through the system model.
 fn run_clean(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetrics {
+    let mut state = build_state(cfg, 1, Vec::new());
+    engine::run(&mut state, trace)
+}
+
+/// Builds the system model for `n_shards` instruments sharing one
+/// accelerator fleet. `tick_shards` maps every trace tick to its shard
+/// (parallel to the merged trace); empty means single-instrument, where
+/// everything routes to shard 0 — that path is the exact historical
+/// configuration, bit for bit.
+pub(crate) fn build_state(
+    cfg: &BacktestConfig,
+    n_shards: usize,
+    tick_shards: Vec<u16>,
+) -> SimState {
     let profile = DeviceProfile::lighttrader();
     // The static (conservative) grid is capped at 2.0 GHz — Table III
     // never exceeds it — but the chip itself reaches 2.2 GHz (Table I).
@@ -587,7 +653,7 @@ fn run_clean(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetrics {
         .saturating_sub(fastest)
         .max(Duration::from_nanos(1));
 
-    let mut state = SimState {
+    SimState {
         profile,
         table,
         ws_table,
@@ -605,9 +671,28 @@ fn run_clean(trace: &TickTrace, cfg: &BacktestConfig) -> BacktestMetrics {
             .map(|i| Accelerator::new(i, plan.point))
             .collect(),
         in_flight: vec![None; cfg.n_accels],
-        offload: OffloadEngine::new(NormStats::identity(10), cfg.window, cfg.queue_capacity),
-    };
-    engine::run(&mut state, trace)
+        offload: MultiOffload::new(
+            vec![NormStats::identity(10); n_shards],
+            cfg.window,
+            cfg.queue_capacity,
+        ),
+        tick_shards,
+        cursor: 0,
+        per_shard: vec![ShardScore::default(); n_shards],
+        spare: Vec::new(),
+    }
+}
+
+impl SimState {
+    /// Per-shard outcome tallies accumulated so far.
+    pub(crate) fn shard_scores(&self) -> &[ShardScore] {
+        &self.per_shard
+    }
+
+    /// Per-shard drop/defer counters from the offload engine.
+    pub(crate) fn shard_counters(&self, shard: usize) -> lt_pipeline::ShardCounters {
+        self.offload.shard_counters(shard)
+    }
 }
 
 #[cfg(test)]

@@ -33,10 +33,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 ///
 /// # Panics
 ///
-/// Panics if any individual back-test panics (invalid configuration),
-/// naming the offending configuration's index, its debug description,
-/// and the original panic message — with hundreds of configurations per
-/// sweep, a bare "worker panicked" is undebuggable.
+/// Panics if any individual back-test panics (invalid configuration).
+/// Every failing configuration is collected — not just the first — and
+/// the panic reports the failure total plus, per failure, the config
+/// index, its debug description, and the original panic message: with
+/// hundreds of configurations per sweep, a bare "worker panicked" (or a
+/// lone first failure hiding nine more) is undebuggable.
 pub fn run_sweep(
     trace: &TickTrace,
     configs: &[BacktestConfig],
@@ -73,25 +75,31 @@ pub fn run_sweep(
             });
         }
         drop(tx);
-        let mut first_failure: Option<(usize, String)> = None;
+        let mut failures: Vec<(usize, String)> = Vec::new();
         for (i, outcome) in rx {
             match outcome {
                 Ok(metrics) => results[i] = Some(metrics),
-                Err(message) => {
-                    let earlier = first_failure.as_ref().is_some_and(|(j, _)| *j < i);
-                    if !earlier {
-                        first_failure = Some((i, message));
-                    }
-                }
+                Err(message) => failures.push((i, message)),
             }
         }
-        first_failure
+        failures.sort_by_key(|(i, _)| *i);
+        failures
     })
     .expect("sweep worker panicked");
-    if let Some((i, message)) = failure {
+    if !failure.is_empty() {
+        let report: String = failure
+            .iter()
+            .map(|(i, message)| {
+                format!(
+                    "sweep config #{i} panicked: {message}\n  config: {:?}\n",
+                    configs[*i]
+                )
+            })
+            .collect();
         panic!(
-            "sweep config #{i} panicked: {message}\n  config: {:?}",
-            configs[i]
+            "{} of {} sweep configs failed:\n{report}",
+            failure.len(),
+            configs.len()
         );
     }
     results
@@ -204,6 +212,46 @@ mod tests {
         assert!(
             message.contains("n_accels: 0"),
             "panic carries the config description: {message}"
+        );
+        assert!(
+            message.contains("1 of 4 sweep configs failed"),
+            "panic reports the failure total: {message}"
+        );
+    }
+
+    #[test]
+    fn every_failing_config_is_reported() {
+        let trace = trace();
+        let mut cfgs = configs()[..2].to_vec();
+        let broken = |window| {
+            let mut cfg = BacktestConfig::new(ModelKind::VanillaCnn, 1, PowerCondition::Limited);
+            cfg.window = window;
+            cfg
+        };
+        // Two distinct invalid configs, at indices 2 and 3; a
+        // first-failure-only collector would hide one of them.
+        cfgs.push(broken(0));
+        let mut no_accels = configs()[0];
+        no_accels.n_accels = 0;
+        cfgs.push(no_accels);
+        let err = std::panic::catch_unwind(|| run_sweep(&trace, &cfgs, 2))
+            .expect_err("invalid configs must panic");
+        let message = if let Some(s) = err.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            format!("{err:?}")
+        };
+        assert!(
+            message.contains("2 of 4 sweep configs failed"),
+            "totals all failures: {message}"
+        );
+        assert!(
+            message.contains("sweep config #2") && message.contains("window must be positive"),
+            "first failure named: {message}"
+        );
+        assert!(
+            message.contains("sweep config #3") && message.contains("at least one accelerator"),
+            "second failure named too: {message}"
         );
     }
 

@@ -78,6 +78,24 @@ pub fn evaluation_trace(secs: f64, seed: u64) -> lt_feed::TickTrace {
     evaluation_session(secs, seed).trace
 }
 
+/// Generates the multi-instrument evaluation session: `symbols`
+/// correlated synthetic feeds at the calibrated per-symbol traffic, with
+/// a Zipf skew of `skew` concentrating load on the leading symbols.
+pub fn multi_evaluation_session(
+    secs: f64,
+    seed: u64,
+    symbols: usize,
+    skew: f64,
+) -> lt_feed::MultiMarketSession {
+    lt_feed::MultiSessionBuilder::new(evaluation_hawkes())
+        .flash_bursts(evaluation_flash())
+        .symbols(symbols)
+        .skew(skew)
+        .duration_secs(secs)
+        .seed(seed)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

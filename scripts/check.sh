@@ -33,6 +33,9 @@ echo "== hot-path book gates: ladder/reference equivalence + zero-alloc =="
 cargo test -q --release -p lt-lob --test book_equivalence
 cargo test -q --release -p lt-pipeline --test zero_alloc
 
+echo "== multi-symbol gates: single-shard parity + sharded determinism =="
+cargo test -q --release -p lt-sim --test multi_symbol
+
 if [[ "$fast" == "0" ]]; then
     echo "== sim wall-clock smoke (budget 1.15x seed) =="
     cargo test -q --release -p lt-sim --test wallclock_smoke -- --ignored
@@ -42,6 +45,9 @@ if [[ "$fast" == "0" ]]; then
 
     echo "== lob replay regression (3x floor) =="
     cargo run --release -p lt-bench --bin bench_lob
+
+    echo "== multi-symbol scaling regression (1.5x floor at 8 symbols) =="
+    cargo run --release -p lt-bench --bin bench_multi
 fi
 
 echo "== all checks passed =="
