@@ -1,0 +1,71 @@
+//! Back-test farm benchmarks: grid expansion, cached vs rebuilt session
+//! handling, and the legacy flat sweep for reference.
+//!
+//! For the machine-readable throughput report (and the 2x farm-vs-naive
+//! speedup floor on a 216-cell grid) see the `bench_sweep` binary,
+//! which emits `BENCH_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lighttrader::dnn::ModelKind;
+use lighttrader::prelude::*;
+use lighttrader::sim::farm::GridDeadline;
+use lighttrader::sim::try_run_sweep;
+use std::hint::black_box;
+
+const SECS: f64 = 0.25;
+
+/// A small grid: 24 cells over 2 sessions.
+fn grid() -> SweepGrid {
+    SweepGrid::evaluation(SECS)
+        .models([ModelKind::VanillaCnn, ModelKind::DeepLob])
+        .accel_counts([1, 2])
+        .policies([Policy::Baseline, Policy::WorkloadScheduling, Policy::Both])
+        .deadline(GridDeadline::Scheduling)
+        .seeds([7, 8])
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let g = grid();
+    c.bench_function("farm/expand_24_cells", |b| b.iter(|| black_box(g.expand())));
+}
+
+fn bench_farm_cached(c: &mut Criterion) {
+    let g = grid();
+    c.bench_function("farm/run_24_cells_cached", |b| {
+        b.iter(|| black_box(FarmRunner::new().run(&g)))
+    });
+}
+
+fn bench_farm_naive(c: &mut Criterion) {
+    let g = grid();
+    c.bench_function("farm/run_24_cells_naive_rebuild", |b| {
+        b.iter(|| black_box(FarmRunner::new().without_trace_reuse().run(&g)))
+    });
+}
+
+fn bench_flat_sweep(c: &mut Criterion) {
+    // The legacy surface: one shared trace, a flat config batch.
+    let session = SessionBuilder::calm_traffic()
+        .duration_secs(SECS)
+        .seed(7)
+        .build();
+    let configs: Vec<BacktestConfig> = [Policy::Baseline, Policy::Both]
+        .into_iter()
+        .flat_map(|p| {
+            ModelKind::ALL
+                .map(|kind| BacktestConfig::new(kind, 2, PowerCondition::Sufficient).with_policy(p))
+        })
+        .collect();
+    c.bench_function("farm/flat_try_run_sweep_6_configs", |b| {
+        b.iter(|| black_box(try_run_sweep(&session.trace, &configs, 0).expect("clean sweep")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_expand,
+    bench_farm_cached,
+    bench_farm_naive,
+    bench_flat_sweep
+);
+criterion_main!(benches);

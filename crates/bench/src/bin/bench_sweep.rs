@@ -1,0 +1,119 @@
+//! Back-test farm throughput benchmark: shared-trace grid runs vs the
+//! naive per-cell session rebuild they replace.
+//!
+//! ```text
+//! cargo run --release -p lt-bench --bin bench_sweep [-- --secs N]
+//! ```
+//!
+//! The workload is the paper's evaluation grid shape: 3 models × 3
+//! accelerator counts × 2 power conditions × 4 policies × 3 seeds =
+//! 216 cells backed by only 3 distinct sessions. Both sides run on the
+//! SAME work-stealing worker pool with the SAME engine; the only
+//! difference is session handling:
+//!
+//! * **farm** — each distinct session is built exactly once through the
+//!   `TraceCache` and every cell replays a shared immutable `Arc`;
+//! * **naive** — every cell regenerates its session from the spec, the
+//!   way the pre-farm experiment helpers did.
+//!
+//! Both sides must produce byte-identical grid JSON (asserted), so the
+//! speedup is pure redundant-work elimination. Emits `BENCH_sweep.json`
+//! with a cells/sec number and exits nonzero when the farm-vs-naive
+//! speedup falls below [`SPEEDUP_FLOOR`].
+
+use lighttrader::dnn::ModelKind;
+use lighttrader::prelude::*;
+use lighttrader::sim::farm::GridDeadline;
+use std::time::Instant;
+
+/// Minimum acceptable farm-vs-naive wall-clock speedup.
+const SPEEDUP_FLOOR: f64 = 2.0;
+/// Default simulated session length in seconds.
+const DEFAULT_SECS: f64 = 2.0;
+/// Session seeds (3 distinct sessions behind 216 cells).
+const SEEDS: [u64; 3] = [11, 12, 13];
+
+fn grid(secs: f64) -> SweepGrid {
+    SweepGrid::evaluation(secs)
+        .models(ModelKind::ALL)
+        .accel_counts([1, 2, 4])
+        .conditions([PowerCondition::Sufficient, PowerCondition::Limited])
+        .policies(Policy::ALL)
+        .deadline(GridDeadline::Scheduling)
+        .seeds(SEEDS)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut secs = DEFAULT_SECS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--secs" {
+            secs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--secs needs a number");
+        }
+    }
+
+    let grid = grid(secs);
+    let n_cells = grid.n_cells();
+    let n_sessions = grid.n_sessions();
+    assert!(
+        n_cells >= 200,
+        "speedup floor is defined on a >=200-cell grid"
+    );
+
+    // Naive first so the farm cannot inherit a warmed allocator.
+    let start = Instant::now();
+    let naive = FarmRunner::new().without_trace_reuse().run(&grid);
+    let naive_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let farm = FarmRunner::new().run(&grid);
+    let farm_secs = start.elapsed().as_secs_f64();
+
+    // The comparison is only meaningful if both sides computed the same
+    // thing, bit for bit.
+    assert_eq!(
+        farm.to_grid_json(),
+        naive.to_grid_json(),
+        "farm and naive runs diverged"
+    );
+
+    let cells_per_sec = n_cells as f64 / farm_secs;
+    let naive_cells_per_sec = n_cells as f64 / naive_secs;
+    let speedup = naive_secs / farm_secs;
+    let floor_met = speedup >= SPEEDUP_FLOOR;
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "cells", "sessions", "wall (s)", "cells/sec", "speedup"
+    );
+    println!(
+        "{:>10} {:>10} {:>12.3} {:>12.1} {:>9}x  (naive rebuild)",
+        n_cells, n_cells, naive_secs, naive_cells_per_sec, "1.00"
+    );
+    println!(
+        "{:>10} {:>10} {:>12.3} {:>12.1} {:>9.2}x  (farm, shared traces)",
+        n_cells, n_sessions, farm_secs, cells_per_sec, speedup
+    );
+
+    let json = format!(
+        "{{\n  \"n_cells\": {n_cells},\n  \"n_sessions\": {n_sessions},\n  \
+         \"session_secs\": {secs},\n  \"farm_wall_secs\": {farm_secs:.4},\n  \
+         \"naive_wall_secs\": {naive_secs:.4},\n  \"cells_per_sec\": {cells_per_sec:.2},\n  \
+         \"naive_cells_per_sec\": {naive_cells_per_sec:.2},\n  \"speedup\": {speedup:.3},\n  \
+         \"speedup_floor\": {SPEEDUP_FLOOR},\n  \"floor_met\": {floor_met}\n}}\n"
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("\nwrote BENCH_sweep.json");
+
+    if !floor_met {
+        eprintln!(
+            "REGRESSION: farm speedup {speedup:.2}x over naive per-cell rebuild is \
+             below the {SPEEDUP_FLOOR:.1}x floor on a {n_cells}-cell grid"
+        );
+        std::process::exit(1);
+    }
+}

@@ -5,8 +5,10 @@
 //! ```
 //!
 //! `artifact` is one of `table1 table2 table3 fig8 fig11 fig12
-//! fig12tight fig13 stages faults all` (default `all`). `--secs` sets
-//! the simulated session length (default 60), `--seed` the session seed.
+//! fig12tight fig13 stages faults grid all` (default `all`). `--secs`
+//! sets the simulated session length (default 60), `--seed` the session
+//! seed. `grid` additionally writes the machine-readable
+//! `GRID_sweep.json`.
 
 use lighttrader::sim::traffic::EVALUATION_SEED;
 
@@ -65,5 +67,11 @@ fn main() {
     }
     if run("faults") {
         println!("{}", lt_bench::render_faults(secs, seed));
+    }
+    if run("grid") {
+        let (table, json) = lt_bench::render_grid(secs, seed);
+        println!("{table}");
+        std::fs::write("GRID_sweep.json", &json).expect("write GRID_sweep.json");
+        println!("wrote GRID_sweep.json");
     }
 }

@@ -3,18 +3,36 @@
 //! `lt-bench` `tables` binary and EXPERIMENTS.md render them.
 //!
 //! All experiments share one re-runnable synthetic market session (see
-//! [`lt_sim::traffic`]); `secs`/`seed` parameters let callers trade
-//! statistical tightness for runtime.
+//! [`lt_sim::traffic`]), built once per `(secs, seed)` through the
+//! process-wide [`lt_sim::traffic::shared_trace_cache`] — every helper
+//! here replays the same cached immutable session instead of
+//! regenerating its own copy. `secs`/`seed` parameters let callers trade
+//! statistical tightness for runtime. The grid-shaped figures (Fig. 12,
+//! Fig. 13) run as declarative [`SweepGrid`]s on the back-test farm.
 
 use lt_accel::{static_plan, AccelSpec, DeviceProfile, OperatingPoint, PowerCondition};
 use lt_dnn::models::paper_spec_ops;
 use lt_dnn::ModelKind;
 use lt_sched::Policy;
-use lt_sim::traffic::{evaluation_deadline, evaluation_trace};
+use lt_sim::traffic::{cached_evaluation_session, evaluation_deadline, shared_trace_cache};
 use lt_sim::{
-    run_lighttrader, run_single_device, BacktestConfig, SingleDeviceSystem, StageSummary,
+    run_lighttrader, run_single_device, BacktestConfig, FarmResults, FarmRunner, GridDeadline,
+    SingleDeviceSystem, StageSummary, SweepGrid,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The shared evaluation trace for `(secs, seed)`, served by the
+/// process-wide trace cache: one session build per parameter pair, no
+/// matter how many experiment helpers replay it.
+fn cached_trace(secs: f64, seed: u64) -> Arc<lt_feed::SessionArtifact> {
+    cached_evaluation_session(secs, seed)
+}
+
+/// A farm runner wired to the same process-wide cache.
+fn farm() -> FarmRunner {
+    FarmRunner::new().cache(shared_trace_cache())
+}
 
 /// Default session length (simulated seconds) for the headline runs.
 pub const DEFAULT_SECS: f64 = 60.0;
@@ -97,7 +115,8 @@ pub struct Fig8Row {
 
 /// Fig. 8: response rate versus model complexity on one accelerator.
 pub fn fig8(secs: f64, seed: u64) -> Vec<Fig8Row> {
-    let trace = evaluation_trace(secs, seed);
+    let session = cached_trace(secs, seed);
+    let trace = session.trace();
     let ladder: [(&'static str, f64); 5] = [
         ("M1", 60.0),
         ("M2", 119.0),
@@ -110,7 +129,7 @@ pub fn fig8(secs: f64, seed: u64) -> Vec<Fig8Row> {
         .map(|(label, latency_us)| {
             let system = SingleDeviceSystem::custom(label, latency_us, 25.0);
             let m = run_single_device(
-                &trace,
+                trace,
                 &system,
                 ModelKind::VanillaCnn,
                 evaluation_deadline(),
@@ -159,7 +178,8 @@ pub struct Fig11 {
 /// Fig. 11: non-batching (batch-1) latency, response rate, and effective
 /// TFLOPS/W for the three systems across the three benchmarks.
 pub fn fig11(secs: f64, seed: u64) -> Fig11 {
-    let trace = evaluation_trace(secs, seed);
+    let session = cached_trace(secs, seed);
+    let trace = session.trace();
     let deadline = evaluation_deadline();
     let profile = DeviceProfile::lighttrader();
     let reference = OperatingPoint::at_freq(2.0);
@@ -172,7 +192,7 @@ pub fn fig11(secs: f64, seed: u64) -> Fig11 {
     // charged on top of the chip.
     for kind in ModelKind::ALL {
         let cfg = BacktestConfig::new(kind, 1, PowerCondition::Sufficient);
-        let m = run_lighttrader(&trace, &cfg);
+        let m = run_lighttrader(trace, &cfg);
         let system_power =
             PowerCondition::FPGA_AND_PERIPHERALS_W + profile.power_w(kind, 1, reference);
         let eff_tflops = lt_accel::latency::LatencyModel::ops_per_inference(kind)
@@ -188,7 +208,7 @@ pub fn fig11(secs: f64, seed: u64) -> Fig11 {
     }
     for system in [SingleDeviceSystem::gpu(), SingleDeviceSystem::fpga()] {
         for kind in ModelKind::ALL {
-            let m = run_single_device(&trace, &system, kind, deadline, 100, 64);
+            let m = run_single_device(trace, &system, kind, deadline, 100, 64);
             rows.push(Fig11Row {
                 system: system.name,
                 kind,
@@ -257,7 +277,8 @@ impl StageLatencyRow {
 /// end-to-end latencies within 1 ns (the engine's decomposition is
 /// exact, so this is a telemetry-integrity assertion).
 pub fn stage_latency(secs: f64, seed: u64) -> Vec<StageLatencyRow> {
-    let trace = evaluation_trace(secs, seed);
+    let session = cached_trace(secs, seed);
+    let trace = session.trace();
     let deadline = evaluation_deadline();
     let mut rows = Vec::new();
     let mut push = |run: String, kind: ModelKind, m: &lt_sim::BacktestMetrics| {
@@ -271,13 +292,13 @@ pub fn stage_latency(secs: f64, seed: u64) -> Vec<StageLatencyRow> {
     for kind in ModelKind::ALL {
         for policy in [Policy::Baseline, Policy::Both] {
             let cfg = BacktestConfig::new(kind, 4, PowerCondition::Limited).with_policy(policy);
-            let m = run_lighttrader(&trace, &cfg);
+            let m = run_lighttrader(trace, &cfg);
             push(format!("LightTrader x4 ({})", policy.label()), kind, &m);
         }
     }
     for system in [SingleDeviceSystem::gpu(), SingleDeviceSystem::fpga()] {
         for kind in ModelKind::ALL {
-            let m = run_single_device(&trace, &system, kind, deadline, 100, 64);
+            let m = run_single_device(trace, &system, kind, deadline, 100, 64);
             push(system.name.to_string(), kind, &m);
         }
     }
@@ -298,30 +319,48 @@ pub struct Fig12Row {
 }
 
 /// Fig. 12: response rate as the accelerator count scales 1→16 under both
-/// power conditions (static clocks, no runtime scheduling).
+/// power conditions (static clocks, no runtime scheduling). Runs as a
+/// declarative grid on the back-test farm.
 pub fn fig12(secs: f64, seed: u64) -> Vec<Fig12Row> {
-    let trace = evaluation_trace(secs, seed);
-    let mut cells = Vec::new();
-    let mut configs = Vec::new();
+    let grid = SweepGrid::evaluation(secs)
+        .models(ModelKind::ALL)
+        .accel_counts([1, 2, 4, 8, 16])
+        .conditions([PowerCondition::Sufficient, PowerCondition::Limited])
+        .policies([Policy::Baseline])
+        .seeds([seed]);
+    let results = farm().run(&grid);
+    let mut rows = Vec::with_capacity(results.len());
     for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
         for kind in ModelKind::ALL {
             for n in [1usize, 2, 4, 8, 16] {
-                cells.push((condition, kind, n));
-                configs.push(BacktestConfig::new(kind, n, condition));
+                let s = find_cell(&results, |c| {
+                    c.condition == condition && c.kind == kind && c.n_accels == n
+                });
+                rows.push(Fig12Row {
+                    condition,
+                    kind,
+                    n_accels: n,
+                    response_rate: s.response_rate(),
+                });
             }
         }
     }
-    let metrics = lt_sim::run_sweep(&trace, &configs, 0);
-    cells
-        .into_iter()
-        .zip(metrics)
-        .map(|((condition, kind, n_accels), m)| Fig12Row {
-            condition,
-            kind,
-            n_accels,
-            response_rate: m.response_rate(),
-        })
-        .collect()
+    rows
+}
+
+/// Looks up one cell's scalar summary by its configuration — the
+/// figure-shaped experiments keep their historical row order regardless
+/// of the grid's expansion order.
+fn find_cell(
+    results: &FarmResults,
+    matches: impl Fn(&BacktestConfig) -> bool,
+) -> lt_sim::CellSummary {
+    let i = results
+        .cells()
+        .iter()
+        .position(|c| matches(&c.config))
+        .expect("grid covers every requested cell");
+    results.summary(i)
 }
 
 /// Fig. 12 variant: the same scaling sweep under a *tight* response
@@ -332,7 +371,8 @@ pub fn fig12(secs: f64, seed: u64) -> Vec<Fig12Row> {
 /// 5 ms window of [`fig12`] cannot show this (16 slower chips still
 /// clear it); see EXPERIMENTS.md.
 pub fn fig12_tight(secs: f64, seed: u64) -> Vec<Fig12Row> {
-    let trace = evaluation_trace(secs, seed);
+    let session = cached_trace(secs, seed);
+    let trace = session.trace();
     let profile = DeviceProfile::lighttrader();
     let reference = OperatingPoint::at_freq(2.0);
     let mut rows = Vec::new();
@@ -341,7 +381,7 @@ pub fn fig12_tight(secs: f64, seed: u64) -> Vec<Fig12Row> {
             let window = profile.t_infer(kind, 1, reference).mul_f64(1.5);
             for n in [1usize, 2, 4, 8, 16] {
                 let cfg = BacktestConfig::new(kind, n, condition).with_t_avail(window);
-                let m = run_lighttrader(&trace, &cfg);
+                let m = run_lighttrader(trace, &cfg);
                 rows.push(Fig12Row {
                     condition,
                     kind,
@@ -390,36 +430,36 @@ pub struct Fig13 {
 /// [`lt_sim::traffic::scheduling_deadline`], where batching and boosting
 /// decisions genuinely matter (see EXPERIMENTS.md).
 pub fn fig13(secs: f64, seed: u64) -> Fig13 {
-    let trace = evaluation_trace(secs, seed);
-    let mut cells = Vec::new();
-    let mut configs = Vec::new();
+    let grid = SweepGrid::evaluation(secs)
+        .models(ModelKind::ALL)
+        .accel_counts([1, 2, 4, 8, 16])
+        .conditions([PowerCondition::Sufficient, PowerCondition::Limited])
+        .policies(Policy::ALL)
+        .deadline(GridDeadline::Scheduling)
+        .seeds([seed]);
+    let results = farm().run(&grid);
+    let mut rows: Vec<Fig13Row> = Vec::with_capacity(results.len());
     for condition in [PowerCondition::Sufficient, PowerCondition::Limited] {
         for kind in ModelKind::ALL {
-            let deadline = lt_sim::traffic::scheduling_deadline_for(kind);
             for n in [1usize, 2, 4, 8, 16] {
                 for policy in Policy::ALL {
-                    cells.push((condition, kind, n, policy));
-                    configs.push(
-                        BacktestConfig::new(kind, n, condition)
-                            .with_policy(policy)
-                            .with_t_avail(deadline),
-                    );
+                    let s = find_cell(&results, |c| {
+                        c.condition == condition
+                            && c.kind == kind
+                            && c.n_accels == n
+                            && c.policy == policy
+                    });
+                    rows.push(Fig13Row {
+                        condition,
+                        kind,
+                        n_accels: n,
+                        policy,
+                        miss_rate: s.miss_rate(),
+                    });
                 }
             }
         }
     }
-    let metrics = lt_sim::run_sweep(&trace, &configs, 0);
-    let rows: Vec<Fig13Row> = cells
-        .into_iter()
-        .zip(metrics)
-        .map(|((condition, kind, n_accels, policy), m)| Fig13Row {
-            condition,
-            kind,
-            n_accels,
-            policy,
-            miss_rate: m.miss_rate(),
-        })
-        .collect();
 
     // Relative reduction of `policy` vs baseline, averaged over the given
     // accelerator counts and both power conditions.
@@ -497,7 +537,8 @@ pub struct FaultSweepRow {
 /// drop patterns overlap, ticks vanish before the book, and the
 /// response-rate/tick-to-trade surface degrades.
 pub fn fault_sweep(secs: f64, seed: u64) -> Vec<FaultSweepRow> {
-    let trace = evaluation_trace(secs, seed);
+    let session = cached_trace(secs, seed);
+    let trace = session.trace();
     let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited)
         .with_t_avail(lt_sim::traffic::scheduling_deadline_for(ModelKind::DeepLob));
     let mut rows = Vec::new();
@@ -511,7 +552,7 @@ pub fn fault_sweep(secs: f64, seed: u64) -> Vec<FaultSweepRow> {
             },
             seed,
         );
-        let m = run_lighttrader(&trace, &cfg.with_faults(faults));
+        let m = run_lighttrader(trace, &cfg.with_faults(faults));
         let (offered, recovered, lost) = match m.ingress {
             Some(r) => (r.offered, r.recovered, r.lost),
             None => (trace.len() as u64, 0, 0),

@@ -62,12 +62,13 @@ pub mod prelude {
     pub use lt_dnn::{Model, ModelKind, Prediction, PriceDirection, Tensor};
     pub use lt_feed::{
         HawkesParams, MarketSession, MultiMarketSession, MultiSessionBuilder, SessionBuilder,
-        TickTrace,
+        SessionSpec, TickTrace, TraceCache,
     };
     pub use lt_lob::prelude::*;
     pub use lt_sched::Policy;
     pub use lt_sim::{
-        run_lighttrader, run_multi, run_single_device, BacktestConfig, BacktestMetrics,
-        MultiMetrics,
+        run_farm, run_lighttrader, run_multi, run_single_device, try_run_farm, try_run_sweep,
+        BacktestConfig, BacktestMetrics, FarmResults, FarmRunner, GridDeadline, MultiMetrics,
+        RetainFull, SweepGrid,
     };
 }

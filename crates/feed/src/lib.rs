@@ -25,6 +25,7 @@
 
 pub mod agents;
 pub mod bursts;
+pub mod cache;
 pub mod hawkes;
 pub mod multi;
 pub mod session;
@@ -34,6 +35,7 @@ pub mod trace_io;
 
 pub use agents::{AgentFlow, AgentParams};
 pub use bursts::FlashParams;
+pub use cache::{CacheStats, SessionArtifact, SessionSpec, TraceCache};
 pub use hawkes::{HawkesParams, HawkesProcess};
 pub use multi::{MultiMarketSession, MultiSessionBuilder};
 pub use session::{MarketSession, SessionBuilder};

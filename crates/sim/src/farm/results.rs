@@ -1,0 +1,355 @@
+//! Structure-of-arrays farm results.
+//!
+//! A thousand-cell grid must not hold a thousand heavyweight
+//! [`BacktestMetrics`] (each carries every latency sample and its full
+//! per-stage decomposition). [`FarmResults`] keeps one scalar *column*
+//! per headline statistic — outcome counters, latency quantiles,
+//! energy, batching — indexed by cell in expansion order, and retains
+//! the full metrics only for the cells the caller designated. The
+//! columns of a retained cell tile its full metrics exactly
+//! ([`FarmResults::assert_full_consistent`]).
+
+use super::grid::FarmCell;
+use crate::metrics::BacktestMetrics;
+
+/// The scalar summary of one cell — one row across the SoA columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSummary {
+    /// Queries answered within the available time.
+    pub responded: u64,
+    /// Queries whose answer arrived after the deadline.
+    pub late: u64,
+    /// Queries dropped at admission (offload queue full).
+    pub dropped_full: u64,
+    /// Queries dropped while queued (deadline lapsed before issue).
+    pub dropped_stale: u64,
+    /// Queries deferred to the conventional pipeline.
+    pub deferred: u64,
+    /// Mean in-time tick-to-trade, nanoseconds.
+    pub mean_t2t_ns: u64,
+    /// Median in-time tick-to-trade, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile in-time tick-to-trade, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile in-time tick-to-trade, nanoseconds.
+    pub p999_ns: u64,
+    /// Accelerator-pool energy, joules.
+    pub energy_j: f64,
+    /// Batches issued.
+    pub batches: u64,
+    /// Sum of issued batch sizes.
+    pub batched_queries: u64,
+}
+
+impl CellSummary {
+    /// Extracts the scalar row from full metrics. This is the ONLY path
+    /// that fills columns, so columns and retained metrics cannot drift.
+    pub fn from_metrics(m: &BacktestMetrics) -> Self {
+        CellSummary {
+            responded: m.responded,
+            late: m.late,
+            dropped_full: m.dropped_full,
+            dropped_stale: m.dropped_stale,
+            deferred: m.deferred,
+            mean_t2t_ns: m.mean_latency().as_nanos() as u64,
+            p50_ns: m.latency_quantile(0.50).as_nanos() as u64,
+            p99_ns: m.latency_quantile(0.99).as_nanos() as u64,
+            p999_ns: m.latency_quantile(0.999).as_nanos() as u64,
+            energy_j: m.energy_j,
+            batches: m.batches,
+            batched_queries: m.batched_queries,
+        }
+    }
+
+    /// Total queries across all outcome buckets.
+    pub fn total(&self) -> u64 {
+        self.responded + self.late + self.dropped_full + self.dropped_stale + self.deferred
+    }
+
+    /// Fraction of queries answered in time.
+    pub fn response_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.responded as f64 / self.total() as f64
+    }
+
+    /// Fraction of queries missed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.response_rate()
+    }
+
+    /// Mean issued batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_queries as f64 / self.batches as f64
+    }
+}
+
+/// Results of one farm run: cells in expansion order, scalar columns
+/// per statistic, and optional full-metrics retention per cell.
+#[derive(Debug, Clone, Default)]
+pub struct FarmResults {
+    cells: Vec<FarmCell>,
+    responded: Vec<u64>,
+    late: Vec<u64>,
+    dropped_full: Vec<u64>,
+    dropped_stale: Vec<u64>,
+    deferred: Vec<u64>,
+    mean_t2t_ns: Vec<u64>,
+    p50_ns: Vec<u64>,
+    p99_ns: Vec<u64>,
+    p999_ns: Vec<u64>,
+    energy_j: Vec<f64>,
+    batches: Vec<u64>,
+    batched_queries: Vec<u64>,
+    full: Vec<Option<BacktestMetrics>>,
+}
+
+impl FarmResults {
+    /// An empty result set with room for `capacity` cells.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        FarmResults {
+            cells: Vec::with_capacity(capacity),
+            responded: Vec::with_capacity(capacity),
+            late: Vec::with_capacity(capacity),
+            dropped_full: Vec::with_capacity(capacity),
+            dropped_stale: Vec::with_capacity(capacity),
+            deferred: Vec::with_capacity(capacity),
+            mean_t2t_ns: Vec::with_capacity(capacity),
+            p50_ns: Vec::with_capacity(capacity),
+            p99_ns: Vec::with_capacity(capacity),
+            p999_ns: Vec::with_capacity(capacity),
+            energy_j: Vec::with_capacity(capacity),
+            batches: Vec::with_capacity(capacity),
+            batched_queries: Vec::with_capacity(capacity),
+            full: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one cell's outcome; `full` is the metrics object to
+    /// retain, if this cell was designated.
+    pub(crate) fn push(
+        &mut self,
+        cell: FarmCell,
+        metrics: &BacktestMetrics,
+        full: Option<BacktestMetrics>,
+    ) {
+        let s = CellSummary::from_metrics(metrics);
+        self.cells.push(cell);
+        self.responded.push(s.responded);
+        self.late.push(s.late);
+        self.dropped_full.push(s.dropped_full);
+        self.dropped_stale.push(s.dropped_stale);
+        self.deferred.push(s.deferred);
+        self.mean_t2t_ns.push(s.mean_t2t_ns);
+        self.p50_ns.push(s.p50_ns);
+        self.p99_ns.push(s.p99_ns);
+        self.p999_ns.push(s.p999_ns);
+        self.energy_j.push(s.energy_j);
+        self.batches.push(s.batches);
+        self.batched_queries.push(s.batched_queries);
+        self.full.push(full);
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the run produced no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cells, in expansion order.
+    pub fn cells(&self) -> &[FarmCell] {
+        &self.cells
+    }
+
+    /// One cell's scalar row, reassembled from the columns.
+    pub fn summary(&self, i: usize) -> CellSummary {
+        CellSummary {
+            responded: self.responded[i],
+            late: self.late[i],
+            dropped_full: self.dropped_full[i],
+            dropped_stale: self.dropped_stale[i],
+            deferred: self.deferred[i],
+            mean_t2t_ns: self.mean_t2t_ns[i],
+            p50_ns: self.p50_ns[i],
+            p99_ns: self.p99_ns[i],
+            p999_ns: self.p999_ns[i],
+            energy_j: self.energy_j[i],
+            batches: self.batches[i],
+            batched_queries: self.batched_queries[i],
+        }
+    }
+
+    /// The `responded` column.
+    pub fn responded(&self) -> &[u64] {
+        &self.responded
+    }
+
+    /// The p99 tick-to-trade column, nanoseconds.
+    pub fn p99_ns(&self) -> &[u64] {
+        &self.p99_ns
+    }
+
+    /// The energy column, joules.
+    pub fn energy_j(&self) -> &[f64] {
+        &self.energy_j
+    }
+
+    /// The retained full metrics of cell `i`, when designated.
+    pub fn full_metrics(&self, i: usize) -> Option<&BacktestMetrics> {
+        self.full[i].as_ref()
+    }
+
+    /// Number of cells that retained full metrics.
+    pub fn n_retained(&self) -> usize {
+        self.full.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Panics unless, for every cell with retained full metrics, the
+    /// scalar columns equal [`CellSummary::from_metrics`] of the
+    /// retained object — the invariant that the cheap columns really
+    /// tile the expensive metrics.
+    pub fn assert_full_consistent(&self) {
+        for (i, full) in self.full.iter().enumerate() {
+            if let Some(m) = full {
+                let expect = CellSummary::from_metrics(m);
+                let got = self.summary(i);
+                assert!(
+                    got == expect && got.energy_j.to_bits() == expect.energy_j.to_bits(),
+                    "cell #{i} [{}]: columns {got:?} drifted from retained metrics {expect:?}",
+                    self.cells[i].id
+                );
+            }
+        }
+    }
+
+    /// Renders the grid as deterministic JSON: one row per cell with its
+    /// ID, axis values, and scalar columns. Formatting is fixed-notation
+    /// (no float shortest-round-trip), so equal results are equal bytes.
+    pub fn to_grid_json(&self) -> String {
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let s = self.summary(i);
+                format!(
+                    "    {{\"id\": \"{}\", \"model\": \"{:?}\", \"n_accels\": {}, \
+                     \"condition\": \"{:?}\", \"policy\": \"{}\", \"symbols\": {}, \
+                     \"seed\": {}, \"responded\": {}, \"late\": {}, \"dropped_full\": {}, \
+                     \"dropped_stale\": {}, \"deferred\": {}, \"response_rate\": {:.6}, \
+                     \"mean_t2t_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+                     \"energy_j\": {:.6}, \"batches\": {}, \"mean_batch\": {:.4}}}",
+                    cell.id,
+                    cell.config.kind,
+                    cell.config.n_accels,
+                    cell.config.condition,
+                    cell.config.policy.label(),
+                    cell.config.symbols,
+                    cell.spec.seed,
+                    s.responded,
+                    s.late,
+                    s.dropped_full,
+                    s.dropped_stale,
+                    s.deferred,
+                    s.response_rate(),
+                    s.mean_t2t_ns,
+                    s.p50_ns,
+                    s.p99_ns,
+                    s.p999_ns,
+                    s.energy_j,
+                    s.batches,
+                    s.mean_batch(),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"n_cells\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+            self.len(),
+            rows.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::SweepGrid;
+    use std::time::Duration;
+
+    fn metrics(responded: u64) -> BacktestMetrics {
+        let mut m = BacktestMetrics::new();
+        for i in 0..responded {
+            m.record_response(Duration::from_micros(100 + i));
+        }
+        m.late = 2;
+        m.deferred = 1;
+        m.energy_j = 1.25 * responded as f64;
+        m.batches = responded;
+        m.batched_queries = responded * 2;
+        m
+    }
+
+    fn cell(index: usize) -> FarmCell {
+        let mut c = SweepGrid::evaluation(1.0).expand().remove(0);
+        c.index = index;
+        c.id = format!("cell-{index}");
+        c
+    }
+
+    #[test]
+    fn columns_round_trip_through_summary() {
+        let mut r = FarmResults::with_capacity(2);
+        let m = metrics(5);
+        r.push(cell(0), &m, None);
+        r.push(cell(1), &metrics(3), Some(metrics(3)));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.summary(0), CellSummary::from_metrics(&m));
+        assert_eq!(r.responded(), &[5, 3]);
+        assert_eq!(r.n_retained(), 1);
+        assert!(r.full_metrics(0).is_none());
+        assert!(r.full_metrics(1).is_some());
+        r.assert_full_consistent();
+    }
+
+    #[test]
+    fn summary_rates_match_metrics() {
+        let m = metrics(7);
+        let s = CellSummary::from_metrics(&m);
+        assert_eq!(s.total(), m.total());
+        assert!((s.response_rate() - m.response_rate()).abs() < 1e-12);
+        assert!((s.miss_rate() - m.miss_rate()).abs() < 1e-12);
+        assert!((s.mean_batch() - m.mean_batch()).abs() < 1e-12);
+        assert_eq!(s.p99_ns, m.latency_quantile(0.99).as_nanos() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "drifted")]
+    fn drifted_columns_are_caught() {
+        let mut r = FarmResults::with_capacity(1);
+        r.push(cell(0), &metrics(4), Some(metrics(4)));
+        r.responded[0] += 1;
+        r.assert_full_consistent();
+    }
+
+    #[test]
+    fn grid_json_is_deterministic() {
+        let mut a = FarmResults::with_capacity(1);
+        a.push(cell(0), &metrics(4), None);
+        let mut b = FarmResults::with_capacity(1);
+        b.push(cell(0), &metrics(4), None);
+        assert_eq!(a.to_grid_json(), b.to_grid_json());
+        assert!(a.to_grid_json().contains("\"n_cells\": 1"));
+        assert!(a.to_grid_json().contains("\"id\": \"cell-0\""));
+    }
+}

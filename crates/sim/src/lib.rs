@@ -31,6 +31,7 @@
 pub mod baseline;
 pub mod config;
 pub mod engine;
+pub mod farm;
 pub mod ingress;
 pub mod lighttrader;
 pub mod metrics;
@@ -42,13 +43,18 @@ pub mod traffic;
 pub use baseline::{run_single_device, SingleDeviceSystem};
 pub use config::BacktestConfig;
 pub use engine::{EngineCtx, Event, EventQueue, PendingOrder, SimModel};
+pub use farm::{
+    run_farm, try_run_farm, CellSummary, FarmCell, FarmFailures, FarmResults, FarmRunner,
+    GridDeadline, RetainFull, SweepGrid,
+};
 pub use ingress::{degrade_trace, FeedReport, IngressFaults, IngressReport};
 pub use lighttrader::run_lighttrader;
 pub use lt_protocol::netem::FaultRates;
 pub use metrics::{BacktestMetrics, StageSummary};
-pub use multi::{run_multi, MultiMetrics, SymbolOutcome};
-pub use sweep::run_sweep;
+pub use multi::{run_multi, run_multi_merged, MultiMetrics, SymbolOutcome};
+pub use sweep::{run_sweep, try_run_sweep, SweepFailures};
 pub use telemetry::{QueryTimeline, Stage, StageBreakdown};
 pub use traffic::{
-    evaluation_deadline, evaluation_trace, multi_evaluation_session, EVALUATION_SEED,
+    cached_evaluation_session, evaluation_deadline, evaluation_spec, evaluation_trace,
+    multi_evaluation_session, shared_trace_cache, EVALUATION_SEED,
 };

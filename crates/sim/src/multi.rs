@@ -105,6 +105,28 @@ impl MultiMetrics {
 /// the fault-injected A/B ingress models a single feed pair and is not
 /// defined for merged multi-symbol streams.
 pub fn run_multi(session: &MultiMarketSession, cfg: &BacktestConfig) -> MultiMetrics {
+    let (trace, tick_shards) = session.merged();
+    run_multi_merged(session, &trace, &tick_shards, cfg)
+}
+
+/// [`run_multi`] with the k-way merge precomputed by the caller.
+///
+/// `merged` and `tick_shards` must be exactly what
+/// [`MultiMarketSession::merged`] returns for `session` — the back-test
+/// farm caches that pair per session so hundreds of cells replay it
+/// without re-merging. Bit-identical to [`run_multi`] by construction
+/// (the latter is now a thin wrapper).
+///
+/// # Panics
+///
+/// As [`run_multi`], plus if `merged` and `tick_shards` disagree in
+/// length.
+pub fn run_multi_merged(
+    session: &MultiMarketSession,
+    merged: &lt_feed::TickTrace,
+    tick_shards: &[u16],
+    cfg: &BacktestConfig,
+) -> MultiMetrics {
     cfg.validate();
     assert_eq!(
         cfg.symbols,
@@ -116,10 +138,14 @@ pub fn run_multi(session: &MultiMarketSession, cfg: &BacktestConfig) -> MultiMet
         "ingress fault injection is defined per feed pair, not for merged \
          multi-symbol streams; use a lossless fault profile"
     );
-    let (trace, tick_shards) = session.merged();
+    assert_eq!(
+        merged.len(),
+        tick_shards.len(),
+        "shard map must cover the merged trace"
+    );
     let n = session.n_symbols();
-    let mut state = build_state(cfg, n, tick_shards);
-    let aggregate = engine::run(&mut state, &trace);
+    let mut state = build_state(cfg, n, tick_shards.to_vec());
+    let aggregate = engine::run(&mut state, merged);
     let per_symbol = session
         .symbols()
         .into_iter()

@@ -1,29 +1,70 @@
-//! Parallel back-test sweeps.
+//! Parallel back-test sweeps over one shared trace.
 //!
 //! The evaluation explores hundreds of configurations (3 models x 5
 //! accelerator counts x 2 power conditions x 4 policies x seeds); this
-//! module fans a batch of [`BacktestConfig`]s out across worker threads
-//! with crossbeam's scoped threads, preserving input order in the
-//! results. Runs stay deterministic: each configuration replays the same
-//! shared trace.
+//! module fans a batch of [`BacktestConfig`]s out across worker threads,
+//! preserving input order in the results. Runs stay deterministic: each
+//! configuration replays the same shared trace.
+//!
+//! Workers write outcomes straight into disjoint result slots (see
+//! [`crate::farm`]'s pool) — no collector channel, no second pass.
+//! [`try_run_sweep`] is the non-panicking surface; [`run_sweep`] wraps
+//! it and panics with the full failure report. For grids that also vary
+//! the *session* (seeds, symbols, traffic), use the farm: it adds
+//! shared-trace caching and structure-of-arrays results on the same
+//! pool.
 
 use crate::config::BacktestConfig;
+use crate::farm::scatter;
 use crate::lighttrader::run_lighttrader;
 use crate::metrics::BacktestMetrics;
 use lt_feed::TickTrace;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
 
-/// Extracts a printable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        s
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s
-    } else {
-        "<non-string panic payload>"
+/// One failed configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// Position in the input slice.
+    pub index: usize,
+    /// The configuration that failed.
+    pub config: BacktestConfig,
+    /// The original panic message.
+    pub message: String,
+}
+
+/// Every failure of a sweep — not just the first. With hundreds of
+/// configurations per sweep, a bare "worker panicked" (or a lone first
+/// failure hiding nine more) is undebuggable.
+#[derive(Debug, Clone)]
+pub struct SweepFailures {
+    /// Total configurations attempted.
+    pub total: usize,
+    /// The failures, in input order.
+    pub failures: Vec<SweepFailure>,
+}
+
+impl fmt::Display for SweepFailures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let report: String = self
+            .failures
+            .iter()
+            .map(|c| {
+                format!(
+                    "sweep config #{} panicked: {}\n  config: {:?}\n",
+                    c.index, c.message, c.config
+                )
+            })
+            .collect();
+        write!(
+            f,
+            "{} of {} sweep configs failed:\n{report}",
+            self.failures.len(),
+            self.total
+        )
     }
 }
+
+impl std::error::Error for SweepFailures {}
 
 /// Runs every configuration against `trace`, in parallel, returning the
 /// metrics in input order.
@@ -31,81 +72,54 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// `workers` caps the thread count (0 means one worker per available
 /// CPU, bounded by the job count).
 ///
+/// # Errors
+///
+/// Returns [`SweepFailures`] when any individual back-test panics
+/// (invalid configuration). Every failing configuration is collected —
+/// the remaining configurations still ran.
+pub fn try_run_sweep(
+    trace: &TickTrace,
+    configs: &[BacktestConfig],
+    workers: usize,
+) -> Result<Vec<BacktestMetrics>, SweepFailures> {
+    let outcomes = scatter(configs.len(), workers, |i| {
+        run_lighttrader(trace, &configs[i])
+    });
+    let mut results = Vec::with_capacity(configs.len());
+    let mut failures = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(metrics) => results.push(metrics),
+            Err(message) => failures.push(SweepFailure {
+                index: i,
+                config: configs[i],
+                message,
+            }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(results)
+    } else {
+        Err(SweepFailures {
+            total: configs.len(),
+            failures,
+        })
+    }
+}
+
+/// [`try_run_sweep`], panicking with the full failure report.
+///
 /// # Panics
 ///
-/// Panics if any individual back-test panics (invalid configuration).
-/// Every failing configuration is collected — not just the first — and
-/// the panic reports the failure total plus, per failure, the config
-/// index, its debug description, and the original panic message: with
-/// hundreds of configurations per sweep, a bare "worker panicked" (or a
-/// lone first failure hiding nine more) is undebuggable.
+/// Panics if any individual back-test panics (invalid configuration),
+/// reporting the failure total plus, per failure, the config index, its
+/// debug description, and the original panic message.
 pub fn run_sweep(
     trace: &TickTrace,
     configs: &[BacktestConfig],
     workers: usize,
 ) -> Vec<BacktestMetrics> {
-    if configs.is_empty() {
-        return Vec::new();
-    }
-    let workers = if workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        workers
-    }
-    .min(configs.len());
-
-    let mut results: Vec<Option<BacktestMetrics>> = vec![None; configs.len()];
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<BacktestMetrics, String>)>();
-    let failure = crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| run_lighttrader(trace, &configs[i])))
-                        .map_err(|payload| panic_message(payload.as_ref()).to_owned());
-                tx.send((i, outcome)).expect("collector alive");
-            });
-        }
-        drop(tx);
-        let mut failures: Vec<(usize, String)> = Vec::new();
-        for (i, outcome) in rx {
-            match outcome {
-                Ok(metrics) => results[i] = Some(metrics),
-                Err(message) => failures.push((i, message)),
-            }
-        }
-        failures.sort_by_key(|(i, _)| *i);
-        failures
-    })
-    .expect("sweep worker panicked");
-    if !failure.is_empty() {
-        let report: String = failure
-            .iter()
-            .map(|(i, message)| {
-                format!(
-                    "sweep config #{i} panicked: {message}\n  config: {:?}\n",
-                    configs[*i]
-                )
-            })
-            .collect();
-        panic!(
-            "{} of {} sweep configs failed:\n{report}",
-            failure.len(),
-            configs.len()
-        );
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every index produced"))
-        .collect()
+    try_run_sweep(trace, configs, workers).unwrap_or_else(|f| panic!("{f}"))
 }
 
 #[cfg(test)]
@@ -181,6 +195,22 @@ mod tests {
         let trace = trace();
         let out = run_sweep(&trace, &configs()[..4], 0);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn try_run_sweep_reports_instead_of_panicking() {
+        let trace = trace();
+        let mut cfgs = configs()[..2].to_vec();
+        let mut no_accels = cfgs[0];
+        no_accels.n_accels = 0;
+        cfgs.push(no_accels);
+        let err = try_run_sweep(&trace, &cfgs, 2).expect_err("invalid config must fail");
+        assert_eq!(err.total, 3);
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].index, 2);
+        assert!(err.failures[0].message.contains("at least one accelerator"));
+        // The good configurations are still reported through Display.
+        assert!(format!("{err}").contains("1 of 3 sweep configs failed"));
     }
 
     #[test]

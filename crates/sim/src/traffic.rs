@@ -18,7 +18,11 @@
 //! ~78.5/76.6/72.6% (30 s session). EXPERIMENTS.md records the
 //! full-length runs.
 
-use lt_feed::{FlashParams, HawkesParams, MarketSession, SessionBuilder};
+use lt_feed::{
+    FlashParams, HawkesParams, MarketSession, SessionArtifact, SessionBuilder, SessionSpec,
+    TraceCache,
+};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Seed used by every headline experiment (re-runnable back-tests).
@@ -74,8 +78,34 @@ pub fn evaluation_session(secs: f64, seed: u64) -> MarketSession {
 }
 
 /// Convenience: just the trace of [`evaluation_session`].
+///
+/// Deliberately uncached: the determinism suite relies on independently
+/// regenerated traces to cover the whole feed → engine → metrics
+/// pipeline. Callers that want sharing go through
+/// [`cached_evaluation_session`].
 pub fn evaluation_trace(secs: f64, seed: u64) -> lt_feed::TickTrace {
     evaluation_session(secs, seed).trace
+}
+
+/// The [`SessionSpec`] of [`evaluation_session`]: same traffic, same
+/// seed, cacheable. `spec.build()` is bit-identical to the direct
+/// builder path.
+pub fn evaluation_spec(secs: f64, seed: u64) -> SessionSpec {
+    SessionSpec::single(evaluation_hawkes(), secs, seed).with_flash(evaluation_flash())
+}
+
+/// The process-wide trace cache shared by the experiment helpers and
+/// any farm runner that opts in — one evaluation session build per
+/// (secs, seed) per process, however many experiments replay it.
+pub fn shared_trace_cache() -> Arc<TraceCache> {
+    static CACHE: OnceLock<Arc<TraceCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(|| Arc::new(TraceCache::new())))
+}
+
+/// [`evaluation_session`] through [`shared_trace_cache`]: builds once
+/// per (secs, seed) per process and hands out shared immutable `Arc`s.
+pub fn cached_evaluation_session(secs: f64, seed: u64) -> Arc<SessionArtifact> {
+    shared_trace_cache().get_or_build(&evaluation_spec(secs, seed))
 }
 
 /// Generates the multi-instrument evaluation session: `symbols`
@@ -126,6 +156,18 @@ mod tests {
         // otherwise Fig. 11(b) comparisons are vacuous.
         let deadline = evaluation_deadline();
         assert!(deadline > Duration::from_micros(3_400), "GPU DeepLOB fits");
+    }
+
+    #[test]
+    fn cached_session_matches_the_direct_build_bit_for_bit() {
+        let direct = evaluation_session(2.0, 77);
+        let spec = evaluation_spec(2.0, 77);
+        assert_eq!(spec.build().single().trace, direct.trace);
+        let cached = cached_evaluation_session(2.0, 77);
+        assert_eq!(cached.single().trace, direct.trace);
+        // A second lookup shares the same artifact, not a rebuild.
+        let again = cached_evaluation_session(2.0, 77);
+        assert!(std::sync::Arc::ptr_eq(&cached, &again));
     }
 
     #[test]

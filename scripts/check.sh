@@ -36,6 +36,9 @@ cargo test -q --release -p lt-pipeline --test zero_alloc
 echo "== multi-symbol gates: single-shard parity + sharded determinism =="
 cargo test -q --release -p lt-sim --test multi_symbol
 
+echo "== back-test farm gates: farm-vs-serial parity + trace-cache accounting =="
+cargo test -q --release -p lt-sim --test farm
+
 if [[ "$fast" == "0" ]]; then
     echo "== sim wall-clock smoke (budget 1.15x seed) =="
     cargo test -q --release -p lt-sim --test wallclock_smoke -- --ignored
@@ -48,6 +51,10 @@ if [[ "$fast" == "0" ]]; then
 
     echo "== multi-symbol scaling regression (1.5x floor at 8 symbols) =="
     cargo run --release -p lt-bench --bin bench_multi
+
+    echo "== back-test farm regression (2x farm-vs-naive floor on 216 cells) =="
+    cargo run --release -p lt-bench --bin bench_sweep
+    grep -q '"floor_met": true' BENCH_sweep.json
 fi
 
 echo "== all checks passed =="
