@@ -1,0 +1,142 @@
+//! Deadline-sweep benchmark: the deadline-aware tier scheduler vs every
+//! fixed-model policy under a burst-storm workload.
+//!
+//! ```text
+//! cargo run --release -p lt-bench --bin bench_deadline [-- --secs N]
+//! ```
+//!
+//! The workload is [`burst_storm_trace`]: flash cascades an order of
+//! magnitude denser than the calibrated evaluation traffic. Every system
+//! prefers DeepLOB and gets the same aggressive 450 µs per-tick budget
+//! to score against; the four fixed policies must serve DeepLOB for
+//! every query, while `DeadlineTiered` (on the Both machinery, with the
+//! full CNN → TransLOB → DeepLOB degradation ladder) may degrade to a
+//! cheaper tier — or shed a doomed query — whenever the predicted cost
+//! blows the remaining budget.
+//!
+//! Emits `BENCH_deadline.json` and exits nonzero unless the tiered
+//! scheduler's deadline-hit-rate beats the best fixed policy by at least
+//! [`HIT_RATE_FLOOR`]x.
+
+use lighttrader::prelude::*;
+use lighttrader::sim::traffic::{burst_storm_trace, scheduling_deadline_for};
+use std::time::Duration;
+
+/// Minimum tiered-over-best-fixed deadline-hit-rate ratio.
+const HIT_RATE_FLOOR: f64 = 1.2;
+/// Default simulated session length in seconds.
+const DEFAULT_SECS: f64 = 4.0;
+/// Storm seed (distinct from the calibrated evaluation seed; the storm
+/// is a stress profile, not a figure reproduction).
+const STORM_SEED: u64 = 7_0823;
+/// The aggressive per-tick budget every policy is scored against.
+const BUDGET: Duration = Duration::from_micros(450);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut secs = DEFAULT_SECS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--secs" {
+            secs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--secs needs a number");
+        }
+    }
+
+    let kind = ModelKind::DeepLob;
+    let t_avail = scheduling_deadline_for(kind);
+    let trace = burst_storm_trace(secs, STORM_SEED);
+    let base = BacktestConfig::new(kind, 2, PowerCondition::Limited).with_t_avail(t_avail);
+
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "policy", "hit-rate", "resp", "late", "dropped", "degraded", "hits"
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut best_fixed: f64 = 0.0;
+    for policy in Policy::ALL {
+        let m = run_lighttrader(&trace, &base.with_policy(policy));
+        let rate = m.deadline_hit_rate(BUDGET);
+        best_fixed = best_fixed.max(rate);
+        print_row(policy.label(), &m, rate);
+        rows.push(row_json(policy.label(), &m, rate));
+    }
+
+    let tiered_cfg = base.with_deadline_tiered(Some(BUDGET));
+    let tiered = run_lighttrader(&trace, &tiered_cfg);
+    let tiered_rate = tiered.deadline_hit_rate(BUDGET);
+    print_row("tiered", &tiered, tiered_rate);
+    rows.push(row_json("tiered", &tiered, tiered_rate));
+
+    let ratio = if best_fixed > 0.0 {
+        tiered_rate / best_fixed
+    } else if tiered_rate > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let floor_met = ratio >= HIT_RATE_FLOOR;
+
+    println!(
+        "\ntiered {tiered_rate:.4} vs best fixed {best_fixed:.4}: {ratio:.2}x (floor {HIT_RATE_FLOOR}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"session_secs\": {secs},\n  \"seed\": {STORM_SEED},\n  \
+         \"budget_us\": {},\n  \"t_avail_us\": {},\n  \"kind\": \"{kind:?}\",\n  \
+         \"policies\": [\n{}\n  ],\n  \"best_fixed_hit_rate\": {best_fixed:.6},\n  \
+         \"tiered_hit_rate\": {tiered_rate:.6},\n  \"ratio\": {ratio:.4},\n  \
+         \"hit_rate_floor\": {HIT_RATE_FLOOR},\n  \"floor_met\": {floor_met}\n}}\n",
+        BUDGET.as_micros(),
+        t_avail.as_micros(),
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_deadline.json", &json).expect("write BENCH_deadline.json");
+    println!("wrote BENCH_deadline.json");
+
+    if !floor_met {
+        eprintln!(
+            "REGRESSION: tiered deadline-hit-rate {tiered_rate:.4} is only {ratio:.2}x the \
+             best fixed policy's {best_fixed:.4}, below the {HIT_RATE_FLOOR}x floor"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn print_row(label: &str, m: &BacktestMetrics, rate: f64) {
+    println!(
+        "{:>10} {:>10.4} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        label,
+        rate,
+        m.responded,
+        m.late,
+        m.dropped_full + m.dropped_stale + m.dropped_deadline,
+        m.tiers.degraded,
+        m.deadline_hits(BUDGET),
+    );
+}
+
+fn row_json(label: &str, m: &BacktestMetrics, rate: f64) -> String {
+    format!(
+        "    {{\"policy\": \"{label}\", \"hit_rate\": {rate:.6}, \"hits\": {}, \
+         \"total\": {}, \"responded\": {}, \"late\": {}, \"dropped_full\": {}, \
+         \"dropped_stale\": {}, \"dropped_deadline\": {}, \"deferred\": {}, \
+         \"served_cnn\": {}, \"served_translob\": {}, \"served_deeplob\": {}, \
+         \"degraded\": {}}}",
+        m.deadline_hits(BUDGET),
+        m.total(),
+        m.responded,
+        m.late,
+        m.dropped_full,
+        m.dropped_stale,
+        m.dropped_deadline,
+        m.deferred,
+        m.tiers.served_at(ModelKind::VanillaCnn),
+        m.tiers.served_at(ModelKind::TransLob),
+        m.tiers.served_at(ModelKind::DeepLob),
+        m.tiers.degraded,
+    )
+}

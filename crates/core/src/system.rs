@@ -7,8 +7,7 @@
 //! tiny model configurations); use `lt-sim` when you need timing,
 //! response rates, or scheduling studies instead.
 
-use lt_dnn::models::build_tiny;
-use lt_dnn::{Model, ModelKind, Prediction, ScratchPad};
+use lt_dnn::{ModelKind, ModelRegistry, Prediction};
 use lt_feed::NormStats;
 use lt_lob::{MarketEvent, Symbol, Timestamp};
 use lt_pipeline::trading::NoOrderReason;
@@ -44,6 +43,7 @@ pub enum TickOutcome {
 #[derive(Debug, Clone)]
 pub struct LightTraderBuilder {
     kind: ModelKind,
+    tiers: Vec<ModelKind>,
     symbol: Symbol,
     seed: u64,
     risk: RiskLimits,
@@ -58,6 +58,7 @@ impl LightTraderBuilder {
     pub fn new(kind: ModelKind) -> Self {
         LightTraderBuilder {
             kind,
+            tiers: Vec::new(),
             symbol: Symbol::new("ESU6"),
             seed: 0,
             risk: RiskLimits::default(),
@@ -72,6 +73,17 @@ impl LightTraderBuilder {
     #[must_use]
     pub fn symbol(mut self, symbol: Symbol) -> Self {
         self.symbol = symbol;
+        self
+    }
+
+    /// Registers additional model tiers alongside the preferred kind so
+    /// the system can serve at any of them ([`LightTrader::serve_tier`])
+    /// without a rebuild — the substrate for deadline-aware anytime
+    /// inference. The preferred kind is always registered; the feature
+    /// window is sized for the widest registered tier.
+    #[must_use]
+    pub fn tier_models(mut self, kinds: &[ModelKind]) -> Self {
+        self.tiers = kinds.to_vec();
         self
     }
 
@@ -127,7 +139,11 @@ impl LightTraderBuilder {
     /// Panics when the stage budget has a zero-latency stage or the
     /// normalization stats do not cover ten book levels.
     pub fn build(self) -> LightTrader {
-        let model = build_tiny(self.kind, self.seed);
+        let mut kinds = self.tiers.clone();
+        if !kinds.contains(&self.kind) {
+            kinds.push(self.kind);
+        }
+        let registry = ModelRegistry::tiny_with_kinds(&kinds, self.seed);
         let norm = self.norm.unwrap_or_else(|| NormStats::identity(10));
         assert_eq!(
             norm.depth(),
@@ -137,7 +153,7 @@ impl LightTraderBuilder {
         if let Err(stage) = self.stages.validate() {
             panic!("pipeline stage '{stage}' has zero latency");
         }
-        let window = model.window();
+        let window = registry.max_window();
         LightTrader {
             parser: PacketParser::new(),
             book: LocalBook::new(),
@@ -148,10 +164,10 @@ impl LightTraderBuilder {
                 .loss_floor_ticks
                 .map(|floor| KillSwitch::new(floor, 10)),
             inferences: 0,
-            scratch: ScratchPad::new(),
             snap: lt_lob::LobSnapshot::default(),
             stages: self.stages,
-            model,
+            active: self.kind,
+            registry,
         }
     }
 }
@@ -161,14 +177,16 @@ pub struct LightTrader {
     parser: PacketParser,
     book: LocalBook,
     offload: OffloadEngine,
-    model: Box<dyn Model>,
+    /// Every registered tier's weights + per-tier scratch pads: after
+    /// the first (warm-up) forward pass per tier, steady-state inference
+    /// is allocation-free.
+    registry: ModelRegistry,
+    /// The tier currently serving queries.
+    active: ModelKind,
     trading: TradingEngine,
     limiter: Option<OrderRateLimiter>,
     kill: Option<KillSwitch>,
     inferences: u64,
-    /// Buffer pool reused across inferences: after the first (warm-up)
-    /// forward pass, steady-state inference is allocation-free.
-    scratch: ScratchPad,
     /// Snapshot scratch reused across ticks: once its level vectors
     /// reach depth capacity, the tick path takes no snapshot allocation.
     snap: lt_lob::LobSnapshot,
@@ -182,9 +200,29 @@ impl LightTrader {
         LightTraderBuilder::new(kind)
     }
 
-    /// The benchmark model this instance serves.
+    /// The benchmark model tier currently serving queries.
     pub fn model_kind(&self) -> ModelKind {
-        self.model.kind()
+        self.active
+    }
+
+    /// Registered tiers, cheapest first.
+    pub fn registered_tiers(&self) -> Vec<ModelKind> {
+        self.registry.kinds().collect()
+    }
+
+    /// Switches the serving tier (anytime inference: a deadline-aware
+    /// scheduler degrades to a cheaper registered tier under load).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kind` was not registered at build time
+    /// ([`LightTraderBuilder::tier_models`]).
+    pub fn serve_tier(&mut self, kind: ModelKind) {
+        assert!(
+            self.registry.contains(kind),
+            "{kind} is not a registered tier"
+        );
+        self.active = kind;
     }
 
     /// Inferences executed so far.
@@ -267,7 +305,7 @@ impl LightTrader {
         // Consume the ticket this tick enqueued: the host answers
         // immediately, so the queue never backs up.
         self.offload.pop_batch(usize::MAX);
-        let prediction = self.model.forward_scratch(&tensor, &mut self.scratch);
+        let prediction = self.registry.forward(self.active, &tensor);
         self.inferences += 1;
         let outcome = self.gated_decision(&prediction, &snapshot, event.ts);
         self.snap = snapshot;
@@ -342,7 +380,7 @@ impl LightTrader {
             }
             let tensor = self.offload.latest_tensor();
             self.offload.pop_batch(usize::MAX);
-            let prediction = self.model.forward_scratch(&tensor, &mut self.scratch);
+            let prediction = self.registry.forward(self.active, &tensor);
             self.inferences += 1;
             outcomes.push((
                 tick.ts,
@@ -368,7 +406,7 @@ impl LightTrader {
 impl std::fmt::Debug for LightTrader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LightTrader")
-            .field("model", &self.model.kind())
+            .field("model", &self.active)
             .field("inferences", &self.inferences)
             .field("position", &self.trading.position())
             .field("orders_sent", &self.trading.orders_sent())
@@ -565,6 +603,67 @@ mod tests {
             killed_system.inferences() - kill_orders,
             "kill-switch suppressions must land in the counter"
         );
+    }
+
+    #[test]
+    fn tier_switching_serves_each_registered_model() {
+        let session = SessionBuilder::normal_traffic()
+            .duration_secs(0.4)
+            .seed(3)
+            .build();
+        let mut system = LightTrader::builder(ModelKind::DeepLob)
+            .seed(7)
+            .tier_models(&ModelKind::ALL)
+            .normalization(session.norm.clone())
+            .build();
+        assert_eq!(system.registered_tiers(), ModelKind::ALL.to_vec());
+        assert_eq!(system.model_kind(), ModelKind::DeepLob);
+        // Serve a stretch at each tier on the same staged window; every
+        // tier must produce valid predictions from the shared pipeline.
+        let mut per_tier = [0u64; 3];
+        for (chunk, tick) in session.trace.iter().enumerate() {
+            let tier = ModelKind::ALL[(chunk / 50) % 3];
+            system.serve_tier(tier);
+            system
+                .offload
+                .on_tick_staged(&tick.snapshot, tick.ts, &system.stages.clone());
+            if !system.offload.is_warm() {
+                continue;
+            }
+            let tensor = system.offload.latest_tensor();
+            system.offload.pop_batch(usize::MAX);
+            let prediction = system.registry.forward(tier, &tensor);
+            let sum: f32 = prediction.probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "{tier}: {:?}", prediction.probs);
+            per_tier[(chunk / 50) % 3] += 1;
+        }
+        assert!(
+            per_tier.iter().all(|&n| n > 0),
+            "every tier served: {per_tier:?}"
+        );
+        // A degraded (cheaper) tier slices the trailing window of the
+        // wide staged input; the preferred tier uses it whole.
+        let max_window = system.registry.max_window();
+        assert_eq!(
+            max_window,
+            system.registry.model(ModelKind::DeepLob).unwrap().window()
+        );
+        assert!(
+            system
+                .registry
+                .model(ModelKind::VanillaCnn)
+                .unwrap()
+                .window()
+                < max_window,
+            "ladder spans distinct windows"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered tier")]
+    fn serving_an_unregistered_tier_panics() {
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn).build();
+        system.serve_tier(ModelKind::DeepLob);
     }
 
     #[test]

@@ -37,11 +37,13 @@ pub mod kernels;
 pub mod model;
 pub mod models;
 pub mod ops;
+pub mod registry;
 pub mod scratch;
 pub mod tensor;
 
 pub use bf16::{bf16_round, quantize_int8, Precision};
 pub use model::{Model, ModelKind, Prediction, PriceDirection};
 pub use models::{DeepLob, TransLob, VanillaCnn};
+pub use registry::ModelRegistry;
 pub use scratch::ScratchPad;
 pub use tensor::Tensor;

@@ -1,0 +1,249 @@
+//! Multi-model registry: one pipeline holding every tier's weights.
+//!
+//! Deadline-aware tier scheduling (see `lt-sched`'s `tier` module) needs
+//! all three benchmark networks resident at once so a query can be
+//! served at whichever tier fits its remaining budget. [`ModelRegistry`]
+//! owns one instantiated model per registered [`ModelKind`] together
+//! with a dedicated [`ScratchPad`] and a reusable input buffer per tier,
+//! so switching tiers between queries never touches the allocator in
+//! steady state.
+//!
+//! The tiers have different input windows (e.g. tiny CNN sees 20 ticks,
+//! tiny DeepLOB 40); the feature pipeline stages the *largest* window
+//! ([`ModelRegistry::max_window`]) and [`ModelRegistry::forward`] slices
+//! the trailing rows each smaller tier needs.
+
+use crate::model::{Model, ModelKind, Prediction};
+use crate::models::build_tiny;
+use crate::scratch::ScratchPad;
+use crate::tensor::Tensor;
+
+/// Position of `kind` in [`ModelKind::ALL`] (Table II order).
+fn slot(kind: ModelKind) -> usize {
+    ModelKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind has a slot")
+}
+
+struct Entry {
+    model: Box<dyn Model>,
+    pad: ScratchPad,
+    /// Reusable `[window, features]` staging buffer for trailing-window
+    /// slices of a wider input.
+    input: Tensor,
+}
+
+impl Entry {
+    fn new(model: Box<dyn Model>) -> Self {
+        let input = Tensor::zeros(&[model.window(), model.features()]);
+        Entry {
+            model,
+            pad: ScratchPad::new(),
+            input,
+        }
+    }
+}
+
+/// One instantiated network + scratch state per registered tier.
+pub struct ModelRegistry {
+    entries: [Option<Entry>; 3],
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            entries: [None, None, None],
+        }
+    }
+
+    /// A registry holding tiny instances of the given kinds, each with
+    /// deterministic weights derived from `seed`.
+    pub fn tiny_with_kinds(kinds: &[ModelKind], seed: u64) -> Self {
+        let mut reg = Self::new();
+        for &kind in kinds {
+            reg.register(build_tiny(kind, seed));
+        }
+        reg
+    }
+
+    /// A registry holding tiny instances of all three benchmark tiers.
+    pub fn tiny(seed: u64) -> Self {
+        Self::tiny_with_kinds(&ModelKind::ALL, seed)
+    }
+
+    /// Adds (or replaces) the tier `model.kind()`.
+    pub fn register(&mut self, model: Box<dyn Model>) {
+        let idx = slot(model.kind());
+        self.entries[idx] = Some(Entry::new(model));
+    }
+
+    /// True when `kind` is registered.
+    pub fn contains(&self, kind: ModelKind) -> bool {
+        self.entries[slot(kind)].is_some()
+    }
+
+    /// Registered kinds, cheapest first (Table II order).
+    pub fn kinds(&self) -> impl Iterator<Item = ModelKind> + '_ {
+        ModelKind::ALL.into_iter().filter(|&k| self.contains(k))
+    }
+
+    /// Number of registered tiers.
+    pub fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    /// The most accurate (most expensive) registered tier.
+    pub fn best(&self) -> Option<ModelKind> {
+        self.kinds().last()
+    }
+
+    /// The registered model for `kind`.
+    pub fn model(&self, kind: ModelKind) -> Option<&dyn Model> {
+        self.entries[slot(kind)].as_ref().map(|e| &*e.model)
+    }
+
+    /// The widest input window across registered tiers: the number of
+    /// tick rows the feature pipeline must stage so every tier can run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty registry.
+    pub fn max_window(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| e.model.window())
+            .max()
+            .expect("registry must hold a model")
+    }
+
+    /// Runs tier `kind` on `input`, which must hold *at least* the
+    /// tier's window of tick rows (extra leading rows — staged for a
+    /// wider tier — are skipped; the trailing `window()` rows are the
+    /// most recent ticks). Uses the tier's own scratch pad and staging
+    /// buffer, so steady-state calls are allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kind` is not registered, the input is not rank-2,
+    /// the feature count differs, or fewer rows than the tier's window
+    /// are supplied.
+    pub fn forward(&mut self, kind: ModelKind, input: &Tensor) -> Prediction {
+        let entry = self.entries[slot(kind)]
+            .as_mut()
+            .unwrap_or_else(|| panic!("{kind} is not registered"));
+        let (window, features) = (entry.model.window(), entry.model.features());
+        assert_eq!(input.shape().len(), 2, "input must be [rows, features]");
+        let (rows, cols) = (input.shape()[0], input.shape()[1]);
+        assert_eq!(cols, features, "feature width mismatch for {kind}");
+        assert!(
+            rows >= window,
+            "{kind} needs {window} tick rows, got {rows}"
+        );
+        if rows == window {
+            entry.model.forward_scratch(input, &mut entry.pad)
+        } else {
+            let src = &input.data()[(rows - window) * features..];
+            entry.input.data_mut().copy_from_slice(src);
+            entry.model.forward_scratch(&entry.input, &mut entry.pad)
+        }
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_holds_all_tiers() {
+        let reg = ModelRegistry::tiny(42);
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.best(), Some(ModelKind::DeepLob));
+        let kinds: Vec<ModelKind> = reg.kinds().collect();
+        assert_eq!(kinds, ModelKind::ALL.to_vec(), "cheapest first");
+        for kind in ModelKind::ALL {
+            assert!(reg.contains(kind));
+            assert_eq!(reg.model(kind).unwrap().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn partial_registry() {
+        let reg = ModelRegistry::tiny_with_kinds(&[ModelKind::VanillaCnn], 7);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.contains(ModelKind::DeepLob));
+        assert_eq!(reg.best(), Some(ModelKind::VanillaCnn));
+        assert_eq!(
+            reg.max_window(),
+            reg.model(ModelKind::VanillaCnn).unwrap().window()
+        );
+    }
+
+    /// Serving a narrow tier from a wide staged input must equal running
+    /// the tier directly on the trailing window.
+    #[test]
+    fn trailing_window_slice_matches_direct_forward() {
+        let mut reg = ModelRegistry::tiny(42);
+        let max_window = reg.max_window();
+        let features = reg.model(ModelKind::VanillaCnn).unwrap().features();
+        let wide = Tensor::random(&[max_window, features], 1.0, 99);
+        for kind in ModelKind::ALL {
+            let model = build_tiny(kind, 42);
+            let window = model.window();
+            assert!(window <= max_window);
+            let start = (max_window - window) * features;
+            let direct_in = Tensor::from_vec(wide.data()[start..].to_vec(), &[window, features]);
+            let direct = model.forward(&direct_in);
+            let via_registry = reg.forward(kind, &wide);
+            assert_eq!(via_registry.probs, direct.probs, "{kind}");
+        }
+    }
+
+    /// Steady-state tier switching reuses pads and staging buffers and
+    /// stays deterministic.
+    #[test]
+    fn repeated_forwards_are_deterministic() {
+        let mut reg = ModelRegistry::tiny(42);
+        let input = Tensor::random(&[reg.max_window(), 40], 1.0, 5);
+        let first: Vec<[f32; 3]> = ModelKind::ALL
+            .iter()
+            .map(|&k| reg.forward(k, &input).probs)
+            .collect();
+        for _ in 0..3 {
+            for (i, &kind) in ModelKind::ALL.iter().enumerate() {
+                assert_eq!(reg.forward(kind, &input).probs, first[i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not registered")]
+    fn unregistered_kind_panics() {
+        let mut reg = ModelRegistry::tiny_with_kinds(&[ModelKind::VanillaCnn], 1);
+        let input = Tensor::zeros(&[40, 40]);
+        let _ = reg.forward(ModelKind::DeepLob, &input);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick rows")]
+    fn short_input_panics() {
+        let mut reg = ModelRegistry::tiny(1);
+        let window = reg.model(ModelKind::DeepLob).unwrap().window();
+        let input = Tensor::zeros(&[window - 1, 40]);
+        let _ = reg.forward(ModelKind::DeepLob, &input);
+    }
+}

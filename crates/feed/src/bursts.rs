@@ -45,7 +45,10 @@ impl FlashParams {
         self.bursts_per_sec * self.mean_size
     }
 
-    /// Samples every flash-burst event time in `[0, horizon_secs)`.
+    /// Samples every flash-burst event time in `[0, horizon_secs)`,
+    /// ascending. At storm intensities one burst's train can outlast the
+    /// next burst's start, so the concatenated trains are re-sorted; the
+    /// sort is the identity on non-overlapping (already ordered) streams.
     pub fn sample_for(&self, horizon_secs: f64, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out = Vec::new();
@@ -70,6 +73,7 @@ impl FlashParams {
                 }
             }
         }
+        out.sort_by(f64::total_cmp);
         out
     }
 }
@@ -136,6 +140,18 @@ mod tests {
         let p = FlashParams::new(1.0, 10.0, 5e-6);
         assert_eq!(p.sample_for(5.0, 9), p.sample_for(5.0, 9));
         assert_ne!(p.sample_for(5.0, 9), p.sample_for(5.0, 10));
+    }
+
+    #[test]
+    fn overlapping_storm_trains_stay_ordered() {
+        // Storm intensity: trains long enough that consecutive bursts
+        // overlap; the samples must still come out ascending.
+        let p = FlashParams::new(12.0, 50.0, 10e-6);
+        let events = p.sample_for(20.0, 20230225);
+        assert!(events.len() > 1_000);
+        for w in events.windows(2) {
+            assert!(w[0] <= w[1], "{} > {}", w[0], w[1]);
+        }
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub struct ShardCounters {
     pub dropped_stale: u64,
     /// Tensors deferred to the conventional pipeline by Algorithm 1.
     pub deferred: u64,
+    /// Tensors dropped by the deadline-tier planner: no registered model
+    /// tier's predicted cost fit the remaining budget.
+    pub dropped_deadline: u64,
 }
 
 /// One symbol's slice of the engine: its feature window, tick counter,
@@ -63,6 +66,7 @@ pub struct MultiOffload {
     dropped_full: u64,
     dropped_stale: u64,
     deferred: u64,
+    dropped_deadline: u64,
 }
 
 impl MultiOffload {
@@ -95,6 +99,7 @@ impl MultiOffload {
             dropped_full: 0,
             dropped_stale: 0,
             deferred: 0,
+            dropped_deadline: 0,
         }
     }
 
@@ -126,6 +131,11 @@ impl MultiOffload {
     /// Tensors deferred to the conventional pipeline (all shards).
     pub fn deferred(&self) -> u64 {
         self.deferred
+    }
+
+    /// Tensors dropped by the deadline-tier planner (all shards).
+    pub fn dropped_deadline(&self) -> u64 {
+        self.dropped_deadline
     }
 
     /// Outcome counters of one shard.
@@ -221,6 +231,17 @@ impl MultiOffload {
         if let Some(t) = t {
             self.shards[t.shard as usize].counters.deferred += 1;
             self.deferred += 1;
+        }
+        t
+    }
+
+    /// Removes the oldest ticket because the deadline-tier planner found
+    /// no feasible tier for it, attributing it to its shard.
+    pub fn drop_oldest_deadline(&mut self) -> Option<ShardTicket> {
+        let t = self.queue.pop_front();
+        if let Some(t) = t {
+            self.shards[t.shard as usize].counters.dropped_deadline += 1;
+            self.dropped_deadline += 1;
         }
         t
     }
@@ -360,6 +381,22 @@ mod tests {
         assert_eq!(e.shard_counters(0).deferred, 1);
         assert_eq!(e.deferred(), 1);
         assert_eq!(e.queue_len(), 0);
+    }
+
+    #[test]
+    fn deadline_drops_attribute_to_shards() {
+        let mut e = engine(2, 1, 8);
+        e.on_tick(1, &snap(0, 100), Timestamp::from_micros(0));
+        e.on_tick(0, &snap(1, 100), Timestamp::from_micros(1));
+        let d = e.drop_oldest_deadline().unwrap();
+        assert_eq!(d.shard, 1);
+        assert_eq!(e.shard_counters(1).dropped_deadline, 1);
+        assert_eq!(e.shard_counters(0).dropped_deadline, 0);
+        assert_eq!(e.dropped_deadline(), 1);
+        assert_eq!(e.queue_len(), 1);
+        e.pop_ticket();
+        assert!(e.drop_oldest_deadline().is_none());
+        assert_eq!(e.dropped_deadline(), 1);
     }
 
     #[test]

@@ -17,11 +17,22 @@
 //!
 //! [`Policy`] selects which of the two run, matching the four
 //! configurations of the paper's Fig. 13 (baseline, WS, DS, WS+DS).
+//!
+//! Beyond the paper, [`tier`] adds a third axis: deadline-aware model
+//! *tier* selection (anytime inference). A [`TierPlanner`] picks the
+//! largest model whose predicted queue-wait + inference time fits each
+//! query's remaining deadline budget, degrading to cheaper tiers — or
+//! dropping — under burst storms, with predictions from the online
+//! [`LatencyModel`].
 
 pub mod policy;
 pub mod power_dist;
+pub mod tier;
 pub mod workload;
 
 pub use policy::Policy;
 pub use power_dist::{plan_uprates, redistribute_power, scale_down_to_deadline, AccelLoad};
+pub use tier::{
+    EwmaEstimator, LatencyModel, QuantileEstimator, TierDecision, TierLadder, TierPlanner,
+};
 pub use workload::{schedule_workload, WorkloadDecision, MAX_BATCH};

@@ -14,6 +14,12 @@ pub enum Policy {
     DvfsScheduling,
     /// Both schedulers (the full LightTrader configuration).
     Both,
+    /// Deadline-aware model-tier scheduling (anytime inference) layered
+    /// on top of a fixed base configuration: the [`crate::TierPlanner`]
+    /// picks a model tier per query from its remaining deadline budget.
+    /// The base WS/DS flags come from the simulator's tier parameters,
+    /// not from this variant.
+    DeadlineTiered,
 }
 
 impl Policy {
@@ -26,13 +32,23 @@ impl Policy {
     ];
 
     /// True when Algorithm 1 (batch + DVFS candidate search) runs.
+    /// `DeadlineTiered` defaults to the full machinery; the simulator
+    /// overrides from its configured base policy.
     pub fn workload_enabled(self) -> bool {
-        matches!(self, Policy::WorkloadScheduling | Policy::Both)
+        matches!(
+            self,
+            Policy::WorkloadScheduling | Policy::Both | Policy::DeadlineTiered
+        )
     }
 
     /// True when Algorithm 2 (dynamic power distribution) runs.
+    /// `DeadlineTiered` defaults to the full machinery; the simulator
+    /// overrides from its configured base policy.
     pub fn dvfs_enabled(self) -> bool {
-        matches!(self, Policy::DvfsScheduling | Policy::Both)
+        matches!(
+            self,
+            Policy::DvfsScheduling | Policy::Both | Policy::DeadlineTiered
+        )
     }
 
     /// The label used in the paper's Fig. 13 legend.
@@ -42,6 +58,7 @@ impl Policy {
             Policy::WorkloadScheduling => "WS",
             Policy::DvfsScheduling => "DS",
             Policy::Both => "WS+DS",
+            Policy::DeadlineTiered => "tiered",
         }
     }
 }
@@ -72,6 +89,14 @@ mod tests {
     fn labels_and_default() {
         assert_eq!(Policy::default(), Policy::Baseline);
         assert_eq!(Policy::Both.to_string(), "WS+DS");
-        assert_eq!(Policy::ALL.len(), 4);
+        assert_eq!(Policy::ALL.len(), 4, "fixed Fig. 13 matrix is unchanged");
+        assert!(!Policy::ALL.contains(&Policy::DeadlineTiered));
+    }
+
+    #[test]
+    fn tiered_defaults_to_full_machinery() {
+        assert!(Policy::DeadlineTiered.workload_enabled());
+        assert!(Policy::DeadlineTiered.dvfs_enabled());
+        assert_eq!(Policy::DeadlineTiered.label(), "tiered");
     }
 }

@@ -95,6 +95,7 @@ impl SingleDeviceSystem {
 /// batching, stale management at issue time.
 struct SingleDeviceModel<'a> {
     system: &'a SingleDeviceSystem,
+    kind: ModelKind,
     service: Duration,
     egress: Duration,
     stale_budget: Duration,
@@ -154,6 +155,7 @@ impl SingleDeviceModel<'_> {
                         deadline: ticket.tick_ts + self.t_avail,
                         breakdown,
                         shard: 0,
+                        tier: self.kind,
                     }],
                 },
             );
@@ -187,6 +189,13 @@ impl SimModel for SingleDeviceModel<'_> {
         self.try_issue(ctx);
     }
 
+    fn on_order_scored(&mut self, order: &PendingOrder, _in_time: bool, ctx: &mut EngineCtx) {
+        // A single device serves one fixed model: never degraded.
+        ctx.metrics
+            .tiers
+            .record(order.tier, order.tier != self.kind);
+    }
+
     fn on_finish(&mut self, ctx: &mut EngineCtx) {
         ctx.metrics.energy_j =
             self.system.power_w * self.service.as_secs_f64() * ctx.metrics.batches as f64;
@@ -210,6 +219,7 @@ pub fn run_single_device(
     let egress = system.stages.egress();
     let mut model = SingleDeviceModel {
         system,
+        kind,
         service,
         egress,
         stale_budget: t_avail.saturating_sub(egress + service),

@@ -4,9 +4,39 @@ use crate::ingress::IngressFaults;
 use lt_accel::PowerCondition;
 use lt_dnn::ModelKind;
 use lt_pipeline::PipelineLatencies;
-use lt_sched::Policy;
+use lt_sched::{Policy, TierLadder};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// Parameters of the deadline-aware model-tier scheduler, active when
+/// the policy is [`Policy::DeadlineTiered`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierParams {
+    /// The fixed configuration whose WS/DS machinery the tiered
+    /// scheduler runs on top of (one of the four Fig. 13 policies).
+    pub base: Policy,
+    /// Per-tick deadline budget the planner fits tiers into. `None`
+    /// means unbounded: the planner always serves the best registered
+    /// tier — with a single-tier ladder this reduces *exactly* to the
+    /// base policy.
+    pub budget: Option<Duration>,
+    /// The registered model tiers; the best (most expensive) entry must
+    /// be the config's preferred `kind`.
+    pub ladder: TierLadder,
+}
+
+impl TierParams {
+    /// The exact-reduction parameters for a preferred `kind`: only that
+    /// tier registered, no budget. With these, `DeadlineTiered` behaves
+    /// byte-identically to `base`.
+    pub fn passthrough(kind: ModelKind, base: Policy) -> Self {
+        TierParams {
+            base,
+            budget: None,
+            ladder: TierLadder::single(kind),
+        }
+    }
+}
 
 /// Configuration of one LightTrader back-test run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,6 +68,9 @@ pub struct BacktestConfig {
     /// Zipf traffic-skew exponent across symbols (0 = even split); only
     /// meaningful when `symbols > 1`.
     pub symbol_skew: f64,
+    /// Deadline-tier scheduler parameters; only consulted when `policy`
+    /// is [`Policy::DeadlineTiered`].
+    pub tier: TierParams,
 }
 
 impl BacktestConfig {
@@ -55,6 +88,7 @@ impl BacktestConfig {
             faults: IngressFaults::lossless(),
             symbols: 1,
             symbol_skew: 0.0,
+            tier: TierParams::passthrough(kind, Policy::Both),
         }
     }
 
@@ -95,6 +129,34 @@ impl BacktestConfig {
         self
     }
 
+    /// Enables deadline-aware model-tier scheduling: the full degradation
+    /// ladder up to the preferred `kind`, the Both (WS+DS) machinery as
+    /// the base, and a per-tick deadline `budget` (`None` = unbounded).
+    #[must_use]
+    pub fn with_deadline_tiered(mut self, budget: Option<Duration>) -> Self {
+        self.policy = Policy::DeadlineTiered;
+        self.tier = TierParams {
+            base: Policy::Both,
+            budget,
+            ladder: TierLadder::up_to(self.kind),
+        };
+        self
+    }
+
+    /// Overrides the tiered scheduler's base (fixed) policy.
+    #[must_use]
+    pub fn with_tier_base(mut self, base: Policy) -> Self {
+        self.tier.base = base;
+        self
+    }
+
+    /// Overrides the tiered scheduler's registered ladder.
+    #[must_use]
+    pub fn with_tier_ladder(mut self, ladder: TierLadder) -> Self {
+        self.tier.ladder = ladder;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -119,6 +181,30 @@ impl BacktestConfig {
             self.symbol_skew >= 0.0 && self.symbol_skew.is_finite(),
             "symbol skew must be >= 0"
         );
+        if self.policy == Policy::DeadlineTiered {
+            assert!(
+                matches!(
+                    self.tier.base,
+                    Policy::Baseline
+                        | Policy::WorkloadScheduling
+                        | Policy::DvfsScheduling
+                        | Policy::Both
+                ),
+                "tier base must be a fixed policy"
+            );
+            assert!(
+                !self.tier.ladder.is_empty(),
+                "tier ladder must be non-empty"
+            );
+            assert!(
+                self.tier.ladder.best() == Some(self.kind),
+                "the preferred kind must be the ladder's best tier"
+            );
+            if let Some(budget) = self.tier.budget {
+                assert!(budget > Duration::ZERO, "tier budget must be positive");
+                assert!(budget <= self.t_avail, "tier budget cannot exceed t_avail");
+            }
+        }
         self.faults.validate();
     }
 }
@@ -144,6 +230,53 @@ mod tests {
     fn zero_accels_invalid() {
         let mut cfg = BacktestConfig::new(ModelKind::VanillaCnn, 1, PowerCondition::Sufficient);
         cfg.n_accels = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn deadline_tiered_builder_composes() {
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited)
+            .with_deadline_tiered(Some(Duration::from_micros(450)));
+        assert_eq!(cfg.policy, Policy::DeadlineTiered);
+        assert_eq!(cfg.tier.base, Policy::Both);
+        assert_eq!(cfg.tier.budget, Some(Duration::from_micros(450)));
+        assert_eq!(cfg.tier.ladder, TierLadder::up_to(ModelKind::DeepLob));
+        cfg.validate();
+        let pass = BacktestConfig::new(ModelKind::TransLob, 2, PowerCondition::Sufficient)
+            .with_deadline_tiered(None)
+            .with_tier_base(Policy::Baseline)
+            .with_tier_ladder(TierLadder::single(ModelKind::TransLob));
+        assert_eq!(
+            pass.tier,
+            TierParams::passthrough(ModelKind::TransLob, Policy::Baseline)
+        );
+        pass.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder's best tier")]
+    fn ladder_must_top_out_at_preferred_kind() {
+        let cfg = BacktestConfig::new(ModelKind::TransLob, 2, PowerCondition::Sufficient)
+            .with_deadline_tiered(None)
+            .with_tier_ladder(TierLadder::single(ModelKind::DeepLob));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed t_avail")]
+    fn tier_budget_capped_by_t_avail() {
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 2, PowerCondition::Sufficient)
+            .with_t_avail(Duration::from_micros(400))
+            .with_deadline_tiered(Some(Duration::from_micros(500)));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tier base must be a fixed policy")]
+    fn tier_base_cannot_recurse() {
+        let cfg = BacktestConfig::new(ModelKind::DeepLob, 2, PowerCondition::Sufficient)
+            .with_deadline_tiered(None)
+            .with_tier_base(Policy::DeadlineTiered);
         cfg.validate();
     }
 }

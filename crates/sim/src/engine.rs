@@ -27,6 +27,7 @@ use crate::metrics::BacktestMetrics;
 use crate::telemetry::StageBreakdown;
 use lt_accel::device::BatchId;
 use lt_accel::OperatingPoint;
+use lt_dnn::ModelKind;
 use lt_feed::{TickRecord, TickTrace};
 use lt_lob::Timestamp;
 use std::cmp::Ordering;
@@ -46,6 +47,10 @@ pub struct PendingOrder {
     /// single-instrument runs), so completions fan back out to the right
     /// shard's accounting.
     pub shard: u16,
+    /// The model tier that served the query (always the configured kind
+    /// for fixed-model policies; the planner's pick under
+    /// `DeadlineTiered`).
+    pub tier: ModelKind,
 }
 
 /// A scheduled simulation event.

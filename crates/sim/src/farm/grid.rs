@@ -92,6 +92,9 @@ pub struct SweepGrid {
     pub queue_capacity: usize,
     /// Feature-window length for every cell.
     pub window: usize,
+    /// Per-tick deadline budget applied to [`Policy::DeadlineTiered`]
+    /// cells (`None` = unbounded); ignored by fixed-policy cells.
+    pub tier_budget: Option<Duration>,
 }
 
 impl SweepGrid {
@@ -114,7 +117,15 @@ impl SweepGrid {
             flash: Some(traffic::evaluation_flash()),
             queue_capacity: 64,
             window: 100,
+            tier_budget: None,
         }
+    }
+
+    /// Sets the deadline budget for [`Policy::DeadlineTiered`] cells.
+    #[must_use]
+    pub fn tier_budget(mut self, budget: Option<Duration>) -> Self {
+        self.tier_budget = budget;
+        self
     }
 
     /// Replaces the model axis.
@@ -248,6 +259,9 @@ impl SweepGrid {
                                         .with_t_avail(self.deadline.resolve(kind))
                                         .with_faults(faults)
                                         .with_symbols(symbols, skew);
+                                    if policy == Policy::DeadlineTiered {
+                                        config = config.with_deadline_tiered(self.tier_budget);
+                                    }
                                     config.queue_capacity = self.queue_capacity;
                                     config.window = self.window;
                                     let id = cell_id(
@@ -402,5 +416,22 @@ mod tests {
     #[should_panic(expected = "axis 'seeds' is empty")]
     fn empty_axis_rejected() {
         let _ = SweepGrid::evaluation(1.0).seeds([]).expand();
+    }
+
+    #[test]
+    fn tiered_cells_carry_the_grid_budget() {
+        let budget = Duration::from_micros(450);
+        let cells = SweepGrid::evaluation(1.0)
+            .policies([Policy::Both, Policy::DeadlineTiered])
+            .tier_budget(Some(budget))
+            .expand();
+        assert_eq!(cells.len(), 2);
+        let fixed = &cells[0].config;
+        let tiered = &cells[1].config;
+        assert_eq!(fixed.policy, Policy::Both);
+        assert_eq!(tiered.policy, Policy::DeadlineTiered);
+        assert_eq!(tiered.tier.budget, Some(budget));
+        assert!(cells[1].id.contains("p=tiered"));
+        tiered.validate();
     }
 }

@@ -23,6 +23,8 @@ pub struct CellSummary {
     pub dropped_full: u64,
     /// Queries dropped while queued (deadline lapsed before issue).
     pub dropped_stale: u64,
+    /// Queries shed by the deadline-tier planner.
+    pub dropped_deadline: u64,
     /// Queries deferred to the conventional pipeline.
     pub deferred: u64,
     /// Mean in-time tick-to-trade, nanoseconds.
@@ -50,6 +52,7 @@ impl CellSummary {
             late: m.late,
             dropped_full: m.dropped_full,
             dropped_stale: m.dropped_stale,
+            dropped_deadline: m.dropped_deadline,
             deferred: m.deferred,
             mean_t2t_ns: m.mean_latency().as_nanos() as u64,
             p50_ns: m.latency_quantile(0.50).as_nanos() as u64,
@@ -63,7 +66,12 @@ impl CellSummary {
 
     /// Total queries across all outcome buckets.
     pub fn total(&self) -> u64 {
-        self.responded + self.late + self.dropped_full + self.dropped_stale + self.deferred
+        self.responded
+            + self.late
+            + self.dropped_full
+            + self.dropped_stale
+            + self.dropped_deadline
+            + self.deferred
     }
 
     /// Fraction of queries answered in time.
@@ -100,6 +108,7 @@ pub struct FarmResults {
     late: Vec<u64>,
     dropped_full: Vec<u64>,
     dropped_stale: Vec<u64>,
+    dropped_deadline: Vec<u64>,
     deferred: Vec<u64>,
     mean_t2t_ns: Vec<u64>,
     p50_ns: Vec<u64>,
@@ -120,6 +129,7 @@ impl FarmResults {
             late: Vec::with_capacity(capacity),
             dropped_full: Vec::with_capacity(capacity),
             dropped_stale: Vec::with_capacity(capacity),
+            dropped_deadline: Vec::with_capacity(capacity),
             deferred: Vec::with_capacity(capacity),
             mean_t2t_ns: Vec::with_capacity(capacity),
             p50_ns: Vec::with_capacity(capacity),
@@ -146,6 +156,7 @@ impl FarmResults {
         self.late.push(s.late);
         self.dropped_full.push(s.dropped_full);
         self.dropped_stale.push(s.dropped_stale);
+        self.dropped_deadline.push(s.dropped_deadline);
         self.deferred.push(s.deferred);
         self.mean_t2t_ns.push(s.mean_t2t_ns);
         self.p50_ns.push(s.p50_ns);
@@ -179,6 +190,7 @@ impl FarmResults {
             late: self.late[i],
             dropped_full: self.dropped_full[i],
             dropped_stale: self.dropped_stale[i],
+            dropped_deadline: self.dropped_deadline[i],
             deferred: self.deferred[i],
             mean_t2t_ns: self.mean_t2t_ns[i],
             p50_ns: self.p50_ns[i],
@@ -247,7 +259,8 @@ impl FarmResults {
                     "    {{\"id\": \"{}\", \"model\": \"{:?}\", \"n_accels\": {}, \
                      \"condition\": \"{:?}\", \"policy\": \"{}\", \"symbols\": {}, \
                      \"seed\": {}, \"responded\": {}, \"late\": {}, \"dropped_full\": {}, \
-                     \"dropped_stale\": {}, \"deferred\": {}, \"response_rate\": {:.6}, \
+                     \"dropped_stale\": {}, \"dropped_deadline\": {}, \"deferred\": {}, \
+                     \"response_rate\": {:.6}, \
                      \"mean_t2t_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
                      \"energy_j\": {:.6}, \"batches\": {}, \"mean_batch\": {:.4}}}",
                     cell.id,
@@ -261,6 +274,7 @@ impl FarmResults {
                     s.late,
                     s.dropped_full,
                     s.dropped_stale,
+                    s.dropped_deadline,
                     s.deferred,
                     s.response_rate(),
                     s.mean_t2t_ns,

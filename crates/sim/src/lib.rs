@@ -41,7 +41,7 @@ pub mod telemetry;
 pub mod traffic;
 
 pub use baseline::{run_single_device, SingleDeviceSystem};
-pub use config::BacktestConfig;
+pub use config::{BacktestConfig, TierParams};
 pub use engine::{EngineCtx, Event, EventQueue, PendingOrder, SimModel};
 pub use farm::{
     run_farm, try_run_farm, CellSummary, FarmCell, FarmFailures, FarmResults, FarmRunner,
@@ -50,11 +50,12 @@ pub use farm::{
 pub use ingress::{degrade_trace, FeedReport, IngressFaults, IngressReport};
 pub use lighttrader::run_lighttrader;
 pub use lt_protocol::netem::FaultRates;
-pub use metrics::{BacktestMetrics, StageSummary};
+pub use metrics::{BacktestMetrics, StageSummary, TierOutcomes};
 pub use multi::{run_multi, run_multi_merged, MultiMetrics, SymbolOutcome};
 pub use sweep::{run_sweep, try_run_sweep, SweepFailures};
 pub use telemetry::{QueryTimeline, Stage, StageBreakdown};
 pub use traffic::{
-    cached_evaluation_session, evaluation_deadline, evaluation_spec, evaluation_trace,
-    multi_evaluation_session, shared_trace_cache, EVALUATION_SEED,
+    burst_storm_session, burst_storm_trace, cached_evaluation_session, evaluation_deadline,
+    evaluation_spec, evaluation_trace, multi_evaluation_session, shared_trace_cache,
+    EVALUATION_SEED,
 };

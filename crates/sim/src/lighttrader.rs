@@ -36,7 +36,7 @@
 
 use crate::config::BacktestConfig;
 use crate::engine::{self, EngineCtx, Event, PendingOrder, SimModel};
-use crate::metrics::BacktestMetrics;
+use crate::metrics::{BacktestMetrics, TierOutcomes};
 use crate::telemetry::QueryTimeline;
 use lt_accel::device::BatchId;
 use lt_accel::dvfs::{static_plan, DvfsTable, OperatingPoint};
@@ -45,7 +45,7 @@ use lt_dnn::ModelKind;
 use lt_feed::{NormStats, TickRecord, TickTrace};
 use lt_lob::Timestamp;
 use lt_pipeline::{MultiOffload, PipelineLatencies, ShardTicket};
-use lt_sched::{plan_uprates, schedule_workload};
+use lt_sched::{plan_uprates, schedule_workload, LatencyModel, TierDecision, TierPlanner};
 use std::time::Duration;
 
 /// One batch in flight on an accelerator.
@@ -58,6 +58,9 @@ struct InFlight {
     energy_j: f64,
     batch: u32,
     point: OperatingPoint,
+    /// The model tier this batch runs (always the configured kind for
+    /// fixed-model policies).
+    kind: ModelKind,
     tickets: Vec<ShardTicket>,
     /// Completion token; a rescale invalidates the previous one.
     batch_id: BatchId,
@@ -65,6 +68,17 @@ struct InFlight {
     issue_base: Timestamp,
     /// Accumulated PMIC switch + dwell delay charged to this batch.
     switch_total: Duration,
+}
+
+/// The deadline-tier scheduler's runtime state: the pure planner plus
+/// the online latency model its predictions come from. `None` for the
+/// four fixed-model policies.
+struct TieredSched {
+    planner: TierPlanner,
+    latency: LatencyModel,
+    /// Per-query wire-out budget on the DNN side (config budget minus
+    /// egress); `None` = unbounded (always serve the best tier).
+    budget: Option<Duration>,
 }
 
 /// Per-shard outcome tallies the engine cannot see (it scores orders
@@ -78,6 +92,8 @@ pub(crate) struct ShardScore {
     pub(crate) responded: u64,
     /// Queries whose answer arrived after the deadline.
     pub(crate) late: u64,
+    /// Per-tier serving outcomes of this shard's scored queries.
+    pub(crate) tiers: TierOutcomes,
 }
 
 /// The LightTrader system model driven by the shared event engine.
@@ -93,7 +109,12 @@ pub(crate) struct SimState {
     /// Table restricted to clocks >= the static plan (the WS risk guard).
     ws_table: DvfsTable,
     kind: ModelKind,
-    policy: lt_sched::Policy,
+    /// Effective Algorithm 1 flag (the base policy's for `DeadlineTiered`).
+    ws_on: bool,
+    /// Effective Algorithm 2 flag (the base policy's for `DeadlineTiered`).
+    dvfs_on: bool,
+    /// Deadline-tier scheduler state; `None` for fixed-model policies.
+    tiered: Option<TieredSched>,
     t_avail: Duration,
     /// Conventional-pipeline stage budget (ingress stamps + egress).
     stages: PipelineLatencies,
@@ -127,7 +148,6 @@ impl SimState {
     /// under a fresh token (the old completion event goes stale).
     fn rescale(&mut self, aid: usize, target: OperatingPoint, ctx: &mut EngineCtx) {
         let now = ctx.now;
-        let kind = self.kind;
         let profile = self.profile;
         let switch = {
             let flight = self.in_flight[aid]
@@ -142,8 +162,8 @@ impl SimState {
         let flight = self.in_flight[aid].as_mut().expect("still busy");
         // Close the current power segment.
         let seg_start = flight.segment_start.min(now);
-        flight.energy_j +=
-            now.since(seg_start).as_secs_f64() * profile.power_w(kind, flight.batch, flight.point);
+        flight.energy_j += now.since(seg_start).as_secs_f64()
+            * profile.power_w(flight.kind, flight.batch, flight.point);
         let remaining = if flight.completion > now {
             flight.completion.since(now)
         } else {
@@ -195,7 +215,7 @@ impl SimState {
         for i in (0..self.accels.len()).filter(|&i| i != aid) {
             match &self.in_flight[i] {
                 Some(f) => {
-                    let draw = self.profile.power_w(self.kind, f.batch, f.point);
+                    let draw = self.profile.power_w(f.kind, f.batch, f.point);
                     claims += draw.max(reservation);
                     actual += draw;
                 }
@@ -271,7 +291,9 @@ impl SimState {
         let seg_start = flight.segment_start.min(flight.completion);
         ctx.metrics.energy_j += flight.energy_j
             + flight.completion.since(seg_start).as_secs_f64()
-                * self.profile.power_w(self.kind, flight.batch, flight.point);
+                * self
+                    .profile
+                    .power_w(flight.kind, flight.batch, flight.point);
         let order_out = flight.completion + self.egress;
         let orders: Vec<PendingOrder> = flight
             .tickets
@@ -290,9 +312,39 @@ impl SimState {
                 }
                 .breakdown(),
                 shard: t.shard,
+                tier: flight.kind,
             })
             .collect();
         ctx.queue.push_at(order_out, Event::OrderOut { orders });
+        // Feed the online latency model from the batch that just landed.
+        if let Some(t) = self.tiered.as_mut() {
+            t.latency.observe_slack(flight.switch_total);
+            let service = flight
+                .completion
+                .since(flight.issue_base)
+                .saturating_sub(flight.switch_total);
+            // Normalize the observed batch service to its batch-1
+            // equivalent (profile ratio at the issued point): the
+            // planner costs a query against an idle-start serve, and
+            // feeding raw batch-16 storm services would inflate the
+            // estimate and shed queries a batch-1 issue could still win.
+            let t_b = self
+                .profile
+                .t_total(flight.kind, flight.batch, flight.point);
+            let t_1 = self.profile.t_total(flight.kind, 1, flight.point);
+            let sample = if t_b.is_zero() {
+                service
+            } else {
+                service.mul_f64(t_1.as_secs_f64() / t_b.as_secs_f64())
+            };
+            t.latency.observe_service(flight.kind, sample);
+            for tk in &flight.tickets {
+                if flight.issue_base >= tk.ticket.ready_at {
+                    t.latency
+                        .observe_wait(flight.issue_base.since(tk.ticket.ready_at));
+                }
+            }
+        }
         // Recycle the ticket buffer for the next issued batch.
         let mut tickets = flight.tickets;
         tickets.clear();
@@ -317,23 +369,79 @@ impl SimState {
                 let t_remaining = deadline.since(effective_now.min(deadline));
                 let queued = self.offload.queue_len() as u32;
 
-                let decision = self.decide(aid, queued, t_remaining).map(|(batch, point)| {
-                    let current = self.accels[aid].point();
-                    let near = (current.freq_ghz - point.freq_ghz).abs() <= 0.15;
-                    let in_range = !self.policy.workload_enabled()
-                        || current.freq_ghz >= self.ws_table.min().freq_ghz - 1e-9;
-                    if near
-                        && in_range
-                        && (current.freq_ghz - point.freq_ghz).abs() > 1e-12
-                        && self.profile.t_total(self.kind, batch, current) <= t_remaining
-                    {
-                        // Staying put is one notch worse at most but
-                        // skips the PMIC switch + dwell cost.
-                        (batch, current)
-                    } else {
-                        (batch, point)
-                    }
+                // Tier planning: pick which registered model the oldest
+                // query gets, from the remaining per-query budget and the
+                // online latency model. Fixed-model policies skip this and
+                // always serve the configured kind.
+                let tier_decision = self.tiered.as_ref().map(|t| {
+                    let remaining = t.budget.map(|b| {
+                        let d = oldest.ticket.tick_ts + b;
+                        d.since(effective_now.min(d))
+                    });
+                    let congested = match (remaining, t.budget) {
+                        (Some(rem), Some(b)) => {
+                            let cheapest = t.planner.ladder().cheapest().expect("non-empty ladder");
+                            let best = t.planner.ladder().best().expect("non-empty ladder");
+                            // Lagged signal: the observed wait tail
+                            // already blows the headroom a cheapest-tier
+                            // serve would leave.
+                            let waiting = t
+                                .latency
+                                .congested(rem.saturating_sub(t.latency.predicted_cost(cheapest)));
+                            // Proactive signal: draining the present
+                            // backlog at the preferred tier would eat
+                            // more than one full budget, so the queries
+                            // behind this one are doomed unless it
+                            // degrades. Catches burst onsets the lagged
+                            // wait estimator has not seen yet.
+                            let backlog = t.latency.predicted_cost(best).saturating_mul(queued) > b;
+                            waiting || backlog
+                        }
+                        _ => false,
+                    };
+                    let plan = t
+                        .planner
+                        .plan(remaining, congested, |k| t.latency.predicted_cost(k));
+                    (plan, remaining)
                 });
+                let (serve_kind, horizon) = match tier_decision {
+                    None => (self.kind, t_remaining),
+                    // A tiered serve targets the per-query hit budget,
+                    // not just the hard t_avail deadline: cap the
+                    // scheduling horizon so workload batching cannot
+                    // trade the oldest query's hit away for throughput.
+                    Some((TierDecision::Serve(k), rem)) => {
+                        (k, rem.map_or(t_remaining, |r| t_remaining.min(r)))
+                    }
+                    Some((TierDecision::Drop, _)) => {
+                        // No registered tier fits the remaining budget:
+                        // shed the query outright instead of burning
+                        // accelerator time on a guaranteed miss.
+                        self.offload.drop_oldest_deadline();
+                        ctx.metrics.dropped_deadline += 1;
+                        continue;
+                    }
+                };
+
+                let decision =
+                    self.decide(aid, queued, horizon, serve_kind)
+                        .map(|(batch, point)| {
+                            let current = self.accels[aid].point();
+                            let near = (current.freq_ghz - point.freq_ghz).abs() <= 0.15;
+                            let in_range = !self.ws_on
+                                || current.freq_ghz >= self.ws_table.min().freq_ghz - 1e-9;
+                            if near
+                                && in_range
+                                && (current.freq_ghz - point.freq_ghz).abs() > 1e-12
+                                && self.profile.t_total(serve_kind, batch, current) <= horizon
+                            {
+                                // Staying put is one notch worse at most but
+                                // skips the PMIC switch + dwell cost.
+                                (batch, current)
+                            } else {
+                                (batch, point)
+                            }
+                        });
                 match decision {
                     Some((batch, point)) => {
                         let switch = self.accels[aid].set_point(point, effective_now);
@@ -347,7 +455,7 @@ impl SimState {
                             .expect("non-empty batch");
                         let issue_base = effective_now.max(ready);
                         let start = issue_base + switch;
-                        let completion = start + self.profile.t_total(self.kind, batch, point);
+                        let completion = start + self.profile.t_total(serve_kind, batch, point);
                         let batch_id = self.accels[aid].start_batch(start, completion);
                         self.in_flight[aid] = Some(InFlight {
                             completion,
@@ -355,6 +463,7 @@ impl SimState {
                             energy_j: 0.0,
                             batch,
                             point,
+                            kind: serve_kind,
                             tickets,
                             batch_id,
                             issue_base,
@@ -371,7 +480,7 @@ impl SimState {
                         );
                         continue 'accels;
                     }
-                    None if self.hopeless(aid, t_remaining) => {
+                    None if self.hopeless(aid, t_remaining, serve_kind) => {
                         // The oldest tensor cannot make its deadline at
                         // any affordable speed — defer it to the
                         // conventional pipeline (Algorithm 1's "remove
@@ -391,7 +500,7 @@ impl SimState {
                 }
             }
         }
-        if self.policy.dvfs_enabled() {
+        if self.dvfs_on {
             self.rebalance(ctx);
         }
     }
@@ -402,16 +511,16 @@ impl SimState {
     /// the queue) on a doomed query. A power-blocked state (no point
     /// affordable at all) is not hopeless: budget frees at the next
     /// completion.
-    fn hopeless(&self, aid: usize, t_remaining: Duration) -> bool {
+    fn hopeless(&self, aid: usize, t_remaining: Duration, kind: ModelKind) -> bool {
         if t_remaining.is_zero() {
             return true;
         }
-        let grant = if self.policy.dvfs_enabled() {
+        let grant = if self.dvfs_on {
             self.power_avail_for(aid).max(self.idle_reservation())
         } else {
             self.per_accel_budget_w
         };
-        let candidates = if self.policy.workload_enabled() {
+        let candidates = if self.ws_on {
             &self.ws_table
         } else {
             &self.table
@@ -420,9 +529,9 @@ impl SimState {
             .points()
             .iter()
             .rev()
-            .find(|p| self.profile.power_w(self.kind, 1, **p) <= grant);
+            .find(|p| self.profile.power_w(kind, 1, **p) <= grant);
         match best {
-            Some(p) => self.profile.t_total(self.kind, 1, *p) > t_remaining,
+            Some(p) => self.profile.t_total(kind, 1, *p) > t_remaining,
             None => false,
         }
     }
@@ -434,26 +543,27 @@ impl SimState {
         aid: usize,
         queued: u32,
         t_remaining: Duration,
+        kind: ModelKind,
     ) -> Option<(u32, OperatingPoint)> {
-        if t_remaining.is_zero() && self.policy.workload_enabled() {
+        if t_remaining.is_zero() && self.ws_on {
             // The oldest query is at its deadline: Algorithm 1 defers it.
             return None;
         }
-        let power_avail = if self.policy.dvfs_enabled() {
+        let power_avail = if self.dvfs_on {
             self.power_avail_for(aid)
         } else {
             self.per_accel_budget_w
         };
-        if self.policy.workload_enabled() {
+        if self.ws_on {
             let d = schedule_workload(
                 &self.profile,
-                self.kind,
+                kind,
                 queued,
                 t_remaining,
                 power_avail,
                 &self.ws_table,
             )?;
-            if self.policy.dvfs_enabled() {
+            if self.dvfs_on {
                 // Algorithm 2 runs after workload scheduling: boost the
                 // chosen point to the fastest one the distributable
                 // budget allows ("maximize the performance of AI
@@ -466,14 +576,14 @@ impl SimState {
                     .rev()
                     .find(|p| {
                         p.freq_ghz >= d.point.freq_ghz - 1e-12
-                            && self.profile.power_w(self.kind, d.batch, **p) <= power_avail
+                            && self.profile.power_w(kind, d.batch, **p) <= power_avail
                     })
                     .copied()
                     .unwrap_or(d.point);
                 return Some((d.batch, boosted));
             }
             Some((d.batch, d.point))
-        } else if self.policy.dvfs_enabled() {
+        } else if self.dvfs_on {
             // DS without WS: batch stays 1; issue at the fastest point the
             // distributable budget allows (performance-maximizing use of
             // the freed power). The idle reservations guarantee at least
@@ -483,9 +593,9 @@ impl SimState {
                 .points()
                 .iter()
                 .rev()
-                .find(|p| self.profile.power_w(self.kind, 1, **p) <= power_avail)
+                .find(|p| self.profile.power_w(kind, 1, **p) <= power_avail)
                 .copied()?;
-            if self.profile.t_total(self.kind, 1, point) > t_remaining {
+            if self.profile.t_total(kind, 1, point) > t_remaining {
                 return None; // doomed at achievable speed -> None arm
             }
             Some((1, point))
@@ -515,13 +625,16 @@ impl SimModel for SimState {
         self.try_issue(ctx);
     }
 
-    fn on_order_scored(&mut self, order: &PendingOrder, in_time: bool, _ctx: &mut EngineCtx) {
+    fn on_order_scored(&mut self, order: &PendingOrder, in_time: bool, ctx: &mut EngineCtx) {
         let score = &mut self.per_shard[order.shard as usize];
         if in_time {
             score.responded += 1;
         } else {
             score.late += 1;
         }
+        let degraded = order.tier != self.kind;
+        ctx.metrics.tiers.record(order.tier, degraded);
+        score.tiers.record(order.tier, degraded);
     }
 
     fn on_batch_complete(&mut self, aid: usize, batch: BatchId, ctx: &mut EngineCtx) {
@@ -607,12 +720,22 @@ pub(crate) fn build_state(
     tick_shards: Vec<u16>,
 ) -> SimState {
     let profile = DeviceProfile::lighttrader();
+    // DeadlineTiered runs whichever WS/DS machinery its configured base
+    // policy enables; the fixed policies use their own flags.
+    let (ws_on, dvfs_on) = if cfg.policy == lt_sched::Policy::DeadlineTiered {
+        (
+            cfg.tier.base.workload_enabled(),
+            cfg.tier.base.dvfs_enabled(),
+        )
+    } else {
+        (cfg.policy.workload_enabled(), cfg.policy.dvfs_enabled())
+    };
     // The static (conservative) grid is capped at 2.0 GHz — Table III
     // never exceeds it — but the chip itself reaches 2.2 GHz (Table I).
     // DVFS scheduling, which tracks the pool's actual draw, may exploit
     // that headroom; the baseline and plain WS stay within the
     // conservative cap.
-    let table = if cfg.policy.dvfs_enabled() {
+    let table = if dvfs_on {
         DvfsTable::full_range()
     } else {
         DvfsTable::evaluation()
@@ -630,16 +753,12 @@ pub(crate) fn build_state(
     let reservation = profile
         .idle_power_w(cfg.kind)
         .max(profile.power_w(cfg.kind, 1, plan.point));
-    let best_share = if cfg.policy.dvfs_enabled() {
+    let best_share = if dvfs_on {
         cfg.condition.accelerator_budget_w() - (cfg.n_accels as f64 - 1.0) * reservation
     } else {
         plan.per_accel_power_w
     };
-    let candidate_table = if cfg.policy.workload_enabled() {
-        &ws_table
-    } else {
-        &table
-    };
+    let candidate_table = if ws_on { &ws_table } else { &table };
     let fastest_point = candidate_table
         .points()
         .iter()
@@ -652,13 +771,24 @@ pub(crate) fn build_state(
     let stale_budget = dnn_budget
         .saturating_sub(fastest)
         .max(Duration::from_nanos(1));
+    // The tiered scheduler's latency model is seeded with the static-plan
+    // batch-1 service times so the very first plan is already sane.
+    let tiered = (cfg.policy == lt_sched::Policy::DeadlineTiered).then(|| TieredSched {
+        planner: TierPlanner::new(cfg.tier.ladder),
+        latency: LatencyModel::with_priors(
+            ModelKind::ALL.map(|k| profile.t_total(k, 1, plan.point)),
+        ),
+        budget: cfg.tier.budget.map(|b| b.saturating_sub(egress)),
+    });
 
     SimState {
         profile,
         table,
         ws_table,
         kind: cfg.kind,
-        policy: cfg.policy,
+        ws_on,
+        dvfs_on,
+        tiered,
         t_avail: cfg.t_avail,
         stages,
         egress,

@@ -2,8 +2,56 @@
 
 use crate::ingress::IngressReport;
 use crate::telemetry::{Stage, StageBreakdown};
+use lt_dnn::ModelKind;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// Per-tier serving outcomes of the deadline-aware scheduler. All-zero
+/// for fixed-model policies (which never consult the tier planner).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierOutcomes {
+    /// Scored queries served per model tier, [`ModelKind::ALL`] order.
+    pub served: [u64; 3],
+    /// Scored queries served below the preferred tier (a subset of the
+    /// `served` tally on cheaper tiers).
+    pub degraded: u64,
+}
+
+impl TierOutcomes {
+    fn slot(kind: ModelKind) -> usize {
+        ModelKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("every kind has a slot")
+    }
+
+    /// Records one scored query served at `kind`; `degraded` marks a
+    /// below-preferred tier.
+    pub fn record(&mut self, kind: ModelKind, degraded: bool) {
+        self.served[Self::slot(kind)] += 1;
+        if degraded {
+            self.degraded += 1;
+        }
+    }
+
+    /// Scored queries served at `kind`.
+    pub fn served_at(&self, kind: ModelKind) -> u64 {
+        self.served[Self::slot(kind)]
+    }
+
+    /// Scored queries across all tiers.
+    pub fn served_total(&self) -> u64 {
+        self.served.iter().sum()
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &TierOutcomes) {
+        for (a, b) in self.served.iter_mut().zip(other.served) {
+            *a += b;
+        }
+        self.degraded += other.degraded;
+    }
+}
 
 /// Per-stage latency samples, parallel to the end-to-end latency stream.
 ///
@@ -82,6 +130,12 @@ pub struct BacktestMetrics {
     pub dropped_stale: u64,
     /// Queries deferred to the conventional pipeline by Algorithm 1.
     pub deferred: u64,
+    /// Queries dropped by the deadline-tier planner (no registered tier's
+    /// predicted cost fit the remaining budget). Zero for fixed policies.
+    pub dropped_deadline: u64,
+    /// Per-tier serving outcomes of the deadline-aware scheduler. For
+    /// fixed policies every scored query lands on the configured kind.
+    pub tiers: TierOutcomes,
     /// Tick-to-trade latencies of answered (in-time) queries, in nanos.
     latencies_ns: Vec<u64>,
     /// Per-stage decomposition of `latencies_ns` (one column per stage,
@@ -112,7 +166,12 @@ impl BacktestMetrics {
 
     /// Total queries across all outcome buckets.
     pub fn total(&self) -> u64 {
-        self.responded + self.late + self.dropped_full + self.dropped_stale + self.deferred
+        self.responded
+            + self.late
+            + self.dropped_full
+            + self.dropped_stale
+            + self.deferred
+            + self.dropped_deadline
     }
 
     /// Fraction of queries answered in time (Fig. 11(b)/Fig. 12 metric).
@@ -129,6 +188,28 @@ impl BacktestMetrics {
             return 0.0;
         }
         1.0 - self.response_rate()
+    }
+
+    /// Queries whose answer wired out within `budget` of the tick: the
+    /// count of recorded tick-to-trade latencies at or under the budget.
+    /// Late and dropped queries never hit (a budget is at most
+    /// `t_avail`, and late answers already exceeded `t_avail`).
+    pub fn deadline_hits(&self, budget: Duration) -> u64 {
+        let budget_ns = budget.as_nanos() as u64;
+        self.latencies_ns
+            .iter()
+            .filter(|&&ns| ns <= budget_ns)
+            .count() as u64
+    }
+
+    /// Fraction of all queries answered within `budget` of their tick —
+    /// the deadline-hit-rate the tiered scheduler optimizes. Computable
+    /// for fixed policies too, which is what makes them comparable.
+    pub fn deadline_hit_rate(&self, budget: Duration) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.deadline_hits(budget) as f64 / self.total() as f64
     }
 
     /// Mean batch size over all issued batches.
@@ -299,6 +380,46 @@ mod tests {
         assert_eq!(m.latency_quantile(1.0), Duration::from_micros(500));
         assert_eq!(m.latency_quantile(0.5), Duration::from_micros(300));
         assert_eq!(m.latency_samples(), 5);
+    }
+
+    #[test]
+    fn deadline_hit_rate_counts_in_budget_responses() {
+        let mut m = BacktestMetrics::new();
+        for us in [100u64, 200, 300, 400, 500] {
+            m.record_response(Duration::from_micros(us));
+        }
+        m.late = 3;
+        m.dropped_deadline = 2;
+        assert_eq!(m.total(), 10);
+        assert_eq!(m.deadline_hits(Duration::from_micros(300)), 3);
+        assert!((m.deadline_hit_rate(Duration::from_micros(300)) - 0.3).abs() < 1e-12);
+        assert_eq!(m.deadline_hits(Duration::from_micros(50)), 0);
+        assert_eq!(
+            BacktestMetrics::new().deadline_hit_rate(Duration::from_micros(1)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn tier_outcomes_tally_and_merge() {
+        let mut t = TierOutcomes::default();
+        t.record(ModelKind::DeepLob, false);
+        t.record(ModelKind::VanillaCnn, true);
+        t.record(ModelKind::VanillaCnn, true);
+        assert_eq!(t.served_at(ModelKind::VanillaCnn), 2);
+        assert_eq!(t.served_at(ModelKind::DeepLob), 1);
+        assert_eq!(t.served_total(), 3);
+        assert_eq!(t.degraded, 2);
+        let mut other = TierOutcomes::default();
+        other.record(ModelKind::TransLob, true);
+        t.merge(&other);
+        assert_eq!(t.served_total(), 4);
+        assert_eq!(t.degraded, 3);
+        // dropped_deadline participates in the outcome tiling.
+        let mut m = BacktestMetrics::new();
+        m.responded = 2;
+        m.dropped_deadline = 3;
+        assert_eq!(m.total(), 5);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::config::BacktestConfig;
 use crate::engine;
 use crate::lighttrader::build_state;
-use crate::metrics::BacktestMetrics;
+use crate::metrics::{BacktestMetrics, TierOutcomes};
 use lt_feed::MultiMarketSession;
 use lt_lob::Symbol;
 use serde::{Deserialize, Serialize};
@@ -37,14 +37,24 @@ pub struct SymbolOutcome {
     pub dropped_full: u64,
     /// Queries dropped while queued (deadline lapsed before issue).
     pub dropped_stale: u64,
+    /// Queries shed by the deadline-tier planner (no tier fit the
+    /// remaining budget).
+    pub dropped_deadline: u64,
     /// Queries deferred to the conventional pipeline by Algorithm 1.
     pub deferred: u64,
+    /// Per-tier serving outcomes of this symbol's scored queries.
+    pub tiers: TierOutcomes,
 }
 
 impl SymbolOutcome {
     /// Total queries this symbol contributed across all outcome buckets.
     pub fn total(&self) -> u64 {
-        self.responded + self.late + self.dropped_full + self.dropped_stale + self.deferred
+        self.responded
+            + self.late
+            + self.dropped_full
+            + self.dropped_stale
+            + self.dropped_deadline
+            + self.deferred
     }
 
     /// Fraction of this symbol's queries answered in time.
@@ -87,7 +97,17 @@ impl MultiMetrics {
             sum(|s| s.dropped_stale),
             "dropped_stale"
         );
+        assert_eq!(
+            self.aggregate.dropped_deadline,
+            sum(|s| s.dropped_deadline),
+            "dropped_deadline"
+        );
         assert_eq!(self.aggregate.deferred, sum(|s| s.deferred), "deferred");
+        let mut tiers = TierOutcomes::default();
+        for s in &self.per_symbol {
+            tiers.merge(&s.tiers);
+        }
+        assert_eq!(self.aggregate.tiers, tiers, "tiers");
     }
 }
 
@@ -160,7 +180,9 @@ pub fn run_multi_merged(
                 late: score.late,
                 dropped_full: counters.dropped_full,
                 dropped_stale: counters.dropped_stale,
+                dropped_deadline: counters.dropped_deadline,
                 deferred: counters.deferred,
+                tiers: score.tiers,
             }
         })
         .collect();

@@ -67,6 +67,30 @@ pub fn evaluation_flash() -> FlashParams {
     FlashParams::new(1.3, 25.0, 10e-6)
 }
 
+/// The burst-storm stress profile: flash cascades an order of magnitude
+/// more frequent and twice as deep as the calibrated evaluation traffic.
+/// This is the deadline-tier scheduler's design workload — sustained
+/// machine-speed storms where a fixed heavyweight model blows through
+/// per-tick budgets and only graceful degradation keeps answers flowing.
+pub fn burst_storm_flash() -> FlashParams {
+    FlashParams::new(12.0, 50.0, 10e-6)
+}
+
+/// Generates the burst-storm session: the calibrated Hawkes background
+/// overlaid with [`burst_storm_flash`] cascades.
+pub fn burst_storm_session(secs: f64, seed: u64) -> MarketSession {
+    SessionBuilder::new(evaluation_hawkes())
+        .flash_bursts(burst_storm_flash())
+        .duration_secs(secs)
+        .seed(seed)
+        .build()
+}
+
+/// Convenience: just the trace of [`burst_storm_session`].
+pub fn burst_storm_trace(secs: f64, seed: u64) -> lt_feed::TickTrace {
+    burst_storm_session(secs, seed).trace
+}
+
 /// Generates the shared evaluation session: `secs` of synthetic E-mini
 /// trading plus fitted normalization statistics.
 pub fn evaluation_session(secs: f64, seed: u64) -> MarketSession {
@@ -168,6 +192,30 @@ mod tests {
         // A second lookup shares the same artifact, not a rebuild.
         let again = cached_evaluation_session(2.0, 77);
         assert!(std::sync::Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn burst_storm_is_heavier_than_evaluation_traffic() {
+        let eval = evaluation_trace(10.0, EVALUATION_SEED);
+        let storm = burst_storm_trace(10.0, EVALUATION_SEED);
+        assert!(
+            storm.len() as f64 > 1.5 * eval.len() as f64,
+            "storm {} ticks vs evaluation {}",
+            storm.len(),
+            eval.len()
+        );
+        let tight = |t: &lt_feed::TickTrace| {
+            t.ticks
+                .windows(2)
+                .filter(|w| w[1].ts.nanos_since(w[0].ts) < 20_000)
+                .count()
+        };
+        assert!(
+            tight(&storm) > 4 * tight(&eval),
+            "storm {} machine-speed gaps vs evaluation {}",
+            tight(&storm),
+            tight(&eval)
+        );
     }
 
     #[test]

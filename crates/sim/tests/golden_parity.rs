@@ -22,6 +22,7 @@ use lt_sched::Policy;
 use lt_sim::traffic::{evaluation_trace, scheduling_deadline_for};
 use lt_sim::{
     run_lighttrader, run_single_device, BacktestConfig, BacktestMetrics, SingleDeviceSystem,
+    TierParams,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -225,6 +226,77 @@ fn engine_reproduces_pre_refactor_metrics() {
             got, want,
             "scenario {} diverged from the pre-refactor golden",
             s.name
+        );
+    }
+}
+
+/// Every LightTrader scenario from the pinned matrix as `(golden name,
+/// config)` — the configs behind the `run_lighttrader` closures above.
+fn lighttrader_scenarios() -> Vec<(&'static str, BacktestConfig)> {
+    use ModelKind::*;
+    use PowerCondition::*;
+    vec![
+        (
+            "a_lt_baseline",
+            lt_cfg(DeepLob, 2, Sufficient, Policy::Baseline),
+        ),
+        (
+            "a_lt_ws",
+            lt_cfg(VanillaCnn, 1, Sufficient, Policy::WorkloadScheduling),
+        ),
+        (
+            "a_lt_ds",
+            lt_cfg(TransLob, 8, Limited, Policy::DvfsScheduling),
+        ),
+        ("a_lt_both", lt_cfg(DeepLob, 4, Limited, Policy::Both)),
+        (
+            "a_lt_defer",
+            BacktestConfig::new(DeepLob, 16, Limited)
+                .with_policy(Policy::Both)
+                .with_t_avail(Duration::from_micros(900)),
+        ),
+        (
+            "b_lt_baseline",
+            lt_cfg(VanillaCnn, 2, Limited, Policy::Baseline),
+        ),
+        (
+            "b_lt_ws",
+            lt_cfg(VanillaCnn, 2, Sufficient, Policy::WorkloadScheduling),
+        ),
+        (
+            "b_lt_ds",
+            lt_cfg(DeepLob, 8, Limited, Policy::DvfsScheduling),
+        ),
+        ("b_lt_both", lt_cfg(TransLob, 4, Sufficient, Policy::Both)),
+    ]
+}
+
+/// Differential reduction: `DeadlineTiered` with a single registered
+/// tier and an unbounded budget must be **byte-identical** to the fixed
+/// policy it wraps — checked against the very same golden files, for
+/// every LightTrader scenario in the pinned matrix.
+#[test]
+fn tiered_passthrough_matches_fixed_policy_goldens() {
+    let mut traces: Vec<(u64, TickTrace)> = Vec::new();
+    for (name, fixed_cfg) in lighttrader_scenarios() {
+        let seed = if name.starts_with('a') {
+            101u64
+        } else {
+            20230225u64
+        };
+        if !traces.iter().any(|(s, _)| *s == seed) {
+            traces.push((seed, evaluation_trace(4.0, seed)));
+        }
+        let trace = &traces.iter().find(|(s, _)| *s == seed).unwrap().1;
+        let mut tiered_cfg = fixed_cfg;
+        tiered_cfg.policy = Policy::DeadlineTiered;
+        tiered_cfg.tier = TierParams::passthrough(fixed_cfg.kind, fixed_cfg.policy);
+        let got = encode(&run_lighttrader(trace, &tiered_cfg));
+        let want = std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        assert_eq!(
+            got, want,
+            "tiered passthrough diverged from the {name} golden"
         );
     }
 }

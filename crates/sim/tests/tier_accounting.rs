@@ -1,0 +1,145 @@
+//! Metrics accounting for the deadline-aware tier scheduler.
+//!
+//! The per-tier outcome tallies must *tile* the run exactly: every query
+//! lands in exactly one bucket, the per-tier served counts sum to the
+//! scored queries, degradations are exactly the below-preferred serves,
+//! and the deadline-hit-rate reconciles with the recorded per-query
+//! latencies (mirroring the per-stage `stage_sums_reconcile` guarantee).
+
+use lt_accel::PowerCondition;
+use lt_dnn::ModelKind;
+use lt_sim::traffic::{burst_storm_trace, multi_evaluation_session, scheduling_deadline_for};
+use lt_sim::{run_lighttrader, run_multi, BacktestConfig, BacktestMetrics};
+use std::time::Duration;
+
+/// The burst-storm workload at an aggressive budget: the configuration
+/// the tiered scheduler is designed for.
+fn storm_cfg() -> BacktestConfig {
+    BacktestConfig::new(ModelKind::DeepLob, 2, PowerCondition::Limited)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob))
+        .with_deadline_tiered(Some(Duration::from_micros(450)))
+}
+
+/// Asserts the tier-outcome tiling identities on one run's metrics.
+fn assert_tiles(m: &BacktestMetrics, preferred: ModelKind) {
+    // Served (scored at wire-out: responded + late) plus every drop and
+    // defer bucket accounts for each query exactly once.
+    assert_eq!(
+        m.tiers.served_total(),
+        m.responded + m.late,
+        "per-tier served counts must sum to the scored queries"
+    );
+    assert_eq!(
+        m.tiers.served_total() + m.deferred + m.dropped_full + m.dropped_stale + m.dropped_deadline,
+        m.total(),
+        "outcome buckets must tile the total"
+    );
+    // Degradations are exactly the serves below the preferred tier.
+    let below: u64 = ModelKind::ALL
+        .iter()
+        .filter(|&&k| k != preferred)
+        .map(|&k| m.tiers.served_at(k))
+        .sum();
+    assert_eq!(m.tiers.degraded, below, "degraded = served below preferred");
+}
+
+#[test]
+fn tier_outcomes_tile_the_storm_run() {
+    let trace = burst_storm_trace(3.0, 11);
+    let m = run_lighttrader(&trace, &storm_cfg());
+    assert!(m.total() > 1_000, "storm must generate load: {m}");
+    assert_tiles(&m, ModelKind::DeepLob);
+    // The aggressive budget must actually exercise the machinery: some
+    // queries degrade to cheaper tiers.
+    assert!(
+        m.tiers.degraded > 0,
+        "storm at a 450 µs budget must degrade some queries"
+    );
+}
+
+#[test]
+fn fixed_policies_never_degrade_or_deadline_drop() {
+    let trace = burst_storm_trace(2.0, 13);
+    let cfg = BacktestConfig::new(ModelKind::DeepLob, 2, PowerCondition::Limited)
+        .with_policy(lt_sched::Policy::Both)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob));
+    let m = run_lighttrader(&trace, &cfg);
+    assert_tiles(&m, ModelKind::DeepLob);
+    assert_eq!(m.tiers.degraded, 0);
+    assert_eq!(m.dropped_deadline, 0);
+    assert_eq!(m.tiers.served_at(ModelKind::VanillaCnn), 0);
+    assert_eq!(m.tiers.served_at(ModelKind::TransLob), 0);
+}
+
+#[test]
+fn deadline_hit_rate_reconciles_with_recorded_latencies() {
+    let trace = burst_storm_trace(2.0, 17);
+    let cfg = storm_cfg();
+    let m = run_lighttrader(&trace, &cfg);
+    let budget = cfg.tier.budget.unwrap();
+    // The hit count is exactly the number of recorded latencies at or
+    // under the budget — recomputed here from the raw stream.
+    let by_hand = m
+        .latencies()
+        .iter()
+        .filter(|&&ns| ns <= budget.as_nanos() as u64)
+        .count() as u64;
+    assert_eq!(m.deadline_hits(budget), by_hand);
+    assert!((m.deadline_hit_rate(budget) - by_hand as f64 / m.total() as f64).abs() < 1e-12);
+    // Latencies are only recorded for in-time responses, so hits can
+    // never exceed responded; with budget <= t_avail a late answer can
+    // never count as a hit.
+    assert!(m.deadline_hits(budget) <= m.responded);
+    // An unbounded budget counts every response.
+    assert_eq!(m.deadline_hits(Duration::from_secs(3600)), m.responded);
+    // Per-query stage decomposition stays exact under tiering.
+    assert!(m.stage_sums_reconcile(0));
+}
+
+#[test]
+fn multi_symbol_breakdown_tiles_per_symbol() {
+    let session = multi_evaluation_session(2.0, 23, 4, 1.0);
+    let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Limited)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob))
+        .with_deadline_tiered(Some(Duration::from_micros(450)))
+        .with_symbols(4, 1.0);
+    let m = run_multi(&session, &cfg);
+    // run_multi already ran assert_consistent (aggregate == Σ symbols);
+    // additionally each symbol's own buckets must tile its total.
+    for s in &m.per_symbol {
+        assert_eq!(
+            s.tiers.served_total(),
+            s.responded + s.late,
+            "{:?}: per-tier served != scored",
+            s.symbol
+        );
+        assert_eq!(
+            s.tiers.served_total()
+                + s.deferred
+                + s.dropped_full
+                + s.dropped_stale
+                + s.dropped_deadline,
+            s.total(),
+            "{:?}: buckets must tile the symbol total",
+            s.symbol
+        );
+    }
+    assert_tiles(&m.aggregate, ModelKind::DeepLob);
+}
+
+#[test]
+fn tiered_replay_is_deterministic() {
+    let cfg = storm_cfg();
+    let run = || {
+        let trace = burst_storm_trace(2.0, 29);
+        run_lighttrader(&trace, &cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.responded, b.responded);
+    assert_eq!(a.late, b.late);
+    assert_eq!(a.dropped_deadline, b.dropped_deadline);
+    assert_eq!(a.tiers, b.tiers);
+    assert_eq!(a.latencies(), b.latencies());
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+}

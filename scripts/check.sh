@@ -39,6 +39,10 @@ cargo test -q --release -p lt-sim --test multi_symbol
 echo "== back-test farm gates: farm-vs-serial parity + trace-cache accounting =="
 cargo test -q --release -p lt-sim --test farm
 
+echo "== tier scheduler gates: planner/estimator properties + outcome accounting =="
+cargo test -q --release -p lt-sched --test tier_props
+cargo test -q --release -p lt-sim --test tier_accounting
+
 if [[ "$fast" == "0" ]]; then
     echo "== sim wall-clock smoke (budget 1.15x seed) =="
     cargo test -q --release -p lt-sim --test wallclock_smoke -- --ignored
@@ -55,6 +59,10 @@ if [[ "$fast" == "0" ]]; then
     echo "== back-test farm regression (2x farm-vs-naive floor on 216 cells) =="
     cargo run --release -p lt-bench --bin bench_sweep
     grep -q '"floor_met": true' BENCH_sweep.json
+
+    echo "== deadline-tier regression (1.2x tiered-vs-best-fixed hit-rate floor) =="
+    cargo run --release -p lt-bench --bin bench_deadline
+    grep -q '"floor_met": true' BENCH_deadline.json
 fi
 
 echo "== all checks passed =="
