@@ -1,0 +1,214 @@
+//! Fill-model benchmark: assume-fill accounting vs venue-side fills
+//! under a burst-storm workload, across every scheduling policy.
+//!
+//! ```text
+//! cargo run --release -p lt-bench --bin bench_fills [-- --secs N]
+//! ```
+//!
+//! Every policy trades the same oracle momentum signal twice: once under
+//! `AssumeFill` (the historical fiction — every order fills its full
+//! quantity at the decision-time limit) and once under `SweepVisible`
+//! (the order arrives after the full tick-to-trade latency and sweeps
+//! whatever the book still shows inside its limit). The IOC is priced at
+//! the decision-time touch, so it misses exactly when the signal was
+//! right and the market ran — adverse selection that assume-fill cannot
+//! see, which is why it overstates P&L on every policy.
+//!
+//! Emits `BENCH_fills.json` and exits nonzero unless (a) assume-fill
+//! overstates the realistic final equity by at least
+//! [`OVERSTATE_FLOOR_HALF`] half-ticks on every policy, and (b) the
+//! deadline-tiered scheduler's realistic equity beats every fixed
+//! policy's — faster orders find fresher books.
+
+use lighttrader::prelude::*;
+use lighttrader::sim::traffic::{burst_storm_trace, scheduling_deadline_for};
+use std::time::Duration;
+
+/// Minimum assume-fill-minus-realistic equity gap per policy, half-ticks.
+const OVERSTATE_FLOOR_HALF: i64 = 1;
+/// Default simulated session length in seconds.
+const DEFAULT_SECS: f64 = 4.0;
+/// Storm seed (distinct from the calibrated evaluation seed; the storm
+/// is a stress profile, not a figure reproduction).
+const STORM_SEED: u64 = 7_0823;
+/// The per-tick budget handed to the deadline-tiered scheduler.
+const BUDGET: Duration = Duration::from_micros(450);
+/// The benchmark's signal: perfect foresight over large moves only, so
+/// every decision has positive edge net of the crossed spread and the
+/// P&L difference between runs is *purely* an execution effect.
+const SIGNAL: SignalConfig = SignalConfig {
+    horizon_ticks: 100,
+    threshold_half: 4,
+    accuracy_pm: 1000,
+    seed: 1,
+};
+
+/// Only trade into one-tick-wide books: the storm's median spread, so
+/// the half-spread paid at entry stays below the signalled move.
+fn bench_limits() -> lighttrader::pipeline::RiskLimits {
+    lighttrader::pipeline::RiskLimits {
+        max_spread_ticks: 1,
+        ..Default::default()
+    }
+}
+
+struct Row {
+    label: &'static str,
+    assume: ExecutionStats,
+    real: ExecutionStats,
+}
+
+impl Row {
+    fn overstatement_half(&self) -> i64 {
+        self.assume.equity_half - self.real.equity_half
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut secs = DEFAULT_SECS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--secs" {
+            secs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--secs needs a number");
+        }
+    }
+
+    let kind = ModelKind::DeepLob;
+    let t_avail = scheduling_deadline_for(kind);
+    let trace = burst_storm_trace(secs, STORM_SEED);
+    let base = BacktestConfig::new(kind, 2, PowerCondition::Limited).with_t_avail(t_avail);
+
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "policy", "sent", "filled", "partial", "missed", "assume-eq", "real-eq", "overstate"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for policy in Policy::ALL {
+        rows.push(run_pair(policy.label(), &trace, &base.with_policy(policy)));
+    }
+    rows.push(run_pair(
+        "tiered",
+        &trace,
+        &base.with_deadline_tiered(Some(BUDGET)),
+    ));
+
+    for r in &rows {
+        print_row(r);
+    }
+
+    let best_fixed_real = rows[..rows.len() - 1]
+        .iter()
+        .map(|r| r.real.equity_half)
+        .max()
+        .unwrap();
+    let tiered_real = rows.last().unwrap().real.equity_half;
+    let min_overstatement = rows.iter().map(Row::overstatement_half).min().unwrap();
+    let overstated = min_overstatement >= OVERSTATE_FLOOR_HALF;
+    let tiered_edge = tiered_real >= best_fixed_real;
+    let floor_met = overstated && tiered_edge;
+
+    println!(
+        "\nmin overstatement {min_overstatement} half-ticks (floor {OVERSTATE_FLOOR_HALF}); \
+         tiered realistic equity {tiered_real} vs best fixed {best_fixed_real}"
+    );
+
+    let json_rows: Vec<String> = rows.iter().map(row_json).collect();
+    let json = format!(
+        "{{\n  \"session_secs\": {secs},\n  \"seed\": {STORM_SEED},\n  \
+         \"budget_us\": {},\n  \"t_avail_us\": {},\n  \"kind\": \"{kind:?}\",\n  \
+         \"policies\": [\n{}\n  ],\n  \"min_overstatement_half\": {min_overstatement},\n  \
+         \"overstate_floor_half\": {OVERSTATE_FLOOR_HALF},\n  \
+         \"best_fixed_real_equity_half\": {best_fixed_real},\n  \
+         \"tiered_real_equity_half\": {tiered_real},\n  \"floor_met\": {floor_met}\n}}\n",
+        BUDGET.as_micros(),
+        t_avail.as_micros(),
+        json_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_fills.json", &json).expect("write BENCH_fills.json");
+    println!("wrote BENCH_fills.json");
+
+    if !floor_met {
+        if !overstated {
+            eprintln!(
+                "REGRESSION: assume-fill overstates realistic equity by only \
+                 {min_overstatement} half-ticks on the worst policy, below the \
+                 {OVERSTATE_FLOOR_HALF} half-tick floor"
+            );
+        }
+        if !tiered_edge {
+            eprintln!(
+                "REGRESSION: tiered realistic equity {tiered_real} fell below the best \
+                 fixed policy's {best_fixed_real}"
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+fn run_pair(label: &'static str, trace: &TickTrace, cfg: &BacktestConfig) -> Row {
+    let assume = run_lighttrader(
+        trace,
+        &cfg.with_execution(
+            ExecutionConfig::assume_fill()
+                .with_signal(SIGNAL)
+                .with_limits(bench_limits()),
+        ),
+    )
+    .execution
+    .expect("assume-fill run must report execution stats");
+    let real = run_lighttrader(
+        trace,
+        &cfg.with_execution(
+            ExecutionConfig::realistic()
+                .with_signal(SIGNAL)
+                .with_limits(bench_limits()),
+        ),
+    )
+    .execution
+    .expect("realistic run must report execution stats");
+    assume.assert_tiles();
+    real.assert_tiles();
+    Row {
+        label,
+        assume,
+        real,
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        r.label,
+        r.real.orders_sent,
+        r.real.filled,
+        r.real.partial,
+        r.real.missed,
+        r.assume.equity_half,
+        r.real.equity_half,
+        r.overstatement_half(),
+    );
+}
+
+fn row_json(r: &Row) -> String {
+    format!(
+        "    {{\"policy\": \"{}\", \"orders_sent\": {}, \"filled\": {}, \
+         \"partial\": {}, \"missed\": {}, \"fill_rate\": {:.6}, \
+         \"assume_equity_half\": {}, \"real_equity_half\": {}, \
+         \"overstatement_half\": {}, \"real_slippage_half\": {}}}",
+        r.label,
+        r.real.orders_sent,
+        r.real.filled,
+        r.real.partial,
+        r.real.missed,
+        r.real.fill_rate(),
+        r.assume.equity_half,
+        r.real.equity_half,
+        r.overstatement_half(),
+        r.real.slippage_half,
+    )
+}

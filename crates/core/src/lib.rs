@@ -68,7 +68,7 @@ pub mod prelude {
     pub use lt_sched::Policy;
     pub use lt_sim::{
         run_farm, run_lighttrader, run_multi, run_single_device, try_run_farm, try_run_sweep,
-        BacktestConfig, BacktestMetrics, FarmResults, FarmRunner, GridDeadline, MultiMetrics,
-        RetainFull, SweepGrid,
+        BacktestConfig, BacktestMetrics, ExecutionConfig, ExecutionStats, FarmResults, FarmRunner,
+        GridDeadline, MultiMetrics, RetainFull, SignalConfig, SweepGrid,
     };
 }

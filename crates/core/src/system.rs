@@ -260,12 +260,22 @@ impl LightTrader {
     }
 
     /// Mark-to-market P&L in ticks x contracts against the local book's
-    /// current mid price (`None` when the book is one-sided).
+    /// current mid price (`None` when the book is one-sided). Truncates
+    /// [`Self::mark_to_market_half`] toward zero; use the half-tick form
+    /// where exactness matters.
     pub fn mark_to_market(&self) -> Option<i64> {
+        Some(self.mark_to_market_half()? / 2)
+    }
+
+    /// Mark-to-market P&L in **half-ticks** x contracts against the local
+    /// book's exact mid (`bid + ask` in ticks), `None` when the book is
+    /// one-sided. Exact on odd spreads where the integer-tick mid
+    /// truncates toward the bid and disagrees with
+    /// [`lt_lob::LobSnapshot::mid_price`].
+    pub fn mark_to_market_half(&self) -> Option<i64> {
         let bid = self.book.best_bid()?;
         let ask = self.book.best_ask()?;
-        let mid = lt_lob::Price::new((bid.ticks() + ask.ticks()) / 2);
-        Some(self.trading.mark_to_market(mid))
+        Some(self.trading.mark_to_market_half(bid.ticks() + ask.ticks()))
     }
 
     /// Packet-parser intake counters.
@@ -320,6 +330,14 @@ impl LightTrader {
         snapshot: &lt_lob::LobSnapshot,
         ts: Timestamp,
     ) -> TickOutcome {
+        // Mark the open position to market on *every* post-warmup tick,
+        // before any gating: a drawdown during a run of stationary or
+        // suppressed ticks must trip the switch even with zero orders in
+        // flight. The exact half-tick mid keeps the comparison consistent
+        // with `LobSnapshot::mid_price` on odd spreads.
+        if let (Some(kill), Some(mid_half)) = (&mut self.kill, snapshot.mid_half_ticks()) {
+            kill.observe_pnl_half(self.trading.mark_to_market_half(mid_half));
+        }
         if let Some(kill) = &self.kill {
             if !kill.is_armed() {
                 self.trading.note_suppressed();
@@ -344,17 +362,10 @@ impl LightTrader {
                 if let Some(limiter) = &mut self.limiter {
                     limiter.record(ts);
                 }
-                if let (Some(kill), Some(pnl)) = (&mut self.kill, {
-                    let bid = snapshot.best_bid();
-                    let ask = snapshot.best_ask();
-                    match (bid, ask) {
-                        (Some(b), Some(a)) => Some(self.trading.mark_to_market(
-                            lt_lob::Price::new((b.price.ticks() + a.price.ticks()) / 2),
-                        )),
-                        _ => None,
-                    }
-                }) {
-                    kill.observe_pnl(pnl);
+                // Re-mark after the fill settles so the tick that opened
+                // the breach is also the tick that halts.
+                if let (Some(kill), Some(mid_half)) = (&mut self.kill, snapshot.mid_half_ticks()) {
+                    kill.observe_pnl_half(self.trading.mark_to_market_half(mid_half));
                 }
                 TickOutcome::Order {
                     prediction: *prediction,
@@ -528,6 +539,86 @@ mod tests {
         let without = free.replay(&session.trace).len();
         // The switch can only reduce (or match) order flow.
         assert!(with_kill <= without);
+    }
+
+    #[test]
+    fn drawdown_on_held_position_trips_kill_with_no_orders_in_flight() {
+        let book = |bid: i64, ask: i64| lt_lob::LobSnapshot {
+            ts: Timestamp::ZERO,
+            bids: vec![lt_lob::SnapshotLevel {
+                price: lt_lob::Price::new(bid),
+                qty: lt_lob::Qty::new(10),
+            }],
+            asks: vec![lt_lob::SnapshotLevel {
+                price: lt_lob::Price::new(ask),
+                qty: lt_lob::Qty::new(10),
+            }],
+        };
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn)
+            .kill_switch(-5)
+            .build();
+        // Establish a long position: buy 1 at the 101 ask.
+        let up = Prediction::new([0.9, 0.05, 0.05]);
+        system.trading.on_prediction(&up, &book(99, 101)).unwrap();
+        assert_eq!(system.position(), 1);
+        // The market gaps down while the model stays Stationary — no
+        // order is ever proposed, yet the held position is 11 ticks
+        // under water (mid 90 vs. 101 entry), breaching the −5 floor.
+        let stationary = Prediction::new([0.05, 0.9, 0.05]);
+        let outcome = system.gated_decision(&stationary, &book(89, 91), Timestamp::from_nanos(1));
+        assert!(
+            matches!(
+                outcome,
+                TickOutcome::NoOrder {
+                    reason: NoOrderReason::Killed,
+                    ..
+                }
+            ),
+            "the breach tick itself must halt: {outcome:?}"
+        );
+        let kill = system.kill.as_ref().unwrap();
+        assert!(!kill.is_armed());
+        assert_eq!(
+            kill.tripped(),
+            Some(lt_pipeline::KillReason::LossLimit { pnl_ticks: -11 })
+        );
+        // Trading stays halted on subsequent ticks.
+        let outcome = system.gated_decision(&up, &book(99, 101), Timestamp::from_nanos(2));
+        assert!(matches!(
+            outcome,
+            TickOutcome::NoOrder {
+                reason: NoOrderReason::Killed,
+                ..
+            }
+        ));
+        assert_eq!(system.orders_sent(), 1, "only the position-opening order");
+    }
+
+    #[test]
+    fn mark_to_market_uses_exact_half_tick_mid() {
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn).build();
+        // Long 1 from 102 on an odd-spread book: 99/102 has mid 100.5.
+        let up = Prediction::new([0.9, 0.05, 0.05]);
+        let book = lt_lob::LobSnapshot {
+            ts: Timestamp::ZERO,
+            bids: vec![lt_lob::SnapshotLevel {
+                price: lt_lob::Price::new(99),
+                qty: lt_lob::Qty::new(10),
+            }],
+            asks: vec![lt_lob::SnapshotLevel {
+                price: lt_lob::Price::new(102),
+                qty: lt_lob::Qty::new(10),
+            }],
+        };
+        system.trading.on_prediction(&up, &book).unwrap();
+        // Mirror the book into the local mirror via direct snapshot math:
+        // the engine-side mark agrees with mid_price exactly.
+        assert_eq!(book.mid_half_ticks(), Some(201));
+        assert_eq!(
+            system.trading.mark_to_market_half(201),
+            201 - 204,
+            "−1.5 ticks, representable only in half-ticks"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 pub mod analytics;
 pub mod book;
 pub mod events;
+pub mod execution;
 pub mod hash;
 pub mod ladder;
 pub mod matching;
@@ -45,6 +46,7 @@ pub type Book = ladder::LadderBook;
 
 pub use book::{LevelView, ReferenceBook};
 pub use events::{BookDelta, MarketEvent, Trade};
+pub use execution::{fill_ioc, FeeModel, Fill, FillModel, OrderIntent};
 pub use hash::IdHashBuilder;
 pub use ladder::{LadderBook, PriceLadder};
 pub use matching::{
@@ -59,6 +61,7 @@ pub use types::{OrderId, Price, Qty, Side, Symbol, Timestamp};
 pub mod prelude {
     pub use crate::book::{LevelView, ReferenceBook};
     pub use crate::events::{BookDelta, MarketEvent, Trade};
+    pub use crate::execution::{fill_ioc, FeeModel, Fill, FillModel, OrderIntent};
     pub use crate::ladder::{LadderBook, PriceLadder};
     pub use crate::matching::{
         ExecutionReport, MatchOutcome, MatchingEngine, ReferenceMatchingEngine, RejectReason,

@@ -52,6 +52,16 @@ impl LobSnapshot {
         Some((a + b) / 2.0)
     }
 
+    /// Mid price in **half-ticks** (`bid + ask` in ticks), or `None` if
+    /// either side is empty. Exact where the integer-tick mid truncates on
+    /// odd spreads, and always agrees with [`Self::mid_price`]:
+    /// `mid_half_ticks == 2 × mid_price`.
+    pub fn mid_half_ticks(&self) -> Option<i64> {
+        let b = self.best_bid()?.price.ticks();
+        let a = self.best_ask()?.price.ticks();
+        Some(a + b)
+    }
+
     /// Flattens the snapshot into the fixed-layout feature vector the
     /// offload engine normalizes: for each level `i` in `0..depth`,
     /// `[ask_price_i, ask_qty_i, bid_price_i, bid_qty_i]` — the DeepLOB

@@ -36,6 +36,7 @@ pub mod local_book;
 pub mod multi_offload;
 pub mod offload;
 pub mod parser;
+pub mod portfolio;
 pub mod rate_limit;
 pub mod seq;
 pub mod stages;
@@ -47,6 +48,7 @@ pub use local_book::LocalBook;
 pub use multi_offload::{MultiOffload, ShardCounters, ShardTicket};
 pub use offload::{FeatureWindow, OffloadEngine, TensorTicket};
 pub use parser::{PacketParser, ParserStats};
+pub use portfolio::Portfolio;
 pub use rate_limit::{KillReason, KillSwitch, OrderRateLimiter};
 pub use seq::{SeqObservation, SeqTracker};
 pub use stages::{IngressStamp, PipelineLatencies};

@@ -250,11 +250,24 @@ impl MultiOffload {
     /// the past, attributing each to its shard, and returns how many
     /// were dropped. Allocation-free.
     pub fn drop_stale(&mut self, now: Timestamp, deadline: std::time::Duration) -> u64 {
+        self.drop_stale_with(now, deadline, |_| {})
+    }
+
+    /// [`Self::drop_stale`] with a per-ticket observer — the execution
+    /// layer uses it to retire the order intents of dropped queries in
+    /// queue order.
+    pub fn drop_stale_with(
+        &mut self,
+        now: Timestamp,
+        deadline: std::time::Duration,
+        mut observe: impl FnMut(&ShardTicket),
+    ) -> u64 {
         let mut dropped = 0u64;
         while let Some(front) = self.queue.front() {
             if (front.ticket.tick_ts + deadline) <= now {
                 let t = self.queue.pop_front().expect("front just seen");
                 self.shards[t.shard as usize].counters.dropped_stale += 1;
+                observe(&t);
                 dropped += 1;
             } else {
                 break;
@@ -267,9 +280,16 @@ impl MultiOffload {
     /// Drains every still-queued ticket as stale (end-of-session
     /// accounting), attributing each to its shard, and returns the count.
     pub fn drain_leftover(&mut self) -> u64 {
+        self.drain_leftover_with(|_| {})
+    }
+
+    /// [`Self::drain_leftover`] with a per-ticket observer (see
+    /// [`Self::drop_stale_with`]).
+    pub fn drain_leftover_with(&mut self, mut observe: impl FnMut(&ShardTicket)) -> u64 {
         let mut dropped = 0u64;
         while let Some(t) = self.queue.pop_front() {
             self.shards[t.shard as usize].counters.dropped_stale += 1;
+            observe(&t);
             dropped += 1;
         }
         self.dropped_stale += dropped;

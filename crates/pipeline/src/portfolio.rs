@@ -1,0 +1,207 @@
+//! Position, cash, and realized/unrealized P&L accounting.
+//!
+//! The portfolio is the strategy-side ledger of the execution layer: every
+//! settled [`Fill`] flows through [`Portfolio::apply_fill`], which updates
+//! the signed position, net cash, fee total, and the open position's cost
+//! basis. All amounts are in **half-tick fixed point** (half-ticks ×
+//! contracts), so the mid of a one-tick-wide market values inventory
+//! exactly.
+//!
+//! The accounting identity maintained at all times:
+//!
+//! ```text
+//! equity(mid) = cash + position × mid
+//!             = realized + unrealized(mid) − fees
+//! ```
+//!
+//! and a fill *at* price `p` leaves `equity(p)` unchanged except for fees
+//! — trading moves value between cash and inventory, only fees destroy it.
+//! Basis release on partial closes truncates proportionally, which can
+//! shift a half-tick between realized and unrealized, but never their sum.
+
+use lt_lob::{Fill, Qty, Side};
+use serde::{Deserialize, Serialize};
+
+/// A single-instrument trading ledger in half-tick fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Portfolio {
+    /// Signed position in contracts (positive = long).
+    position: i64,
+    /// Net cash in half-ticks (fees already deducted).
+    cash_half: i64,
+    /// Total fees paid, in half-ticks (non-negative).
+    fees_half: i64,
+    /// Entry notional of the open position, in half-ticks: positive for
+    /// longs (what was paid), negative for shorts (what was received).
+    /// `unrealized(mid) = position × mid − basis`.
+    basis_half: i64,
+}
+
+impl Portfolio {
+    /// A flat portfolio with no cash.
+    pub fn new() -> Self {
+        Portfolio::default()
+    }
+
+    /// Signed position in contracts.
+    pub fn position(&self) -> i64 {
+        self.position
+    }
+
+    /// Net cash in half-ticks, fees included.
+    pub fn cash_half(&self) -> i64 {
+        self.cash_half
+    }
+
+    /// Total fees paid in half-ticks.
+    pub fn fees_half(&self) -> i64 {
+        self.fees_half
+    }
+
+    /// Cash before fees, in half-ticks.
+    pub fn gross_cash_half(&self) -> i64 {
+        self.cash_half + self.fees_half
+    }
+
+    /// Mark-to-market equity at `mid_half` (mid price in half-ticks):
+    /// net cash plus inventory valued at the mid.
+    pub fn equity_half(&self, mid_half: i64) -> i64 {
+        self.cash_half + self.position * mid_half
+    }
+
+    /// Realized P&L in half-ticks, before fees: cash collected on closed
+    /// round trips.
+    pub fn realized_half(&self) -> i64 {
+        self.gross_cash_half() + self.basis_half
+    }
+
+    /// Unrealized P&L of the open position at `mid_half`, before fees.
+    pub fn unrealized_half(&self, mid_half: i64) -> i64 {
+        self.position * mid_half - self.basis_half
+    }
+
+    /// Applies a settled fill: `side` is the order side, `filled` the
+    /// contracts that traded, `cash_delta_half` the gross cash movement
+    /// (negative for buys), `fee_half` the fee charged.
+    pub fn apply_fill(&mut self, side: Side, filled: Qty, cash_delta_half: i64, fee_half: i64) {
+        self.cash_half += cash_delta_half - fee_half;
+        self.fees_half += fee_half;
+        let delta = match side {
+            Side::Bid => filled.contracts() as i64,
+            Side::Ask => -(filled.contracts() as i64),
+        };
+        if delta == 0 {
+            return;
+        }
+        if self.position == 0 || self.position.signum() == delta.signum() {
+            // Opening or adding: the whole notional joins the basis.
+            self.basis_half -= cash_delta_half;
+        } else if delta.abs() <= self.position.abs() {
+            // Reducing: release basis proportionally to contracts closed.
+            let released = (self.basis_half as i128 * delta.abs() as i128
+                / self.position.abs() as i128) as i64;
+            self.basis_half -= released;
+        } else {
+            // Flipping through flat: split the gross cash between the
+            // closing and opening legs by contracts, release all old
+            // basis, and seed the new side's basis from the opening leg.
+            let open = delta.abs() - self.position.abs();
+            let cash_open = (cash_delta_half as i128 * open as i128 / delta.abs() as i128) as i64;
+            self.basis_half = -cash_open;
+        }
+        self.position += delta;
+    }
+
+    /// Convenience wrapper applying a venue [`Fill`] directly.
+    pub fn apply(&mut self, side: Side, fill: &Fill) {
+        self.apply_fill(side, fill.filled, fill.cash_delta_half, fill.fee_half);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buy(p: &mut Portfolio, qty: u64, px_half: i64, fee: i64) {
+        p.apply_fill(Side::Bid, Qty::new(qty), -(qty as i64) * px_half, fee);
+    }
+
+    fn sell(p: &mut Portfolio, qty: u64, px_half: i64, fee: i64) {
+        p.apply_fill(Side::Ask, Qty::new(qty), qty as i64 * px_half, fee);
+    }
+
+    #[test]
+    fn round_trip_realizes_the_spread() {
+        let mut p = Portfolio::new();
+        buy(&mut p, 2, 200, 0); // buy 2 @ 100 ticks
+        assert_eq!(p.position(), 2);
+        assert_eq!(p.cash_half(), -400);
+        assert_eq!(p.unrealized_half(206), 12, "2 contracts x 3 half-ticks");
+        assert_eq!(p.realized_half(), 0);
+        sell(&mut p, 2, 206, 0); // sell 2 @ 103 ticks
+        assert_eq!(p.position(), 0);
+        assert_eq!(p.realized_half(), 12);
+        assert_eq!(p.unrealized_half(999), 0);
+        assert_eq!(p.equity_half(999), 12);
+    }
+
+    #[test]
+    fn short_side_mirrors() {
+        let mut p = Portfolio::new();
+        sell(&mut p, 3, 210, 0); // short 3 @ 105
+        assert_eq!(p.position(), -3);
+        assert_eq!(p.unrealized_half(204), 18, "3 x 3 ticks of profit");
+        buy(&mut p, 3, 204, 0);
+        assert_eq!(p.position(), 0);
+        assert_eq!(p.realized_half(), 18);
+    }
+
+    #[test]
+    fn fill_at_price_conserves_equity_minus_fees() {
+        let mut p = Portfolio::new();
+        buy(&mut p, 5, 198, 0);
+        let before = p.equity_half(202);
+        sell(&mut p, 2, 202, 0);
+        assert_eq!(p.equity_half(202), before, "trading at the mark is free");
+        let before = p.equity_half(202);
+        buy(&mut p, 1, 202, 7);
+        assert_eq!(p.equity_half(202), before - 7, "only the fee is lost");
+    }
+
+    #[test]
+    fn partial_close_splits_realized_and_unrealized() {
+        let mut p = Portfolio::new();
+        buy(&mut p, 4, 200, 0);
+        sell(&mut p, 1, 208, 0);
+        assert_eq!(p.position(), 3);
+        assert_eq!(p.realized_half(), 8, "one contract's 4-tick gain");
+        assert_eq!(p.unrealized_half(208), 24, "three still riding");
+        // The identity holds regardless of the split.
+        assert_eq!(
+            p.realized_half() + p.unrealized_half(208) - p.fees_half(),
+            p.equity_half(208)
+        );
+    }
+
+    #[test]
+    fn flip_through_flat_reseeds_basis() {
+        let mut p = Portfolio::new();
+        buy(&mut p, 2, 200, 0);
+        sell(&mut p, 5, 204, 0); // close 2, open short 3 @ 102
+        assert_eq!(p.position(), -3);
+        assert_eq!(p.realized_half(), 8, "2 contracts x 2 ticks");
+        assert_eq!(p.unrealized_half(204), 0, "short opened at the mark");
+        assert_eq!(p.unrealized_half(202), 6);
+    }
+
+    #[test]
+    fn fees_accumulate_and_only_fees_destroy_value() {
+        let mut p = Portfolio::new();
+        buy(&mut p, 1, 200, 3);
+        sell(&mut p, 1, 200, 3);
+        assert_eq!(p.position(), 0);
+        assert_eq!(p.fees_half(), 6);
+        assert_eq!(p.realized_half(), 0);
+        assert_eq!(p.equity_half(12345), -6);
+    }
+}

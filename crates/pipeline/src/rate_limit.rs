@@ -112,8 +112,9 @@ pub enum KillReason {
 /// explicit [`KillSwitch::reset`].
 #[derive(Debug, Clone)]
 pub struct KillSwitch {
-    /// Most negative tolerable P&L in ticks x contracts.
-    loss_floor_ticks: i64,
+    /// Most negative tolerable P&L in **half-ticks** x contracts (stored
+    /// doubled so half-tick marks compare exactly).
+    loss_floor_half: i64,
     /// Consecutive rejections that trip the switch.
     max_consecutive_rejects: u32,
     consecutive_rejects: u32,
@@ -121,10 +122,10 @@ pub struct KillSwitch {
 }
 
 impl KillSwitch {
-    /// Creates an armed switch.
+    /// Creates an armed switch with the loss floor in whole ticks.
     pub fn new(loss_floor_ticks: i64, max_consecutive_rejects: u32) -> Self {
         KillSwitch {
-            loss_floor_ticks,
+            loss_floor_half: 2 * loss_floor_ticks,
             max_consecutive_rejects,
             consecutive_rejects: 0,
             tripped: None,
@@ -141,10 +142,21 @@ impl KillSwitch {
         self.tripped.is_none()
     }
 
-    /// Feeds the latest mark-to-market P&L; trips on breach.
+    /// Feeds the latest mark-to-market P&L in whole ticks; trips on
+    /// breach.
     pub fn observe_pnl(&mut self, pnl_ticks: i64) {
-        if self.tripped.is_none() && pnl_ticks <= self.loss_floor_ticks {
-            self.tripped = Some(KillReason::LossLimit { pnl_ticks });
+        self.observe_pnl_half(2 * pnl_ticks);
+    }
+
+    /// Feeds the latest mark-to-market P&L in **half-ticks** (the exact
+    /// mid-valuation unit, see [`lt_lob::LobSnapshot::mid_half_ticks`]);
+    /// trips on breach. The reason reports the trip P&L truncated to
+    /// whole ticks.
+    pub fn observe_pnl_half(&mut self, pnl_half: i64) {
+        if self.tripped.is_none() && pnl_half <= self.loss_floor_half {
+            self.tripped = Some(KillReason::LossLimit {
+                pnl_ticks: pnl_half / 2,
+            });
         }
     }
 
@@ -227,6 +239,21 @@ mod tests {
         assert!(!ks.is_armed());
         ks.reset();
         assert!(ks.is_armed());
+    }
+
+    #[test]
+    fn kill_switch_compares_half_ticks_exactly() {
+        // Floor −100 ticks = −200 half-ticks. A −100.5-tick mark (−201
+        // half-ticks) must trip even though it truncates to −100 in whole
+        // ticks — the half-tick comparison is exact.
+        let mut ks = KillSwitch::new(-100, 5);
+        ks.observe_pnl_half(-199);
+        assert!(ks.is_armed());
+        ks.observe_pnl_half(-201);
+        assert_eq!(
+            ks.tripped(),
+            Some(KillReason::LossLimit { pnl_ticks: -100 })
+        );
     }
 
     #[test]

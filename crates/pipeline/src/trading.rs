@@ -9,7 +9,9 @@
 //! prediction buys, a Stationary prediction does nothing — each gated by
 //! confidence and position limits.
 
+use crate::portfolio::Portfolio;
 use lt_dnn::{Prediction, PriceDirection};
+use lt_lob::execution::{fill_ioc, FeeModel, Fill, FillModel};
 use lt_lob::{LobSnapshot, OrderId, Price, Qty, Side, Symbol};
 use lt_protocol::ilink::{OrderMessage, OrderMessageKind};
 use lt_protocol::FixEncoder;
@@ -62,10 +64,7 @@ pub enum NoOrderReason {
 pub struct TradingEngine {
     symbol: Symbol,
     limits: RiskLimits,
-    position: i64,
-    /// Cash delta in price-ticks x contracts (sells add, buys subtract),
-    /// assuming IOC orders fill at their limit (they cross the touch).
-    cash_ticks: i64,
+    portfolio: Portfolio,
     next_order_id: u64,
     orders_sent: u64,
     suppressed: u64,
@@ -78,8 +77,7 @@ impl TradingEngine {
         TradingEngine {
             symbol,
             limits,
-            position: 0,
-            cash_ticks: 0,
+            portfolio: Portfolio::new(),
             next_order_id: 1,
             orders_sent: 0,
             suppressed: 0,
@@ -89,18 +87,30 @@ impl TradingEngine {
 
     /// Current net position in contracts (positive = long).
     pub fn position(&self) -> i64 {
-        self.position
+        self.portfolio.position()
+    }
+
+    /// The underlying half-tick ledger.
+    pub fn portfolio(&self) -> &Portfolio {
+        &self.portfolio
+    }
+
+    /// Realized cash in ticks x contracts (positive = net proceeds). The
+    /// functional path fills fee-free at integer tick prices, so the
+    /// half-tick ledger's cash is always an even number of half-ticks and
+    /// this conversion is exact.
+    pub fn cash_ticks(&self) -> i64 {
+        self.portfolio.cash_half() / 2
+    }
+
+    /// Net cash in half-ticks (see [`Portfolio::cash_half`]).
+    pub fn cash_half(&self) -> i64 {
+        self.portfolio.cash_half()
     }
 
     /// Orders transmitted so far.
     pub fn orders_sent(&self) -> u64 {
         self.orders_sent
-    }
-
-    /// Realized cash in ticks x contracts (positive = net proceeds),
-    /// assuming each IOC order filled at its limit price.
-    pub fn cash_ticks(&self) -> i64 {
-        self.cash_ticks
     }
 
     /// Mark-to-market P&L in ticks x contracts at `mid` (realized cash
@@ -115,7 +125,14 @@ impl TradingEngine {
     /// assert_eq!(engine.mark_to_market(Price::new(18_000)), 0);
     /// ```
     pub fn mark_to_market(&self, mid: Price) -> i64 {
-        self.cash_ticks + self.position * mid.ticks()
+        self.mark_to_market_half(2 * mid.ticks()) / 2
+    }
+
+    /// Mark-to-market P&L in **half-ticks** at a half-tick mid — exact on
+    /// odd spreads where the integer-tick mid truncates. Pair with
+    /// [`LobSnapshot::mid_half_ticks`].
+    pub fn mark_to_market_half(&self, mid_half: i64) -> i64 {
+        self.portfolio.equity_half(mid_half)
     }
 
     /// Signals suppressed by a risk gate so far.
@@ -131,17 +148,50 @@ impl TradingEngine {
         self.suppressed += 1;
     }
 
-    /// Post-processes one inference result against the current book.
+    /// Post-processes one inference result against the current book:
+    /// [`Self::propose`] plus immediate settlement of the assumed fill.
     ///
-    /// Returns the order to transmit, or the risk-gate reason it was
-    /// suppressed. An Up prediction lifts the best ask (IOC); a Down
-    /// prediction hits the best bid.
+    /// This is the *functional* path, where no venue model replays the
+    /// book at order-arrival time. The order is assumed to fill at its
+    /// limit, but — unlike the historical behavior that booked the full
+    /// `order_qty` unconditionally — the assumed fill is capped at the
+    /// quantity visible at the touch. The back-test path settles real
+    /// fills instead via [`Self::settle`].
     pub fn on_prediction(
         &mut self,
         prediction: &Prediction,
         book: &LobSnapshot,
     ) -> Result<OrderMessage, NoOrderReason> {
-        let outcome = self.decide(prediction, book);
+        let order = self.propose(prediction, book)?;
+        let OrderMessageKind::New {
+            side, price, qty, ..
+        } = order.kind
+        else {
+            unreachable!("propose only emits new orders");
+        };
+        let fill = fill_ioc(
+            book,
+            side,
+            price,
+            qty,
+            FillModel::SweepVisible,
+            &FeeModel::zero(),
+        );
+        self.settle(side, &fill);
+        Ok(order)
+    }
+
+    /// Runs the risk gates against one inference result and generates the
+    /// order to transmit — or the reason it was suppressed. An Up
+    /// prediction lifts the best ask (IOC); a Down prediction hits the
+    /// best bid. No fill is booked: the caller settles the venue's
+    /// response (real or assumed) through [`Self::settle`].
+    pub fn propose(
+        &mut self,
+        prediction: &Prediction,
+        book: &LobSnapshot,
+    ) -> Result<OrderMessage, NoOrderReason> {
+        let outcome = self.propose_inner(prediction, book);
         match &outcome {
             Ok(_) => self.orders_sent += 1,
             Err(_) => self.suppressed += 1,
@@ -149,7 +199,7 @@ impl TradingEngine {
         outcome
     }
 
-    fn decide(
+    fn propose_inner(
         &mut self,
         prediction: &Prediction,
         book: &LobSnapshot,
@@ -173,12 +223,9 @@ impl TradingEngine {
             PriceDirection::Down => (Side::Ask, bid.price, -qty),
             PriceDirection::Stationary => unreachable!("handled above"),
         };
-        if (self.position + position_delta).abs() > self.limits.max_position {
+        if (self.portfolio.position() + position_delta).abs() > self.limits.max_position {
             return Err(NoOrderReason::PositionLimit);
         }
-        self.position += position_delta;
-        // IOC at the touch: assume the fill happens at the limit price.
-        self.cash_ticks -= position_delta * price.ticks();
         let id = OrderId::new(self.next_order_id);
         self.next_order_id += 1;
         Ok(OrderMessage {
@@ -191,6 +238,13 @@ impl TradingEngine {
                 tif: lt_lob::TimeInForce::Ioc,
             },
         })
+    }
+
+    /// Books a settled fill for an order previously generated by
+    /// [`Self::propose`] into the portfolio. A missed IOC (zero fill) is
+    /// a no-op on the ledger.
+    pub fn settle(&mut self, side: Side, fill: &Fill) {
+        self.portfolio.apply(side, fill);
     }
 
     /// Encodes an order in the binary iLink3-style format.
@@ -348,6 +402,67 @@ mod tests {
         assert_eq!(e.mark_to_market(Price::new(103)), 2);
         // Mid 100 -> -1.
         assert_eq!(e.mark_to_market(Price::new(100)), -1);
+    }
+
+    #[test]
+    fn assumed_fill_capped_at_visible_depth() {
+        // The touch shows 3 contracts; a 5-lot IOC must not book 5.
+        let mut e = TradingEngine::new(
+            Symbol::new("ESU6"),
+            RiskLimits {
+                order_qty: 5,
+                ..RiskLimits::default()
+            },
+        );
+        let thin = LobSnapshot {
+            ts: Timestamp::ZERO,
+            bids: vec![SnapshotLevel {
+                price: Price::new(99),
+                qty: Qty::new(10),
+            }],
+            asks: vec![SnapshotLevel {
+                price: Price::new(101),
+                qty: Qty::new(3),
+            }],
+        };
+        assert!(e.on_prediction(&pred(0.9, 0.05, 0.05), &thin).is_ok());
+        assert_eq!(e.position(), 3, "only the visible 3 fill");
+        assert_eq!(e.cash_ticks(), -3 * 101);
+    }
+
+    #[test]
+    fn propose_books_nothing_until_settled() {
+        let mut e = engine();
+        let order = e.propose(&pred(0.9, 0.05, 0.05), &book(99, 101)).unwrap();
+        assert_eq!(e.position(), 0, "no fill settled yet");
+        assert_eq!(e.cash_ticks(), 0);
+        assert_eq!(e.orders_sent(), 1);
+        let OrderMessageKind::New {
+            side, price, qty, ..
+        } = order.kind
+        else {
+            panic!("expected a new order");
+        };
+        let fill = lt_lob::execution::fill_ioc(
+            &book(99, 101),
+            side,
+            price,
+            qty,
+            lt_lob::FillModel::SweepVisible,
+            &lt_lob::FeeModel::zero(),
+        );
+        e.settle(side, &fill);
+        assert_eq!(e.position(), 1);
+        assert_eq!(e.cash_ticks(), -101);
+    }
+
+    #[test]
+    fn mark_to_market_half_is_exact_on_odd_spreads() {
+        let mut e = engine();
+        e.on_prediction(&pred(0.9, 0.05, 0.05), &book(99, 102))
+            .unwrap();
+        // Long 1 from 102; mid of 99/102 is 100.5 ticks = 201 half-ticks.
+        assert_eq!(e.mark_to_market_half(201), 201 - 2 * 102);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property tests for the portfolio ledger.
+//!
+//! The defining property of the accounting: trading moves value between
+//! cash and inventory but never creates or destroys it — a fill executed
+//! *at* price `p` leaves the mark-to-market equity at `p` exactly
+//! unchanged, and a positive fee decreases it by exactly the fee. The
+//! realized/unrealized split may shift a truncated half-tick between its
+//! halves on partial closes, but their sum minus fees always equals the
+//! equity, and a flat portfolio always carries zero unrealized P&L.
+
+use lt_lob::{Qty, Side};
+use lt_pipeline::Portfolio;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One randomized fill: side, contracts (1..=5), execution price in
+/// half-ticks (180..=220), fee in half-ticks (0..=3).
+fn fill() -> impl Strategy<Value = (bool, u64, i64, i64)> {
+    (any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(buy, q, p, f)| (buy, q % 5 + 1, 180 + (p % 41) as i64, (f % 4) as i64))
+}
+
+fn apply(p: &mut Portfolio, buy: bool, qty: u64, px_half: i64, fee_half: i64) {
+    let (side, cash) = if buy {
+        (Side::Bid, -(qty as i64) * px_half)
+    } else {
+        (Side::Ask, qty as i64 * px_half)
+    };
+    p.apply_fill(side, Qty::new(qty), cash, fee_half);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every fill at price `p` changes `equity(p)` by exactly `-fee`:
+    /// zero-fee trading conserves value, positive fees strictly destroy
+    /// it, and nothing else does.
+    #[test]
+    fn fills_conserve_value_except_fees(fills in vec(fill(), 1..64)) {
+        let mut p = Portfolio::new();
+        let mut fees_total = 0;
+        for &(buy, qty, px_half, fee_half) in &fills {
+            let before = p.equity_half(px_half);
+            apply(&mut p, buy, qty, px_half, fee_half);
+            let after = p.equity_half(px_half);
+            prop_assert_eq!(
+                after, before - fee_half,
+                "fill at {} must move equity by exactly -fee", px_half
+            );
+            if fee_half > 0 {
+                prop_assert!(after < before, "a positive fee strictly decreases equity");
+            }
+            fees_total += fee_half;
+        }
+        prop_assert_eq!(p.fees_half(), fees_total);
+    }
+
+    /// After any fill sequence, `equity(m) = realized + unrealized(m) -
+    /// fees` for every mark, and a flat portfolio has zero unrealized.
+    #[test]
+    fn pnl_identity_holds_at_every_mark(
+        fills in vec(fill(), 1..64),
+        mark in any::<u64>(),
+    ) {
+        let mut p = Portfolio::new();
+        for &(buy, qty, px_half, fee_half) in &fills {
+            apply(&mut p, buy, qty, px_half, fee_half);
+            let m = 180 + (mark % 41) as i64;
+            prop_assert_eq!(
+                p.equity_half(m),
+                p.realized_half() + p.unrealized_half(m) - p.fees_half(),
+                "realized/unrealized must tile equity at mark {}", m
+            );
+            if p.position() == 0 {
+                prop_assert_eq!(p.unrealized_half(m), 0, "flat means nothing unrealized");
+            }
+        }
+    }
+
+    /// Position is the running sum of signed fill quantities, and cash
+    /// is path-independent: gross cash equals the signed notional sum.
+    #[test]
+    fn position_and_cash_are_exact_sums(fills in vec(fill(), 1..64)) {
+        let mut p = Portfolio::new();
+        let mut pos = 0i64;
+        let mut gross = 0i64;
+        for &(buy, qty, px_half, fee_half) in &fills {
+            apply(&mut p, buy, qty, px_half, fee_half);
+            let signed = if buy { qty as i64 } else { -(qty as i64) };
+            pos += signed;
+            gross -= signed * px_half;
+            prop_assert_eq!(p.position(), pos);
+            prop_assert_eq!(p.gross_cash_half(), gross);
+        }
+    }
+}

@@ -156,6 +156,7 @@ impl SingleDeviceModel<'_> {
                         breakdown,
                         shard: 0,
                         tier: self.kind,
+                        intent: None,
                     }],
                 },
             );

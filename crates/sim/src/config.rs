@@ -1,5 +1,6 @@
 //! Back-test configuration.
 
+use crate::execution::ExecutionConfig;
 use crate::ingress::IngressFaults;
 use lt_accel::PowerCondition;
 use lt_dnn::ModelKind;
@@ -60,6 +61,8 @@ pub struct BacktestConfig {
     /// Ingress fault injection for the redundant A/B feed pair. Defaults
     /// to lossless, which bypasses the ingress stage entirely — a config
     /// without faults behaves bit-identically to one predating the field.
+    /// (The shim serde derive has no `default` attribute, so configs are
+    /// always serialized in full.)
     pub faults: IngressFaults,
     /// Number of instruments served by the sharded pipeline. The default
     /// of 1 is the historical single-instrument configuration and stays
@@ -71,6 +74,10 @@ pub struct BacktestConfig {
     /// Deadline-tier scheduler parameters; only consulted when `policy`
     /// is [`Policy::DeadlineTiered`].
     pub tier: TierParams,
+    /// The execution & portfolio layer. Disabled by default — and even
+    /// enabled it never touches the latency/outcome surface (fills push
+    /// no events), so configs predating the field stay bit-identical.
+    pub execution: ExecutionConfig,
 }
 
 impl BacktestConfig {
@@ -89,6 +96,7 @@ impl BacktestConfig {
             symbols: 1,
             symbol_skew: 0.0,
             tier: TierParams::passthrough(kind, Policy::Both),
+            execution: ExecutionConfig::default(),
         }
     }
 
@@ -157,6 +165,13 @@ impl BacktestConfig {
         self
     }
 
+    /// Enables the execution & portfolio layer with `execution`.
+    #[must_use]
+    pub fn with_execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -206,6 +221,7 @@ impl BacktestConfig {
             }
         }
         self.faults.validate();
+        self.execution.validate();
     }
 }
 

@@ -51,6 +51,11 @@ pub struct PendingOrder {
     /// for fixed-model policies; the planner's pick under
     /// `DeadlineTiered`).
     pub tier: ModelKind,
+    /// The order the strategy decided to send on this tick, captured at
+    /// decision time; `None` when the strategy held (or the execution
+    /// layer is disabled). Settled against the arrival-time book when
+    /// this order wires out.
+    pub intent: Option<lt_lob::OrderIntent>,
 }
 
 /// A scheduled simulation event.

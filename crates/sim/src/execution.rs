@@ -1,0 +1,608 @@
+//! The back-test's execution & portfolio layer.
+//!
+//! Until this layer existed, the back-test scored queries purely on
+//! latency: an answered query was a "response" and no order ever
+//! *traded*. This module closes the loop with the venue. At every tick
+//! the strategy may capture an [`OrderIntent`] (an IOC at the
+//! decision-time touch); the intent rides through the offload queue and
+//! the accelerator batch with its ticket, and when the engine's
+//! `OrderOut` event fires — after the full tick-to-trade pipeline
+//! latency — the order is filled against the book state *at arrival
+//! time* via [`lt_lob::fill_ioc`], the venue-side sweep pinned against
+//! the real matching engine. A per-shard [`Portfolio`] books the fills
+//! (cash, position, realized/unrealized P&L, fees — all in half-tick
+//! fixed point), and a latching [`KillSwitch`] marks to market on every
+//! tick.
+//!
+//! The signal is an **oracle momentum** signal: the back-test has no
+//! real DNN alpha, so the per-tick direction is precomputed from the
+//! *future* mid move over a configurable horizon and then deliberately
+//! corrupted to a configured accuracy. This makes adverse selection
+//! measurable: an IOC priced at the decision-time touch fills when the
+//! market sat still or came toward it and *misses* exactly when the
+//! signal was right and the market ran — which is why the historical
+//! assume-fill accounting overstates P&L (see `bench_fills`).
+
+use crate::engine::PendingOrder;
+use lt_feed::TickTrace;
+use lt_lob::{fill_ioc, FeeModel, Fill, FillModel, LobSnapshot, OrderIntent, Qty, Side};
+use lt_pipeline::{KillSwitch, Portfolio, RiskLimits};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The oracle momentum signal's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalConfig {
+    /// Look-ahead horizon in same-shard ticks.
+    pub horizon_ticks: usize,
+    /// Minimum absolute future mid move (half-ticks) to emit a signal.
+    pub threshold_half: i64,
+    /// Signal accuracy in per-mille: a correct direction is kept with
+    /// probability `accuracy_pm / 1000`, flipped otherwise. 1000 is
+    /// perfect foresight, 500 a coin toss.
+    pub accuracy_pm: u32,
+    /// Seed of the deterministic corruption hash.
+    pub seed: u64,
+}
+
+impl Default for SignalConfig {
+    fn default() -> Self {
+        SignalConfig {
+            horizon_ticks: 100,
+            threshold_half: 2,
+            accuracy_pm: 800,
+            seed: 1,
+        }
+    }
+}
+
+/// Configuration of the execution & portfolio layer. Disabled by
+/// default: a config predating the field behaves bit-identically, and
+/// even the *enabled* layer pushes no events and touches no scheduling
+/// state, so the latency/outcome surface stays byte-identical either
+/// way (gated by the assume-fill golden differential test).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Master switch; `false` skips the layer entirely.
+    pub enabled: bool,
+    /// How arriving orders fill: `AssumeFill` reproduces the historical
+    /// fiction (full quantity at the decision-time limit), `SweepVisible`
+    /// is the venue-side taker sweep of the arrival-time book.
+    pub fill_model: FillModel,
+    /// Risk gates applied when an order arrives at the venue boundary.
+    pub limits: RiskLimits,
+    /// The oracle momentum signal.
+    pub signal: SignalConfig,
+    /// Venue fee schedule.
+    pub fees: FeeModel,
+    /// Kill-switch loss floor in whole ticks (`None` = no kill switch).
+    pub kill_floor_ticks: Option<i64>,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            enabled: false,
+            fill_model: FillModel::SweepVisible,
+            limits: RiskLimits::default(),
+            signal: SignalConfig::default(),
+            fees: FeeModel::zero(),
+            kill_floor_ticks: None,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// The enabled layer with realistic (sweep) fills.
+    pub fn realistic() -> Self {
+        ExecutionConfig {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// The enabled layer with assume-fill settlement — the differential
+    /// baseline that reproduces the pre-execution-layer accounting.
+    pub fn assume_fill() -> Self {
+        ExecutionConfig {
+            enabled: true,
+            fill_model: FillModel::AssumeFill,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the signal parameters.
+    #[must_use]
+    pub fn with_signal(mut self, signal: SignalConfig) -> Self {
+        self.signal = signal;
+        self
+    }
+
+    /// Overrides the venue fee schedule.
+    #[must_use]
+    pub fn with_fees(mut self, fees: FeeModel) -> Self {
+        self.fees = fees;
+        self
+    }
+
+    /// Arms a kill switch with a loss floor in whole ticks.
+    #[must_use]
+    pub fn with_kill_floor(mut self, floor_ticks: i64) -> Self {
+        self.kill_floor_ticks = Some(floor_ticks);
+        self
+    }
+
+    /// Overrides the risk limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: RiskLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero horizon, an accuracy above 1000 ‰, a zero order
+    /// quantity, negative fees, or a negative signal threshold.
+    pub fn validate(&self) {
+        if !self.enabled {
+            return;
+        }
+        assert!(
+            self.signal.horizon_ticks > 0,
+            "signal horizon must be positive"
+        );
+        assert!(
+            self.signal.accuracy_pm <= 1000,
+            "signal accuracy is per-mille (<= 1000)"
+        );
+        assert!(
+            self.signal.threshold_half >= 0,
+            "signal threshold must be non-negative"
+        );
+        assert!(self.limits.order_qty > 0, "order quantity must be positive");
+        assert!(
+            self.fees.per_contract_half >= 0 && self.fees.per_order_half >= 0,
+            "fees must be non-negative"
+        );
+    }
+}
+
+/// Aggregated execution outcomes (all-integer, so per-shard stats merge
+/// exactly and per-symbol breakdowns tile the aggregate bit for bit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Orders that reached the venue boundary and passed the risk gates.
+    pub orders_sent: u64,
+    /// Orders that filled their full quantity.
+    pub filled: u64,
+    /// Orders that filled partially (IOC remainder cancelled).
+    pub partial: u64,
+    /// Orders that missed entirely (book ran away from the stale limit).
+    pub missed: u64,
+    /// Orders suppressed at arrival by a risk gate (kill switch armed or
+    /// position cap); never sent, so outside the fill tiling.
+    pub suppressed: u64,
+    /// Total contracts filled across all orders.
+    pub contracts_filled: u64,
+    /// Fees paid, half-ticks.
+    pub fees_half: i64,
+    /// Execution-price shortfall vs the limit, half-ticks (negative =
+    /// price improvement; see [`lt_lob::Fill::slippage_half`]).
+    pub slippage_half: i64,
+    /// Final net position, contracts.
+    pub position: i64,
+    /// Final cash net of fees, half-ticks.
+    pub cash_half: i64,
+    /// Final equity (cash + inventory at the last mid), half-ticks.
+    pub equity_half: i64,
+    /// Realized P&L net of fees, half-ticks.
+    pub realized_half: i64,
+    /// Unrealized P&L of the open position at the last mid, half-ticks.
+    pub unrealized_half: i64,
+}
+
+impl ExecutionStats {
+    /// Merges another tally into this one (valuation fields are additive
+    /// across shards: each shard's equity is priced at its own mid).
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.orders_sent += other.orders_sent;
+        self.filled += other.filled;
+        self.partial += other.partial;
+        self.missed += other.missed;
+        self.suppressed += other.suppressed;
+        self.contracts_filled += other.contracts_filled;
+        self.fees_half += other.fees_half;
+        self.slippage_half += other.slippage_half;
+        self.position += other.position;
+        self.cash_half += other.cash_half;
+        self.equity_half += other.equity_half;
+        self.realized_half += other.realized_half;
+        self.unrealized_half += other.unrealized_half;
+    }
+
+    /// Fraction of sent orders that achieved any fill.
+    pub fn fill_rate(&self) -> f64 {
+        if self.orders_sent == 0 {
+            return 0.0;
+        }
+        (self.filled + self.partial) as f64 / self.orders_sent as f64
+    }
+
+    /// Panics unless fill outcomes tile the sent orders exactly:
+    /// `filled + partial + missed == orders_sent`.
+    pub fn assert_tiles(&self) {
+        assert_eq!(
+            self.filled + self.partial + self.missed,
+            self.orders_sent,
+            "fill outcomes must tile orders sent: {self:?}"
+        );
+    }
+}
+
+/// SplitMix64-style avalanche over `(tick index, seed)` — the
+/// deterministic coin behind signal corruption.
+fn corrupt_hash(tick: u64, seed: u64) -> u64 {
+    let mut x = tick
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seed ^ 0x2545_F491_4F6C_DD1D);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Precomputes the per-tick oracle momentum direction for `trace`:
+/// `+1` buy, `-1` sell, `0` hold, indexed by trace position. The future
+/// mid move is measured within the tick's own shard (`tick_shards` maps
+/// trace position to shard; empty means everything is shard 0), then
+/// corrupted per [`SignalConfig::accuracy_pm`] with a deterministic
+/// hash, so the same `(trace, config)` always yields the same signals.
+pub fn precompute_signals(
+    trace: &TickTrace,
+    tick_shards: &[u16],
+    n_shards: usize,
+    cfg: &SignalConfig,
+) -> Vec<i8> {
+    let n = trace.ticks.len();
+    let mut per_shard: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n_shards.max(1)];
+    for (i, tick) in trace.ticks.iter().enumerate() {
+        let shard = if tick_shards.is_empty() {
+            0
+        } else {
+            tick_shards[i] as usize
+        };
+        if let Some(mid) = tick.snapshot.mid_half_ticks() {
+            per_shard[shard].push((i, mid));
+        }
+    }
+    let mut dirs = vec![0i8; n];
+    for rows in &per_shard {
+        for (k, &(i, mid)) in rows.iter().enumerate() {
+            let Some(&(_, future)) = rows.get(k + cfg.horizon_ticks) else {
+                continue;
+            };
+            let diff = future - mid;
+            let dir: i8 = if diff >= cfg.threshold_half {
+                1
+            } else if diff <= -cfg.threshold_half {
+                -1
+            } else {
+                0
+            };
+            if dir == 0 {
+                continue;
+            }
+            let keep = corrupt_hash(i as u64, cfg.seed) % 1000 < u64::from(cfg.accuracy_pm);
+            dirs[i] = if keep { dir } else { -dir };
+        }
+    }
+    dirs
+}
+
+/// Per-shard execution state: the venue-side view of one instrument.
+struct ShardExec {
+    portfolio: Portfolio,
+    kill: Option<KillSwitch>,
+    /// The book state at-or-before order arrival (the engine delivers
+    /// `OrderOut` before the same-instant tick, so the snapshot captured
+    /// on the previous tick IS the arrival-time book).
+    last_snap: LobSnapshot,
+    last_mid_half: Option<i64>,
+    stats: ExecutionStats,
+}
+
+/// Runtime state of the execution layer: per-shard portfolios plus the
+/// intent queue mirroring the offload engine's shared tensor queue.
+pub(crate) struct ExecState {
+    fill_model: FillModel,
+    limits: RiskLimits,
+    fees: FeeModel,
+    /// Precomputed per-tick signal directions, indexed by trace position.
+    signals: Vec<i8>,
+    /// Decision-time intents of the tickets currently queued in the
+    /// offload engine, in queue order: every queue admission pushes one
+    /// entry (possibly `None` — the strategy held) and every queue
+    /// removal, whatever its reason, pops one.
+    intents: VecDeque<Option<OrderIntent>>,
+    shards: Vec<ShardExec>,
+}
+
+impl ExecState {
+    pub(crate) fn new(cfg: &ExecutionConfig, n_shards: usize, signals: Vec<i8>) -> Self {
+        ExecState {
+            fill_model: cfg.fill_model,
+            limits: cfg.limits,
+            fees: cfg.fees,
+            signals,
+            intents: VecDeque::new(),
+            shards: (0..n_shards.max(1))
+                .map(|_| ShardExec {
+                    portfolio: Portfolio::default(),
+                    kill: cfg
+                        .kill_floor_ticks
+                        .map(|floor| KillSwitch::new(floor, u32::MAX)),
+                    last_snap: LobSnapshot::default(),
+                    last_mid_half: None,
+                    stats: ExecutionStats::default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Handles one arriving tick for `shard`: refreshes the venue-side
+    /// book view, marks the portfolio to market (the kill switch
+    /// observes P&L on *every* tick, orders in flight or not), and
+    /// returns the decision-time intent, if the signal fires on a
+    /// tradeable book.
+    pub(crate) fn on_tick(
+        &mut self,
+        shard: usize,
+        tick_index: usize,
+        snap: &LobSnapshot,
+    ) -> Option<OrderIntent> {
+        let s = &mut self.shards[shard];
+        s.last_snap.ts = snap.ts;
+        s.last_snap.bids.clone_from(&snap.bids);
+        s.last_snap.asks.clone_from(&snap.asks);
+        s.last_mid_half = snap.mid_half_ticks();
+        if let (Some(kill), Some(mid)) = (s.kill.as_mut(), s.last_mid_half) {
+            kill.observe_pnl_half(s.portfolio.equity_half(mid));
+        }
+        let dir = *self.signals.get(tick_index)?;
+        if dir == 0 {
+            return None;
+        }
+        let bid = snap.best_bid()?;
+        let ask = snap.best_ask()?;
+        if ask.price.ticks() - bid.price.ticks() > self.limits.max_spread_ticks {
+            return None;
+        }
+        let (side, touch) = if dir > 0 {
+            (Side::Bid, ask)
+        } else {
+            (Side::Ask, bid)
+        };
+        Some(OrderIntent {
+            side,
+            limit: touch.price,
+            qty: Qty::new(self.limits.order_qty),
+            touch_qty: touch.qty,
+        })
+    }
+
+    /// Mirrors a queue admission: the ticket at the queue's back carries
+    /// this decision-time intent.
+    pub(crate) fn push_intent(&mut self, intent: Option<OrderIntent>) {
+        self.intents.push_back(intent);
+    }
+
+    /// Mirrors a queue removal that never reaches the wire (stale drop,
+    /// deadline shed, defer, end-of-session drain): the order is simply
+    /// never sent.
+    pub(crate) fn discard_intent(&mut self) {
+        self.intents.pop_front();
+    }
+
+    /// Mirrors a batch pop: the front `n` intents ride with the batch.
+    pub(crate) fn pop_intents(&mut self, n: usize) -> Vec<Option<OrderIntent>> {
+        self.intents.drain(..n.min(self.intents.len())).collect()
+    }
+
+    /// Settles one wired-out order against the arrival-time book. Both
+    /// in-time and late orders trade — a late order still went out on
+    /// the wire; it just finds a book that moved even further.
+    pub(crate) fn settle_order(&mut self, order: &PendingOrder) {
+        let Some(intent) = order.intent else {
+            return;
+        };
+        let s = &mut self.shards[order.shard as usize];
+        if s.kill.as_ref().is_some_and(|k| !k.is_armed()) {
+            s.stats.suppressed += 1;
+            return;
+        }
+        let delta = match intent.side {
+            Side::Bid => intent.qty.contracts() as i64,
+            Side::Ask => -(intent.qty.contracts() as i64),
+        };
+        if (s.portfolio.position() + delta).abs() > self.limits.max_position {
+            s.stats.suppressed += 1;
+            return;
+        }
+        s.stats.orders_sent += 1;
+        let fill = fill_ioc(
+            &s.last_snap,
+            intent.side,
+            intent.limit,
+            intent.qty,
+            self.fill_model,
+            &self.fees,
+        );
+        if fill.filled == intent.qty {
+            s.stats.filled += 1;
+        } else if fill.filled.is_zero() {
+            s.stats.missed += 1;
+        } else {
+            s.stats.partial += 1;
+        }
+        s.stats.contracts_filled += fill.filled.contracts();
+        s.stats.fees_half += fill.fee_half;
+        s.stats.slippage_half += fill.slippage_half;
+        if fill != Fill::MISS {
+            s.portfolio.apply(intent.side, &fill);
+        }
+        if let (Some(kill), Some(mid)) = (s.kill.as_mut(), s.last_mid_half) {
+            kill.observe_pnl_half(s.portfolio.equity_half(mid));
+        }
+    }
+
+    /// Freezes the final valuation into every shard's stats (inventory
+    /// priced at the shard's last observed mid).
+    pub(crate) fn finalize(&mut self) {
+        for s in &mut self.shards {
+            let mid = s.last_mid_half.unwrap_or(0);
+            s.stats.position = s.portfolio.position();
+            s.stats.cash_half = s.portfolio.cash_half();
+            s.stats.equity_half = s.portfolio.equity_half(mid);
+            s.stats.realized_half = s.portfolio.realized_half();
+            s.stats.unrealized_half = s.portfolio.unrealized_half(mid);
+            debug_assert_eq!(s.stats.fees_half, s.portfolio.fees_half());
+            s.stats.assert_tiles();
+        }
+    }
+
+    /// One shard's finalized stats.
+    pub(crate) fn shard_stats(&self, shard: usize) -> ExecutionStats {
+        self.shards[shard].stats
+    }
+
+    /// The fleet-wide aggregate: the exact sum of every shard's stats.
+    pub(crate) fn aggregate(&self) -> ExecutionStats {
+        let mut total = ExecutionStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_feed::SessionBuilder;
+
+    #[test]
+    fn disabled_config_validates_anything() {
+        let mut cfg = ExecutionConfig::default();
+        cfg.signal.horizon_ticks = 0; // invalid if enabled
+        cfg.validate(); // disabled: not checked
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn enabled_config_rejects_zero_horizon() {
+        let mut cfg = ExecutionConfig::realistic();
+        cfg.signal.horizon_ticks = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn signals_are_deterministic_and_bounded() {
+        let trace = SessionBuilder::calm_traffic()
+            .duration_secs(1.0)
+            .seed(9)
+            .build()
+            .trace;
+        let cfg = SignalConfig::default();
+        let a = precompute_signals(&trace, &[], 1, &cfg);
+        let b = precompute_signals(&trace, &[], 1, &cfg);
+        assert_eq!(a, b, "same trace + config => same signals");
+        assert_eq!(a.len(), trace.ticks.len());
+        assert!(a.iter().all(|d| (-1..=1).contains(d)));
+        // The last `horizon` ticks have no future mid: always hold.
+        assert!(a
+            .iter()
+            .rev()
+            .take(cfg.horizon_ticks.min(a.len()))
+            .all(|&d| d == 0));
+    }
+
+    #[test]
+    fn perfect_signal_points_at_the_future_move() {
+        let trace = SessionBuilder::calm_traffic()
+            .duration_secs(1.0)
+            .seed(5)
+            .build()
+            .trace;
+        let cfg = SignalConfig {
+            accuracy_pm: 1000,
+            ..SignalConfig::default()
+        };
+        let dirs = precompute_signals(&trace, &[], 1, &cfg);
+        let mids: Vec<Option<i64>> = trace
+            .ticks
+            .iter()
+            .map(|t| t.snapshot.mid_half_ticks())
+            .collect();
+        let idx: Vec<usize> = (0..trace.ticks.len())
+            .filter(|&i| mids[i].is_some())
+            .collect();
+        let mut checked = 0;
+        for (k, &i) in idx.iter().enumerate() {
+            if dirs[i] == 0 {
+                continue;
+            }
+            let Some(&j) = idx.get(k + cfg.horizon_ticks) else {
+                continue;
+            };
+            let diff = mids[j].unwrap() - mids[i].unwrap();
+            assert!(
+                (dirs[i] > 0) == (diff > 0),
+                "perfect signal disagrees with the future at tick {i}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "trace produced no signals at all");
+    }
+
+    #[test]
+    fn stats_merge_and_tile() {
+        let mut a = ExecutionStats {
+            orders_sent: 3,
+            filled: 1,
+            partial: 1,
+            missed: 1,
+            contracts_filled: 4,
+            fees_half: 5,
+            ..ExecutionStats::default()
+        };
+        let b = ExecutionStats {
+            orders_sent: 2,
+            filled: 2,
+            equity_half: -7,
+            ..ExecutionStats::default()
+        };
+        a.assert_tiles();
+        b.assert_tiles();
+        a.merge(&b);
+        assert_eq!(a.orders_sent, 5);
+        assert_eq!(a.filled, 3);
+        assert_eq!(a.equity_half, -7);
+        a.assert_tiles();
+        assert!((a.fill_rate() - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must tile")]
+    fn broken_tiling_is_caught() {
+        let s = ExecutionStats {
+            orders_sent: 2,
+            filled: 1,
+            ..ExecutionStats::default()
+        };
+        s.assert_tiles();
+    }
+}

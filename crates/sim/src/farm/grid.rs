@@ -8,6 +8,7 @@
 //! it replays; cells sharing a spec share one cached session build.
 
 use crate::config::BacktestConfig;
+use crate::execution::ExecutionConfig;
 use crate::ingress::IngressFaults;
 use crate::traffic;
 use lt_accel::PowerCondition;
@@ -95,6 +96,10 @@ pub struct SweepGrid {
     /// Per-tick deadline budget applied to [`Policy::DeadlineTiered`]
     /// cells (`None` = unbounded); ignored by fixed-policy cells.
     pub tier_budget: Option<Duration>,
+    /// Execution & portfolio layer applied to every cell. Disabled by
+    /// default (latency-only grid, bit-identical to grids predating the
+    /// field).
+    pub execution: ExecutionConfig,
 }
 
 impl SweepGrid {
@@ -118,7 +123,15 @@ impl SweepGrid {
             queue_capacity: 64,
             window: 100,
             tier_budget: None,
+            execution: ExecutionConfig::default(),
         }
+    }
+
+    /// Sets the execution & portfolio layer for every cell.
+    #[must_use]
+    pub fn execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Sets the deadline budget for [`Policy::DeadlineTiered`] cells.
@@ -264,6 +277,7 @@ impl SweepGrid {
                                     }
                                     config.queue_capacity = self.queue_capacity;
                                     config.window = self.window;
+                                    config.execution = self.execution;
                                     let id = cell_id(
                                         kind, n_accels, condition, policy, fault_idx, symbols,
                                         skew, seed,

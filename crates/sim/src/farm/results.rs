@@ -41,12 +41,25 @@ pub struct CellSummary {
     pub batches: u64,
     /// Sum of issued batch sizes.
     pub batched_queries: u64,
+    /// Orders wired out by the execution layer (0 for latency-only cells).
+    pub orders_sent: u64,
+    /// Orders fully filled at the venue.
+    pub filled: u64,
+    /// Orders that crossed nothing at arrival (complete miss).
+    pub missed: u64,
+    /// Contracts filled across all orders.
+    pub contracts_filled: u64,
+    /// Final mark-to-market equity, half-ticks × contracts.
+    pub equity_half: i64,
+    /// Total fees paid, half-ticks × contracts.
+    pub fees_half: i64,
 }
 
 impl CellSummary {
     /// Extracts the scalar row from full metrics. This is the ONLY path
     /// that fills columns, so columns and retained metrics cannot drift.
     pub fn from_metrics(m: &BacktestMetrics) -> Self {
+        let exec = m.execution.unwrap_or_default();
         CellSummary {
             responded: m.responded,
             late: m.late,
@@ -61,6 +74,12 @@ impl CellSummary {
             energy_j: m.energy_j,
             batches: m.batches,
             batched_queries: m.batched_queries,
+            orders_sent: exec.orders_sent,
+            filled: exec.filled,
+            missed: exec.missed,
+            contracts_filled: exec.contracts_filled,
+            equity_half: exec.equity_half,
+            fees_half: exec.fees_half,
         }
     }
 
@@ -117,6 +136,12 @@ pub struct FarmResults {
     energy_j: Vec<f64>,
     batches: Vec<u64>,
     batched_queries: Vec<u64>,
+    orders_sent: Vec<u64>,
+    filled: Vec<u64>,
+    missed: Vec<u64>,
+    contracts_filled: Vec<u64>,
+    equity_half: Vec<i64>,
+    fees_half: Vec<i64>,
     full: Vec<Option<BacktestMetrics>>,
 }
 
@@ -138,6 +163,12 @@ impl FarmResults {
             energy_j: Vec::with_capacity(capacity),
             batches: Vec::with_capacity(capacity),
             batched_queries: Vec::with_capacity(capacity),
+            orders_sent: Vec::with_capacity(capacity),
+            filled: Vec::with_capacity(capacity),
+            missed: Vec::with_capacity(capacity),
+            contracts_filled: Vec::with_capacity(capacity),
+            equity_half: Vec::with_capacity(capacity),
+            fees_half: Vec::with_capacity(capacity),
             full: Vec::with_capacity(capacity),
         }
     }
@@ -165,6 +196,12 @@ impl FarmResults {
         self.energy_j.push(s.energy_j);
         self.batches.push(s.batches);
         self.batched_queries.push(s.batched_queries);
+        self.orders_sent.push(s.orders_sent);
+        self.filled.push(s.filled);
+        self.missed.push(s.missed);
+        self.contracts_filled.push(s.contracts_filled);
+        self.equity_half.push(s.equity_half);
+        self.fees_half.push(s.fees_half);
         self.full.push(full);
     }
 
@@ -199,6 +236,12 @@ impl FarmResults {
             energy_j: self.energy_j[i],
             batches: self.batches[i],
             batched_queries: self.batched_queries[i],
+            orders_sent: self.orders_sent[i],
+            filled: self.filled[i],
+            missed: self.missed[i],
+            contracts_filled: self.contracts_filled[i],
+            equity_half: self.equity_half[i],
+            fees_half: self.fees_half[i],
         }
     }
 
@@ -215,6 +258,17 @@ impl FarmResults {
     /// The energy column, joules.
     pub fn energy_j(&self) -> &[f64] {
         &self.energy_j
+    }
+
+    /// The final-equity column, half-ticks × contracts (0 for
+    /// latency-only cells).
+    pub fn equity_half(&self) -> &[i64] {
+        &self.equity_half
+    }
+
+    /// The orders-sent column (0 for latency-only cells).
+    pub fn orders_sent(&self) -> &[u64] {
+        &self.orders_sent
     }
 
     /// The retained full metrics of cell `i`, when designated.
@@ -262,7 +316,9 @@ impl FarmResults {
                      \"dropped_stale\": {}, \"dropped_deadline\": {}, \"deferred\": {}, \
                      \"response_rate\": {:.6}, \
                      \"mean_t2t_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
-                     \"energy_j\": {:.6}, \"batches\": {}, \"mean_batch\": {:.4}}}",
+                     \"energy_j\": {:.6}, \"batches\": {}, \"mean_batch\": {:.4}, \
+                     \"orders_sent\": {}, \"filled\": {}, \"missed\": {}, \
+                     \"contracts_filled\": {}, \"equity_half\": {}, \"fees_half\": {}}}",
                     cell.id,
                     cell.config.kind,
                     cell.config.n_accels,
@@ -284,6 +340,12 @@ impl FarmResults {
                     s.energy_j,
                     s.batches,
                     s.mean_batch(),
+                    s.orders_sent,
+                    s.filled,
+                    s.missed,
+                    s.contracts_filled,
+                    s.equity_half,
+                    s.fees_half,
                 )
             })
             .collect();

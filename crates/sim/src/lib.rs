@@ -31,6 +31,7 @@
 pub mod baseline;
 pub mod config;
 pub mod engine;
+pub mod execution;
 pub mod farm;
 pub mod ingress;
 pub mod lighttrader;
@@ -43,6 +44,7 @@ pub mod traffic;
 pub use baseline::{run_single_device, SingleDeviceSystem};
 pub use config::{BacktestConfig, TierParams};
 pub use engine::{EngineCtx, Event, EventQueue, PendingOrder, SimModel};
+pub use execution::{precompute_signals, ExecutionConfig, ExecutionStats, SignalConfig};
 pub use farm::{
     run_farm, try_run_farm, CellSummary, FarmCell, FarmFailures, FarmResults, FarmRunner,
     GridDeadline, RetainFull, SweepGrid,

@@ -1,5 +1,6 @@
 //! Back-test outcome accounting.
 
+use crate::execution::ExecutionStats;
 use crate::ingress::IngressReport;
 use crate::telemetry::{Stage, StageBreakdown};
 use lt_dnn::ModelKind;
@@ -150,6 +151,10 @@ pub struct BacktestMetrics {
     /// What the fault-injected ingress did to the feed, when the run was
     /// degraded; `None` for a clean (lossless) run.
     pub ingress: Option<IngressReport>,
+    /// Execution & portfolio outcomes, when the run traded
+    /// ([`crate::execution::ExecutionConfig::enabled`]); `None` for the
+    /// historical latency-only runs.
+    pub execution: Option<ExecutionStats>,
 }
 
 impl BacktestMetrics {

@@ -16,6 +16,7 @@
 
 use crate::config::BacktestConfig;
 use crate::engine;
+use crate::execution::ExecutionStats;
 use crate::lighttrader::build_state;
 use crate::metrics::{BacktestMetrics, TierOutcomes};
 use lt_feed::MultiMarketSession;
@@ -44,6 +45,9 @@ pub struct SymbolOutcome {
     pub deferred: u64,
     /// Per-tier serving outcomes of this symbol's scored queries.
     pub tiers: TierOutcomes,
+    /// Execution & portfolio outcomes of this symbol, when the run
+    /// traded; `None` for latency-only runs.
+    pub execution: Option<ExecutionStats>,
 }
 
 impl SymbolOutcome {
@@ -108,6 +112,25 @@ impl MultiMetrics {
             tiers.merge(&s.tiers);
         }
         assert_eq!(self.aggregate.tiers, tiers, "tiers");
+        if let Some(agg) = self.aggregate.execution {
+            // Fill outcomes tile per symbol, and the per-symbol stats sum
+            // exactly to the fleet aggregate.
+            agg.assert_tiles();
+            let mut sum = ExecutionStats::default();
+            for s in &self.per_symbol {
+                let e = s
+                    .execution
+                    .expect("trading run must attribute execution per symbol");
+                e.assert_tiles();
+                sum.merge(&e);
+            }
+            assert_eq!(agg, sum, "execution");
+        } else {
+            assert!(
+                self.per_symbol.iter().all(|s| s.execution.is_none()),
+                "latency-only run must not carry per-symbol execution"
+            );
+        }
     }
 }
 
@@ -165,6 +188,7 @@ pub fn run_multi_merged(
     );
     let n = session.n_symbols();
     let mut state = build_state(cfg, n, tick_shards.to_vec());
+    state.arm_execution(&cfg.execution, merged, tick_shards, n);
     let aggregate = engine::run(&mut state, merged);
     let per_symbol = session
         .symbols()
@@ -183,6 +207,7 @@ pub fn run_multi_merged(
                 dropped_deadline: counters.dropped_deadline,
                 deferred: counters.deferred,
                 tiers: score.tiers,
+                execution: state.shard_execution(i),
             }
         })
         .collect();

@@ -1,0 +1,138 @@
+//! Integration tests of the execution & portfolio layer.
+//!
+//! The layer must be an *observer*: enabling it changes nothing on the
+//! latency/outcome surface (the golden differential in `golden_parity`
+//! pins that bit-for-bit; here we check it pairwise on arbitrary
+//! configs), while inside the layer fills must tile orders, shards must
+//! tile the aggregate, runs must be deterministic, and the kill switch
+//! must act on mark-to-market drawdown even with no order in flight.
+
+use lt_accel::PowerCondition;
+use lt_dnn::ModelKind;
+use lt_sched::Policy;
+use lt_sim::traffic::{burst_storm_trace, multi_evaluation_session, scheduling_deadline_for};
+use lt_sim::{run_lighttrader, run_multi, BacktestConfig, ExecutionConfig};
+
+fn storm_cfg() -> BacktestConfig {
+    BacktestConfig::new(ModelKind::DeepLob, 2, PowerCondition::Limited)
+        .with_policy(Policy::Both)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob))
+}
+
+#[test]
+fn enabling_execution_leaves_the_latency_surface_untouched() {
+    let trace = burst_storm_trace(1.0, 7);
+    let cfg = storm_cfg();
+    let off = run_lighttrader(&trace, &cfg);
+    let on = run_lighttrader(&trace, &cfg.with_execution(ExecutionConfig::realistic()));
+    assert!(off.execution.is_none(), "disabled layer reports nothing");
+    let exec = on.execution.expect("enabled layer reports stats");
+    assert!(exec.orders_sent > 0, "the storm must produce orders");
+    exec.assert_tiles();
+    // Everything except the execution report is identical.
+    assert_eq!(off.responded, on.responded);
+    assert_eq!(off.late, on.late);
+    assert_eq!(off.dropped_full, on.dropped_full);
+    assert_eq!(off.dropped_stale, on.dropped_stale);
+    assert_eq!(off.dropped_deadline, on.dropped_deadline);
+    assert_eq!(off.deferred, on.deferred);
+    assert_eq!(off.batches, on.batches);
+    assert_eq!(off.batched_queries, on.batched_queries);
+    assert_eq!(off.energy_j.to_bits(), on.energy_j.to_bits());
+    assert_eq!(off.latencies(), on.latencies());
+    assert_eq!(off.tiers, on.tiers);
+}
+
+#[test]
+fn execution_is_deterministic() {
+    let trace = burst_storm_trace(1.0, 7);
+    let cfg = storm_cfg().with_execution(ExecutionConfig::realistic());
+    let a = run_lighttrader(&trace, &cfg).execution.unwrap();
+    let b = run_lighttrader(&trace, &cfg).execution.unwrap();
+    assert_eq!(a, b, "same trace + config => same fills and P&L");
+}
+
+#[test]
+fn realistic_fills_diverge_from_assume_fill() {
+    let trace = burst_storm_trace(1.0, 7);
+    let assume = run_lighttrader(
+        &trace,
+        &storm_cfg().with_execution(ExecutionConfig::assume_fill()),
+    )
+    .execution
+    .unwrap();
+    let real = run_lighttrader(
+        &trace,
+        &storm_cfg().with_execution(ExecutionConfig::realistic()),
+    )
+    .execution
+    .unwrap();
+    assert_eq!(
+        assume.filled, assume.orders_sent,
+        "assume-fill fills every order in full"
+    );
+    assert_eq!(assume.missed, 0);
+    assert!(
+        real.missed + real.partial > 0,
+        "the storm must move the book inside the pipeline latency for \
+         at least one order: {real:?}"
+    );
+}
+
+#[test]
+fn multi_symbol_fill_outcomes_tile_per_symbol() {
+    let session = multi_evaluation_session(2.0, 42, 4, 1.0);
+    let cfg = BacktestConfig::new(ModelKind::DeepLob, 4, PowerCondition::Sufficient)
+        .with_policy(Policy::Both)
+        .with_t_avail(scheduling_deadline_for(ModelKind::DeepLob))
+        .with_symbols(4, 1.0)
+        .with_execution(ExecutionConfig::realistic());
+    // run_multi's assert_consistent already checks per-symbol tiling and
+    // aggregate-equals-sum; re-derive the headline pieces here.
+    let m = run_multi(&session, &cfg);
+    let agg = m.aggregate.execution.expect("trading run reports stats");
+    assert!(agg.orders_sent > 0, "the session must produce orders");
+    let mut sent = 0;
+    for s in &m.per_symbol {
+        let e = s.execution.expect("per-symbol stats present");
+        e.assert_tiles();
+        sent += e.orders_sent;
+    }
+    assert_eq!(agg.orders_sent, sent, "symbols tile the aggregate");
+    agg.assert_tiles();
+}
+
+#[test]
+fn kill_switch_suppresses_all_orders_at_a_zero_floor() {
+    // A loss floor of zero trips on the very first mark-to-market
+    // observation (flat equity 0 <= floor 0) — before any order settles,
+    // proving the switch acts on ticks, not on settlements.
+    let trace = burst_storm_trace(1.0, 7);
+    let cfg = storm_cfg().with_execution(ExecutionConfig::realistic().with_kill_floor(0));
+    let exec = run_lighttrader(&trace, &cfg).execution.unwrap();
+    assert_eq!(exec.orders_sent, 0, "tripped switch wires nothing out");
+    assert!(exec.suppressed > 0, "the strategy still tried to trade");
+    assert_eq!(exec.position, 0);
+    assert_eq!(exec.equity_half, 0);
+}
+
+#[test]
+fn deep_loss_floor_changes_nothing() {
+    let trace = burst_storm_trace(1.0, 7);
+    let unlimited = run_lighttrader(
+        &trace,
+        &storm_cfg().with_execution(ExecutionConfig::realistic()),
+    )
+    .execution
+    .unwrap();
+    let deep = run_lighttrader(
+        &trace,
+        &storm_cfg().with_execution(ExecutionConfig::realistic().with_kill_floor(-1_000_000)),
+    )
+    .execution
+    .unwrap();
+    assert_eq!(
+        unlimited, deep,
+        "a floor the drawdown never reaches must not alter execution"
+    );
+}

@@ -21,8 +21,8 @@ use lt_feed::TickTrace;
 use lt_sched::Policy;
 use lt_sim::traffic::{evaluation_trace, scheduling_deadline_for};
 use lt_sim::{
-    run_lighttrader, run_single_device, BacktestConfig, BacktestMetrics, SingleDeviceSystem,
-    TierParams,
+    run_lighttrader, run_single_device, BacktestConfig, BacktestMetrics, ExecutionConfig,
+    SingleDeviceSystem, TierParams,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -297,6 +297,40 @@ fn tiered_passthrough_matches_fixed_policy_goldens() {
         assert_eq!(
             got, want,
             "tiered passthrough diverged from the {name} golden"
+        );
+    }
+}
+
+/// Differential isolation: enabling the execution & portfolio layer in
+/// assume-fill mode (the historical accounting, now made explicit) must
+/// leave the latency/outcome surface **byte-identical** — fills push no
+/// events and touch no scheduling state — checked against the very same
+/// golden files, for every LightTrader scenario in the pinned matrix.
+#[test]
+fn assume_fill_mode_matches_goldens() {
+    let mut traces: Vec<(u64, TickTrace)> = Vec::new();
+    for (name, fixed_cfg) in lighttrader_scenarios() {
+        let seed = if name.starts_with('a') {
+            101u64
+        } else {
+            20230225u64
+        };
+        if !traces.iter().any(|(s, _)| *s == seed) {
+            traces.push((seed, evaluation_trace(4.0, seed)));
+        }
+        let trace = &traces.iter().find(|(s, _)| *s == seed).unwrap().1;
+        let trading_cfg = fixed_cfg.with_execution(ExecutionConfig::assume_fill());
+        let m = run_lighttrader(trace, &trading_cfg);
+        let exec = m
+            .execution
+            .expect("enabled execution layer must report stats");
+        exec.assert_tiles();
+        let got = encode(&m);
+        let want = std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        assert_eq!(
+            got, want,
+            "assume-fill execution diverged from the {name} golden"
         );
     }
 }

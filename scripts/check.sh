@@ -43,6 +43,12 @@ echo "== tier scheduler gates: planner/estimator properties + outcome accounting
 cargo test -q --release -p lt-sched --test tier_props
 cargo test -q --release -p lt-sim --test tier_accounting
 
+echo "== execution gates: assume-fill golden differential + portfolio properties + kill-switch drawdown =="
+cargo test -q --release -p lt-sim --test golden_parity assume_fill_mode_matches_goldens
+cargo test -q --release -p lt-sim --test execution
+cargo test -q --release -p lt-pipeline --test portfolio_props
+cargo test -q --release -p lighttrader drawdown_on_held_position_trips_kill_with_no_orders_in_flight
+
 if [[ "$fast" == "0" ]]; then
     echo "== sim wall-clock smoke (budget 1.15x seed) =="
     cargo test -q --release -p lt-sim --test wallclock_smoke -- --ignored
@@ -63,6 +69,10 @@ if [[ "$fast" == "0" ]]; then
     echo "== deadline-tier regression (1.2x tiered-vs-best-fixed hit-rate floor) =="
     cargo run --release -p lt-bench --bin bench_deadline
     grep -q '"floor_met": true' BENCH_deadline.json
+
+    echo "== fill-model regression (assume-fill overstates + tiered fill-weighted edge) =="
+    cargo run --release -p lt-bench --bin bench_fills
+    grep -q '"floor_met": true' BENCH_fills.json
 fi
 
 echo "== all checks passed =="
