@@ -1,0 +1,148 @@
+//! Batched-inference regression benchmark: times the packed batched
+//! forward (`forward_batch_scratch` over prepacked weight panels)
+//! against looping `forward_scratch` per query, across every benchmark
+//! model and a batch-size sweep, and emits a machine-readable
+//! `BENCH_batch.json` in the current directory.
+//!
+//! ```text
+//! cargo run --release -p lt-bench --bin bench_batch
+//! ```
+//!
+//! Exits nonzero if the DeepLOB per-query speedup at batch 16 falls
+//! below the 2x regression floor, so CI catches batched-path
+//! regressions. Both paths produce bit-identical predictions (pinned by
+//! `lt-dnn/tests/batch_equivalence.rs`), so this measures pure
+//! throughput.
+
+use std::time::Instant;
+
+use lighttrader::dnn::models::{CnnSpec, DeepLobSpec, TransLobSpec};
+use lighttrader::dnn::{Model, Prediction, ScratchPad, Tensor};
+
+/// Minimum acceptable DeepLOB per-query speedup at batch 16.
+const DEEPLOB_BATCH16_FLOOR: f64 = 2.0;
+/// Batch sizes swept per model.
+const BATCHES: [usize; 3] = [1, 4, 16];
+/// Target wall time per measurement, nanoseconds.
+const TARGET_NS: u128 = 100_000_000;
+
+/// Times `f` adaptively: calibrates an iteration count that fills
+/// roughly [`TARGET_NS`], runs three repetitions, and returns the best
+/// (least-noisy) per-iteration nanoseconds.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    let mut calib = 0u32;
+    while start.elapsed().as_nanos() < TARGET_NS / 10 {
+        f();
+        calib += 1;
+    }
+    let iters = calib.max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_iter);
+    }
+    best
+}
+
+struct Row {
+    model: &'static str,
+    batch: usize,
+    looped_ns_per_query: f64,
+    batched_ns_per_query: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.looped_ns_per_query / self.batched_ns_per_query
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"model\": \"{}\", \"batch\": {}, \"looped_ns_per_query\": {:.1}, \
+             \"batched_ns_per_query\": {:.1}, \"speedup\": {:.2}}}",
+            self.model,
+            self.batch,
+            self.looped_ns_per_query,
+            self.batched_ns_per_query,
+            self.speedup()
+        )
+    }
+}
+
+fn sweep(model: &dyn Model, name: &'static str, rows: &mut Vec<Row>) {
+    let packed = model.pack_weights();
+    for batch in BATCHES {
+        let inputs: Vec<Tensor> = (0..batch)
+            .map(|i| {
+                Tensor::random(
+                    &[model.window(), model.features()],
+                    1.0,
+                    17 + batch as u64 * 100 + i as u64,
+                )
+            })
+            .collect();
+        let mut pad = ScratchPad::new();
+        let mut out: Vec<Prediction> = Vec::new();
+        // Warm both paths so pads and panels are steady-state.
+        model.forward_batch_looped(&inputs, &mut pad, &mut out);
+        model.forward_batch_scratch(&inputs, &packed, &mut pad, &mut out);
+        let looped =
+            time_ns(|| model.forward_batch_looped(&inputs, &mut pad, &mut out)) / batch as f64;
+        let batched = time_ns(|| model.forward_batch_scratch(&inputs, &packed, &mut pad, &mut out))
+            / batch as f64;
+        let row = Row {
+            model: name,
+            batch,
+            looped_ns_per_query: looped,
+            batched_ns_per_query: batched,
+        };
+        println!(
+            "{:<12} b={:<3} looped {:>10.0} ns/q   batched {:>10.0} ns/q   speedup {:>5.2}x",
+            name,
+            batch,
+            looped,
+            batched,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    sweep(&CnnSpec::tiny().build(3), "vanilla_cnn", &mut rows);
+    sweep(&DeepLobSpec::tiny().build(3), "deeplob", &mut rows);
+    sweep(&TransLobSpec::tiny().build(3), "translob", &mut rows);
+
+    let deeplob16 = rows
+        .iter()
+        .find(|r| r.model == "deeplob" && r.batch == 16)
+        .map(Row::speedup)
+        .unwrap_or(0.0);
+    let floor_met = deeplob16 >= DEEPLOB_BATCH16_FLOOR;
+
+    let row_json: Vec<String> = rows.iter().map(Row::json).collect();
+    let json = format!(
+        "{{\n  \"rows\": [\n{}\n  ],\n  \"deeplob_batch16_speedup\": {:.2},\n  \
+         \"deeplob_batch16_floor\": {:.1},\n  \"floor_met\": {}\n}}\n",
+        row_json.join(",\n"),
+        deeplob16,
+        DEEPLOB_BATCH16_FLOOR,
+        floor_met,
+    );
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("\nwrote BENCH_batch.json");
+
+    if !floor_met {
+        eprintln!(
+            "REGRESSION: DeepLOB batch-16 per-query speedup {deeplob16:.2}x below the \
+             {DEEPLOB_BATCH16_FLOOR:.1}x floor"
+        );
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,9 @@
 
 use std::time::Instant;
 
+use lighttrader::dnn::kernels::{
+    gemm_bt_bias_rows_bf16, gemm_packed_bt_bias_rows_bf16, pack_bt_panels,
+};
 use lighttrader::dnn::models::{CnnSpec, DeepLobSpec, QuantizedCnn, TransLobSpec};
 use lighttrader::dnn::ops::{Conv2d, Linear, LinearInt8, Lstm, MultiHeadAttention};
 use lighttrader::dnn::{Model, ScratchPad, Tensor};
@@ -155,6 +158,30 @@ fn main() {
             pad.give_tensor(out);
         },
     ));
+
+    // Batch sweep: the packed-panel GEMM against the row-major GEMM on
+    // a batch-stacked output (DeepLOB trunk geometry: 16 output
+    // channels over k=64, 24 positions per sample, n = batch x 24).
+    for (name, batch) in [
+        ("gemm_packed_b1", 1usize),
+        ("gemm_packed_b4", 4),
+        ("gemm_packed_b16", 16),
+    ] {
+        let (m, k, positions) = (16usize, 64usize, 24usize);
+        let n = batch * positions;
+        let a = Tensor::random(&[m, k], 1.0, 7);
+        let b = Tensor::random(&[n, k], 1.0, 8);
+        let bias = vec![0.1f32; m];
+        let mut packed = Vec::new();
+        pack_bt_panels(a.data(), m, k, &mut packed);
+        let mut out_naive = vec![0.0f32; m * n];
+        let mut out_fast = vec![0.0f32; m * n];
+        kernels.push(measure(
+            name,
+            || gemm_bt_bias_rows_bf16(a.data(), b.data(), &bias, m, n, k, &mut out_naive),
+            || gemm_packed_bt_bias_rows_bf16(&packed, b.data(), &bias, m, n, k, &mut out_fast),
+        ));
+    }
 
     let mut models = Vec::new();
     let vanilla = CnnSpec::tiny().build(3);

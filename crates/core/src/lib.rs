@@ -41,6 +41,7 @@
 //! ```
 
 pub mod experiments;
+pub mod multi;
 pub mod report;
 pub mod system;
 
@@ -53,10 +54,12 @@ pub use lt_protocol as protocol;
 pub use lt_sched as sched;
 pub use lt_sim as sim;
 
+pub use multi::MultiSymbolTrader;
 pub use system::{LightTrader, LightTraderBuilder, TickOutcome};
 
 /// The names most applications need, in one import.
 pub mod prelude {
+    pub use crate::multi::MultiSymbolTrader;
     pub use crate::system::{LightTrader, LightTraderBuilder, TickOutcome};
     pub use lt_accel::{AccelSpec, DeviceProfile, OperatingPoint, PowerCondition};
     pub use lt_dnn::{Model, ModelKind, Prediction, PriceDirection, Tensor};

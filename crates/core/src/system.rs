@@ -7,13 +7,13 @@
 //! tiny model configurations); use `lt-sim` when you need timing,
 //! response rates, or scheduling studies instead.
 
-use lt_dnn::{ModelKind, ModelRegistry, Prediction};
+use lt_dnn::{ModelKind, ModelRegistry, Prediction, Tensor};
 use lt_feed::NormStats;
 use lt_lob::{MarketEvent, Symbol, Timestamp};
 use lt_pipeline::trading::NoOrderReason;
 use lt_pipeline::{
     KillSwitch, LocalBook, OffloadEngine, OrderRateLimiter, PacketParser, PipelineLatencies,
-    RiskLimits, TradingEngine,
+    RiskLimits, TensorTicket, TradingEngine,
 };
 use lt_protocol::ilink::OrderMessage;
 
@@ -154,6 +154,7 @@ impl LightTraderBuilder {
             panic!("pipeline stage '{stage}' has zero latency");
         }
         let window = registry.max_window();
+        let width = norm.depth() * 4;
         LightTrader {
             parser: PacketParser::new(),
             book: LocalBook::new(),
@@ -164,6 +165,8 @@ impl LightTraderBuilder {
                 .loss_floor_ticks
                 .map(|floor| KillSwitch::new(floor, 10)),
             inferences: 0,
+            tickets: Vec::with_capacity(4),
+            window_buf: Tensor::zeros(&[window, width]),
             snap: lt_lob::LobSnapshot::default(),
             stages: self.stages,
             active: self.kind,
@@ -187,6 +190,13 @@ pub struct LightTrader {
     limiter: Option<OrderRateLimiter>,
     kill: Option<KillSwitch>,
     inferences: u64,
+    /// Reusable drain buffer for the ticket queue: every popped ticket
+    /// is accounted for (forwarded), none silently discarded.
+    tickets: Vec<TensorTicket>,
+    /// Reusable `[max_window, features]` staging tensor the current
+    /// feature window is written into before inference — steady-state
+    /// ticks never materialize a fresh window tensor.
+    window_buf: Tensor,
     /// Snapshot scratch reused across ticks: once its level vectors
     /// reach depth capacity, the tick path takes no snapshot allocation.
     snap: lt_lob::LobSnapshot,
@@ -310,16 +320,37 @@ impl LightTrader {
             return TickOutcome::Warmup;
         }
         // In the functional path the "accelerator" is the host: run the
-        // tiny model on the assembled window.
-        let tensor = self.offload.latest_tensor();
-        // Consume the ticket this tick enqueued: the host answers
-        // immediately, so the queue never backs up.
-        self.offload.pop_batch(usize::MAX);
-        let prediction = self.registry.forward(self.active, &tensor);
-        self.inferences += 1;
+        // tiny model on the assembled window. Drain the queue into the
+        // reusable buffer and account for every popped ticket — the
+        // host answers before the next tick, so the invariant is exactly
+        // the one ticket this tick enqueued (anything else would mean a
+        // query was silently discarded instead of forwarded).
+        let prediction = self.drain_and_forward();
         let outcome = self.gated_decision(&prediction, &snapshot, event.ts);
         self.snap = snapshot;
         outcome
+    }
+
+    /// Drains the offload queue and serves the query it held: stages the
+    /// current window into the reusable tensor and runs the active tier
+    /// through the registry's packed forward path.
+    ///
+    /// Every popped ticket must be served; in the functional path the
+    /// host drains after every warm tick, so exactly one ticket can be
+    /// queued. A longer queue would mean earlier queries were dropped
+    /// without inference, which this asserts against instead of hiding.
+    fn drain_and_forward(&mut self) -> Prediction {
+        self.tickets.clear();
+        self.offload.pop_batch_into(usize::MAX, &mut self.tickets);
+        assert_eq!(
+            self.tickets.len(),
+            1,
+            "functional path must drain one ticket per warm tick"
+        );
+        self.offload.write_window_into(self.window_buf.data_mut());
+        let prediction = self.registry.forward(self.active, &self.window_buf);
+        self.inferences += 1;
+        prediction
     }
 
     /// Applies the kill switch and rate limiter around the trading
@@ -389,10 +420,7 @@ impl LightTrader {
             if !self.offload.is_warm() {
                 continue;
             }
-            let tensor = self.offload.latest_tensor();
-            self.offload.pop_batch(usize::MAX);
-            let prediction = self.registry.forward(self.active, &tensor);
-            self.inferences += 1;
+            let prediction = self.drain_and_forward();
             outcomes.push((
                 tick.ts,
                 self.gated_decision(&prediction, &tick.snapshot, tick.ts),
@@ -696,6 +724,72 @@ mod tests {
         );
     }
 
+    /// Every ticket the offload queue admits is served by an inference —
+    /// the drain never discards queries. Pinned by matching the
+    /// inference counter against the warm-tick count tick by tick, with
+    /// the queue empty after each drain.
+    #[test]
+    fn every_queued_ticket_is_forwarded() {
+        let session = SessionBuilder::normal_traffic()
+            .duration_secs(0.3)
+            .seed(11)
+            .build();
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(5)
+            .normalization(session.norm.clone())
+            .build();
+        let mut warm_ticks = 0u64;
+        for tick in &session.trace {
+            system
+                .offload
+                .on_tick_staged(&tick.snapshot, tick.ts, &system.stages.clone());
+            if !system.offload.is_warm() {
+                continue;
+            }
+            let _ = system.drain_and_forward();
+            warm_ticks += 1;
+            assert_eq!(
+                system.offload.queue_len(),
+                0,
+                "queue must be fully drained every tick"
+            );
+            assert_eq!(
+                system.inferences(),
+                warm_ticks,
+                "each admitted ticket produces exactly one inference"
+            );
+        }
+        assert!(warm_ticks > 0, "session long enough to warm the window");
+    }
+
+    /// A backlog in the functional queue means queries were admitted but
+    /// never served; the drain refuses to paper over that by forwarding
+    /// only the freshest window.
+    #[test]
+    #[should_panic(expected = "drain one ticket per warm tick")]
+    fn undrained_backlog_is_rejected_not_dropped() {
+        let session = SessionBuilder::normal_traffic()
+            .duration_secs(0.3)
+            .seed(13)
+            .build();
+        let mut system = LightTrader::builder(ModelKind::VanillaCnn)
+            .seed(5)
+            .normalization(session.norm.clone())
+            .build();
+        for tick in &session.trace {
+            system
+                .offload
+                .on_tick_staged(&tick.snapshot, tick.ts, &system.stages.clone());
+            if system.offload.queue_len() >= 2 {
+                // Two admitted tickets, one window: forwarding would
+                // silently discard the older query.
+                let _ = system.drain_and_forward();
+                unreachable!("drain must reject a multi-ticket backlog");
+            }
+        }
+        panic!("session too short to queue two tickets");
+    }
+
     #[test]
     fn tier_switching_serves_each_registered_model() {
         let session = SessionBuilder::normal_traffic()
@@ -721,9 +815,7 @@ mod tests {
             if !system.offload.is_warm() {
                 continue;
             }
-            let tensor = system.offload.latest_tensor();
-            system.offload.pop_batch(usize::MAX);
-            let prediction = system.registry.forward(tier, &tensor);
+            let prediction = system.drain_and_forward();
             let sum: f32 = prediction.probs.iter().sum();
             assert!((sum - 1.0).abs() < 1e-3, "{tier}: {:?}", prediction.probs);
             per_tier[(chunk / 50) % 3] += 1;

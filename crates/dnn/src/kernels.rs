@@ -451,6 +451,332 @@ pub fn attn_context(
     }
 }
 
+/// Repacks a row-major `[m, k]` operand into [`MR`]-row panels.
+///
+/// Full panels hold `MR` consecutive rows interleaved `k`-major
+/// (`panel[t * MR + r] = a[(i0 + r) * k + t]`), so a register tile's
+/// inner `k` step loads its `MR` weights from one contiguous word —
+/// four independent accumulator chains the compiler can keep in a
+/// single SIMD register. The `m % MR` tail rows are stored row-major
+/// after the panels, which lands row `r` at flat offset `r * k` —
+/// exactly where the unpacked remainder loop would read it.
+///
+/// Packing is a pure permutation of the operand layout: the packed
+/// GEMM's per-output accumulation order (and therefore every bit of
+/// its output) is unchanged. `out` is cleared and filled with exactly
+/// `m * k` elements.
+pub fn pack_bt_panels(a: &[f32], m: usize, k: usize, out: &mut Vec<f32>) {
+    assert_eq!(a.len(), m * k, "pack operand length");
+    out.clear();
+    out.reserve(m * k);
+    let mut i = 0;
+    while i + MR <= m {
+        for t in 0..k {
+            for r in 0..MR {
+                out.push(a[(i + r) * k + t]);
+            }
+        }
+        i += MR;
+    }
+    out.extend_from_slice(&a[i * k..]);
+}
+
+/// [`gemm_bt_bias_rows_bf16`] reading a prepacked A operand
+/// (see [`pack_bt_panels`]); bit-identical output.
+///
+/// The full-tile inner loop walks `packed` panels `k`-major, so the
+/// four accumulator chains update from one contiguous 4-lane load per
+/// `k` step instead of four strided row reads — the layout change that
+/// lets steady-state batched forwards never touch the row-major weight
+/// tensors. Accumulation order per output element is exactly that of
+/// the unpacked kernel.
+pub fn gemm_packed_bt_bias_rows_bf16(
+    packed: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(packed.len(), m * k, "gemm packed A length");
+    assert_eq!(b.len(), n * k, "gemm B length");
+    assert_eq!(bias.len(), m, "gemm bias length");
+    assert_eq!(out.len(), m * n, "gemm output length");
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + NB).min(n);
+        let mut i = 0;
+        while i + MR <= m {
+            let panel = &packed[i * k..(i + MR) * k];
+            for j in j0..j1 {
+                let bj = &b[j * k..(j + 1) * k];
+                let mut acc = [bias[i], bias[i + 1], bias[i + 2], bias[i + 3]];
+                for (&x, av) in bj.iter().zip(panel.chunks_exact(MR)) {
+                    acc[0] += av[0] * x;
+                    acc[1] += av[1] * x;
+                    acc[2] += av[2] * x;
+                    acc[3] += av[3] * x;
+                }
+                out[i * n + j] = bf16_round(acc[0]);
+                out[(i + 1) * n + j] = bf16_round(acc[1]);
+                out[(i + 2) * n + j] = bf16_round(acc[2]);
+                out[(i + 3) * n + j] = bf16_round(acc[3]);
+            }
+            i += MR;
+        }
+        // Tail rows sit row-major at their unpacked offsets.
+        for r in i..m {
+            let ar = &packed[r * k..(r + 1) * k];
+            for j in j0..j1 {
+                let bj = &b[j * k..(j + 1) * k];
+                let mut acc = bias[r];
+                for t in 0..k {
+                    acc += ar[t] * bj[t];
+                }
+                out[r * n + j] = bf16_round(acc);
+            }
+        }
+        j0 = j1;
+    }
+}
+
+/// [`matvec_bias_bf16`] reading a prepacked `[n, k]` weight operand
+/// (see [`pack_bt_panels`]); bit-identical output.
+pub fn matvec_packed_bias_bf16(
+    packed: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(packed.len(), n * k, "matvec packed weight length");
+    assert_eq!(bias.len(), n, "matvec bias length");
+    assert_eq!(x.len(), k, "matvec input length");
+    assert_eq!(out.len(), n, "matvec output length");
+    let mut o = 0;
+    while o + MR <= n {
+        let panel = &packed[o * k..(o + MR) * k];
+        let mut acc = [bias[o], bias[o + 1], bias[o + 2], bias[o + 3]];
+        for (&xv, wv) in x.iter().zip(panel.chunks_exact(MR)) {
+            acc[0] += wv[0] * xv;
+            acc[1] += wv[1] * xv;
+            acc[2] += wv[2] * xv;
+            acc[3] += wv[3] * xv;
+        }
+        out[o] = bf16_round(acc[0]);
+        out[o + 1] = bf16_round(acc[1]);
+        out[o + 2] = bf16_round(acc[2]);
+        out[o + 3] = bf16_round(acc[3]);
+        o += MR;
+    }
+    for r in o..n {
+        let wr = &packed[r * k..(r + 1) * k];
+        let mut acc = bias[r];
+        for t in 0..k {
+            acc += wr[t] * x[t];
+        }
+        out[r] = bf16_round(acc);
+    }
+}
+
+/// Batched [`lstm_gates`] over prepacked weights: one timestep's gate
+/// pre-activations for every sequence in a batch.
+///
+/// `packed_wx` / `packed_wh` are `[4 * hidden, input]` / `[4 * hidden,
+/// hidden]` operands packed by [`pack_bt_panels`]. Sample `s` reads its
+/// timestep input at `x[x_off + s * x_stride ..][..input]` (a strided
+/// view into a sample-major `[batch, steps, input]` sequence buffer)
+/// and its hidden state at `h[s * hidden..]`; its gates land at
+/// `gates[s * 4 * hidden..]`. Per (sample, gate) the accumulation is
+/// bias, then the `wx` dot, then the `wh` dot — exactly [`lstm_gates`].
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_gates_packed_batch(
+    packed_wx: &[f32],
+    packed_wh: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    x_off: usize,
+    x_stride: usize,
+    h: &[f32],
+    batch: usize,
+    input: usize,
+    hidden: usize,
+    gates: &mut [f32],
+) {
+    let n = 4 * hidden;
+    assert_eq!(packed_wx.len(), n * input, "lstm packed wx length");
+    assert_eq!(packed_wh.len(), n * hidden, "lstm packed wh length");
+    assert_eq!(bias.len(), n, "lstm bias length");
+    assert_eq!(h.len(), batch * hidden, "lstm hidden length");
+    assert_eq!(gates.len(), batch * n, "lstm gates length");
+    if batch > 0 {
+        assert!(
+            x.len() >= x_off + (batch - 1) * x_stride + input,
+            "lstm sequence buffer too short"
+        );
+    }
+    for s in 0..batch {
+        let xt = &x[x_off + s * x_stride..x_off + s * x_stride + input];
+        let hs = &h[s * hidden..(s + 1) * hidden];
+        let grow = &mut gates[s * n..(s + 1) * n];
+        let mut g = 0;
+        while g + MR <= n {
+            let px = &packed_wx[g * input..(g + MR) * input];
+            let mut acc = [bias[g], bias[g + 1], bias[g + 2], bias[g + 3]];
+            for (&xv, wv) in xt.iter().zip(px.chunks_exact(MR)) {
+                acc[0] += wv[0] * xv;
+                acc[1] += wv[1] * xv;
+                acc[2] += wv[2] * xv;
+                acc[3] += wv[3] * xv;
+            }
+            let ph = &packed_wh[g * hidden..(g + MR) * hidden];
+            for (&hv, wv) in hs.iter().zip(ph.chunks_exact(MR)) {
+                acc[0] += wv[0] * hv;
+                acc[1] += wv[1] * hv;
+                acc[2] += wv[2] * hv;
+                acc[3] += wv[3] * hv;
+            }
+            grow[g] = acc[0];
+            grow[g + 1] = acc[1];
+            grow[g + 2] = acc[2];
+            grow[g + 3] = acc[3];
+            g += MR;
+        }
+        for r in g..n {
+            let mut acc = bias[r];
+            let wxr = &packed_wx[r * input..(r + 1) * input];
+            for i in 0..input {
+                acc += wxr[i] * xt[i];
+            }
+            let whr = &packed_wh[r * hidden..(r + 1) * hidden];
+            for j in 0..hidden {
+                acc += whr[j] * hs[j];
+            }
+            grow[r] = acc;
+        }
+    }
+}
+
+/// Direct convolution for width-1 kernels at unit stride with no
+/// horizontal padding — the dominant layer shape in all three benchmark
+/// networks (every temporal `(kh, 1)` convolution and every 1x1
+/// inception branch). Bit-identical to `im2col` + GEMM.
+///
+/// With `kw == 1`, `stride == (1, 1)`, `pw == 0`, the im2col "patch
+/// column" for tap `t = (ic, ky)` is just the input channel shifted by
+/// `(ky - ph)` rows — so instead of materializing an `[oh * ow, k]`
+/// patch matrix and re-reading it, this kernel accumulates each tap as
+/// one scalar-times-slice pass over the `f32` workspace `acc` (length
+/// `oh * w`), which vectorizes as a pure axpy. Per output element the
+/// accumulation order is exactly the GEMM's: seeded with the bias,
+/// taps in increasing `(ic, ky)` order, rounded once at the end.
+/// Out-of-range taps add `weight * 0.0`, exactly as the GEMM multiplies
+/// the patch matrix's materialized zeros.
+///
+/// `a` is the row-major `[out_c, in_c * kh]` kernel matrix; `x` is one
+/// `[in_c, h, w]` sample; `out` is its `[out_c, oh * w]` output.
+///
+/// # Panics
+///
+/// Panics on buffer-length mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_kw1_direct_bf16(
+    a: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    ph: usize,
+    out_c: usize,
+    acc: &mut [f32],
+    out: &mut [f32],
+) {
+    let k = in_c * kh;
+    let oh = h + 2 * ph + 1 - kh;
+    let positions = oh * w;
+    assert_eq!(a.len(), out_c * k, "direct conv kernel length");
+    assert_eq!(bias.len(), out_c, "direct conv bias length");
+    assert_eq!(x.len(), in_c * h * w, "direct conv input length");
+    assert_eq!(acc.len(), positions, "direct conv workspace length");
+    assert_eq!(out.len(), out_c * positions, "direct conv output length");
+    for oc in 0..out_c {
+        acc.fill(bias[oc]);
+        let wrow = &a[oc * k..(oc + 1) * k];
+        for ic in 0..in_c {
+            let chan = &x[ic * h * w..(ic + 1) * h * w];
+            for ky in 0..kh {
+                let wv = wrow[ic * kh + ky];
+                // Output rows whose tap row `oy + ky - ph` is in bounds.
+                let lo = ph.saturating_sub(ky).min(oh);
+                let hi = (h + ph).saturating_sub(ky).clamp(lo, oh);
+                // Padded taps contribute `wv * 0.0` (a signed zero),
+                // matching the GEMM against materialized zeros.
+                let z = wv * 0.0;
+                for v in &mut acc[..lo * w] {
+                    *v += z;
+                }
+                for v in &mut acc[hi * w..] {
+                    *v += z;
+                }
+                let src = &chan[(lo + ky - ph) * w..(hi + ky - ph) * w];
+                for (av, &xv) in acc[lo * w..hi * w].iter_mut().zip(src) {
+                    *av += wv * xv;
+                }
+            }
+        }
+        for (o, &v) in out[oc * positions..(oc + 1) * positions]
+            .iter_mut()
+            .zip(acc.iter())
+        {
+            *o = bf16_round(v);
+        }
+    }
+}
+
+/// Whole-batch [`im2col`]: unfolds a sample-major `[batch, in_c, h, w]`
+/// activation block into the stacked `[batch * oh * ow, in_c * kh * kw]`
+/// patch matrix, sample `s`'s patch rows occupying the contiguous row
+/// range `[s * oh * ow, (s + 1) * oh * ow)`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_batch(
+    x: &[f32],
+    batch: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
+    let sample_in = in_c * h * w;
+    let sample_out = oh * ow * in_c * kh * kw;
+    assert_eq!(x.len(), batch * sample_in, "im2col_batch input length");
+    assert_eq!(out.len(), batch * sample_out, "im2col_batch patch length");
+    for s in 0..batch {
+        im2col(
+            &x[s * sample_in..(s + 1) * sample_in],
+            in_c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            padding,
+            oh,
+            ow,
+            &mut out[s * sample_out..(s + 1) * sample_out],
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +923,137 @@ mod tests {
                 acc += wh[g * hidden + j] * h[j];
             }
             assert_eq!(gates[g], acc, "gate {g}");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_matches_unpacked_across_tile_boundaries() {
+        // m spans below/at/above MR, n spans below/at/above NB.
+        for &m in &[1usize, 3, 4, 5, 8, 9] {
+            for &n in &[1usize, 63, 64, 65] {
+                let k = 7usize;
+                let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+                let b: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.19).cos()).collect();
+                let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1 - 0.2).collect();
+                let mut packed = Vec::new();
+                pack_bt_panels(&a, m, k, &mut packed);
+                let mut want = vec![0.0; m * n];
+                gemm_bt_bias_rows_bf16(&a, &b, &bias, m, n, k, &mut want);
+                let mut got = vec![0.0; m * n];
+                gemm_packed_bt_bias_rows_bf16(&packed, &b, &bias, m, n, k, &mut got);
+                assert_eq!(got, want, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matvec_matches_unpacked() {
+        for &n in &[1usize, 4, 7, 16] {
+            let k = 9usize;
+            let w: Vec<f32> = (0..n * k).map(|i| (i as f32).sin()).collect();
+            let x: Vec<f32> = (0..k).map(|i| (i as f32).cos()).collect();
+            let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.05).collect();
+            let mut packed = Vec::new();
+            pack_bt_panels(&w, n, k, &mut packed);
+            let mut want = vec![0.0; n];
+            matvec_bias_bf16(&w, &bias, &x, n, k, &mut want);
+            let mut got = vec![0.0; n];
+            matvec_packed_bias_bf16(&packed, &bias, &x, n, k, &mut got);
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn packed_lstm_gates_match_serial_kernel() {
+        let (input, hidden, batch) = (5usize, 3usize, 4usize); // 4*hidden = 12
+        let n = 4 * hidden;
+        let wx: Vec<f32> = (0..n * input).map(|i| (i as f32 * 0.7).sin()).collect();
+        let wh: Vec<f32> = (0..n * hidden).map(|i| (i as f32 * 1.3).cos()).collect();
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.05).collect();
+        let (mut pwx, mut pwh) = (Vec::new(), Vec::new());
+        pack_bt_panels(&wx, n, input, &mut pwx);
+        pack_bt_panels(&wh, n, hidden, &mut pwh);
+        // Sample-major [batch, steps=2, input]; read timestep 1.
+        let steps = 2usize;
+        let x: Vec<f32> = (0..batch * steps * input)
+            .map(|i| (i as f32 * 0.11).sin())
+            .collect();
+        let h: Vec<f32> = (0..batch * hidden).map(|i| 0.1 * i as f32).collect();
+        let mut gates = vec![0.0; batch * n];
+        lstm_gates_packed_batch(
+            &pwx,
+            &pwh,
+            &bias,
+            &x,
+            input,
+            steps * input,
+            &h,
+            batch,
+            input,
+            hidden,
+            &mut gates,
+        );
+        for s in 0..batch {
+            let mut want = vec![0.0; n];
+            lstm_gates(
+                &wx,
+                &wh,
+                &bias,
+                &x[s * steps * input + input..s * steps * input + 2 * input],
+                &h[s * hidden..(s + 1) * hidden],
+                input,
+                hidden,
+                &mut want,
+            );
+            assert_eq!(&gates[s * n..(s + 1) * n], &want[..], "sample {s}");
+        }
+    }
+
+    #[test]
+    fn batched_im2col_stacks_per_sample_unfolds() {
+        let (batch, in_c, h, w) = (3usize, 2usize, 4usize, 3usize);
+        let (kh, kw) = (2usize, 2usize);
+        let (stride, padding) = ((1usize, 1usize), (1usize, 0usize));
+        let (oh, ow) = (5usize, 2usize);
+        let k = in_c * kh * kw;
+        let x: Vec<f32> = (0..batch * in_c * h * w)
+            .map(|i| (i as f32 - 11.0) * 0.25)
+            .collect();
+        let mut stacked = vec![0.0; batch * oh * ow * k];
+        im2col_batch(
+            &x,
+            batch,
+            in_c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            padding,
+            oh,
+            ow,
+            &mut stacked,
+        );
+        for s in 0..batch {
+            let mut single = vec![0.0; oh * ow * k];
+            im2col(
+                &x[s * in_c * h * w..(s + 1) * in_c * h * w],
+                in_c,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                padding,
+                oh,
+                ow,
+                &mut single,
+            );
+            assert_eq!(
+                &stacked[s * oh * ow * k..(s + 1) * oh * ow * k],
+                &single[..],
+                "sample {s}"
+            );
         }
     }
 

@@ -22,6 +22,10 @@
 //!   `forward_scratch` methods, bit-identical to the naive references;
 //! * [`scratch`] — the [`ScratchPad`] buffer pool that makes steady-state
 //!   inference allocation-free;
+//! * [`batch`] — prepacked weight panels ([`PackedWeights`]) and the
+//!   scoped sample scatter behind the batched
+//!   [`Model::forward_batch_scratch`] path, bit-identical per sample to
+//!   looped `forward_scratch`;
 //! * [`models`] — [`VanillaCnn`],
 //!   [`TransLob`], and [`DeepLob`],
 //!   each in two sizes: a `paper()` configuration whose analytic op count
@@ -32,6 +36,7 @@
 //! invariants (softmax sums to one, layer norm normalizes, BF16
 //! round-trips, ...).
 
+pub mod batch;
 pub mod bf16;
 pub mod kernels;
 pub mod model;
@@ -41,6 +46,7 @@ pub mod registry;
 pub mod scratch;
 pub mod tensor;
 
+pub use batch::{PackedPanels, PackedWeights};
 pub use bf16::{bf16_round, quantize_int8, Precision};
 pub use model::{Model, ModelKind, Prediction, PriceDirection};
 pub use models::{DeepLob, TransLob, VanillaCnn};

@@ -1,5 +1,6 @@
 //! The model abstraction shared by the pipeline, scheduler, and simulator.
 
+use crate::batch::PackedWeights;
 use crate::ops::count::macs_to_ops;
 use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
@@ -172,6 +173,58 @@ pub trait Model: Send + Sync {
     /// list covers every buffer the network needs and this performs zero
     /// heap allocations (asserted by the `zero_alloc` integration test).
     fn forward_scratch(&self, input: &Tensor, pad: &mut ScratchPad) -> Prediction;
+
+    /// Packs this model's GEMM operands into register-tile panels for
+    /// [`Self::forward_batch_scratch`].
+    ///
+    /// Provided: returns the empty pack — the explicit marker that this
+    /// model has no packed path, making `forward_batch_scratch` fall
+    /// back to looping [`Self::forward_scratch`]. Models with a batched
+    /// override also override this; the panel order is model-private.
+    fn pack_weights(&self) -> PackedWeights {
+        PackedWeights::empty(self.kind())
+    }
+
+    /// Runs inference over a batch of `[window, features]` inputs,
+    /// appending one [`Prediction`] per input to `out` (cleared first).
+    ///
+    /// Per sample bit-identical to [`Self::forward_scratch`]: batching
+    /// stacks samples along GEMM output dimensions and packing permutes
+    /// operand layout, neither touches any `k` accumulation chain
+    /// (pinned by the `batch_equivalence` proptests). Pass the pack from
+    /// [`Self::pack_weights`]; an empty pack (or a model without an
+    /// override) runs the looped fallback.
+    ///
+    /// Provided: [`Self::forward_batch_looped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not `[window, features]`.
+    fn forward_batch_scratch(
+        &self,
+        inputs: &[Tensor],
+        packed: &PackedWeights,
+        pad: &mut ScratchPad,
+        out: &mut Vec<Prediction>,
+    ) {
+        let _ = packed;
+        self.forward_batch_looped(inputs, pad, out);
+    }
+
+    /// The looped reference semantics of [`Self::forward_batch_scratch`]:
+    /// one [`Self::forward_scratch`] call per input, in order.
+    fn forward_batch_looped(
+        &self,
+        inputs: &[Tensor],
+        pad: &mut ScratchPad,
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        out.reserve(inputs.len());
+        for input in inputs {
+            out.push(self.forward_scratch(input, pad));
+        }
+    }
 
     /// Analytic multiply-accumulate count of one forward pass.
     fn total_macs(&self) -> u64;

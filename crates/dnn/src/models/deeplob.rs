@@ -7,8 +7,9 @@
 //! the architecture of Zhang et al. that the paper benchmarks at
 //! 515.4 G OPs.
 
+use crate::batch::PackedWeights;
 use crate::model::{Model, ModelKind, Prediction};
-use crate::ops::activation::{leaky_relu, softmax_last_dim};
+use crate::ops::activation::{leaky_relu, leaky_relu_slice, softmax_last_dim, softmax_rows};
 use crate::ops::count::{conv2d_macs, linear_macs, lstm_macs, macs_to_ops};
 use crate::ops::{Conv2d, Linear, Lstm};
 use crate::scratch::ScratchPad;
@@ -287,6 +288,140 @@ impl Model for DeepLob {
         let p = Prediction::new([out[0], out[1], out[2]]);
         pad.give_tensor(logits);
         p
+    }
+
+    /// Panel order: the nine trunk convolutions, the five inception
+    /// convolutions, `lstm.wx`, `lstm.wh`, `fc`.
+    fn pack_weights(&self) -> PackedWeights {
+        let mut pw = PackedWeights::empty(self.kind());
+        for conv in [
+            &self.b1a,
+            &self.b1b,
+            &self.b1c,
+            &self.b2a,
+            &self.b2b,
+            &self.b2c,
+            &self.b3a,
+            &self.b3b,
+            &self.b3c,
+            &self.inc1,
+            &self.inc2a,
+            &self.inc2b,
+            &self.inc3a,
+            &self.inc3b,
+        ] {
+            pw.push(conv.pack());
+        }
+        pw.push(self.lstm.pack_wx());
+        pw.push(self.lstm.pack_wh());
+        pw.push(self.fc.pack());
+        pw
+    }
+
+    fn forward_batch_scratch(
+        &self,
+        inputs: &[Tensor],
+        packed: &PackedWeights,
+        pad: &mut ScratchPad,
+        out: &mut Vec<Prediction>,
+    ) {
+        if packed.is_empty() {
+            return self.forward_batch_looped(inputs, pad, out);
+        }
+        out.clear();
+        let batch = inputs.len();
+        if batch == 0 {
+            return;
+        }
+        let (t, f) = (self.spec.window, self.spec.features);
+        let c = self.spec.channels;
+        let threads = packed.threads();
+        // Every buffer below is fully overwritten before it is read, so
+        // all of them skip the pool's zero fill.
+        let mut cur = pad.take_dirty(batch * t * f);
+        for (s, input) in inputs.iter().enumerate() {
+            assert_eq!(input.shape(), [t, f], "input must be [window, features]");
+            cur[s * t * f..(s + 1) * t * f].copy_from_slice(input.data());
+        }
+        // Trunk: nine convolutions over the shrinking [h, w] map.
+        let (mut h, mut w) = (t, f);
+        for (idx, conv) in [
+            &self.b1a, &self.b1b, &self.b1c, &self.b2a, &self.b2b, &self.b2c, &self.b3a, &self.b3b,
+            &self.b3c,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (oh, ow) = conv.output_hw(h, w);
+            let mut nxt = pad.take_dirty(batch * c * oh * ow);
+            conv.forward_batch_packed(&cur, batch, h, w, packed.panel(idx), threads, pad, &mut nxt);
+            pad.give(cur);
+            leaky_relu_slice(&mut nxt, LEAK);
+            cur = nxt;
+            (h, w) = (oh, ow);
+        }
+        // Inception over [C, steps, 1]; same-padded branches keep shape.
+        let steps = self.spec.lstm_steps();
+        debug_assert_eq!((h, w), (steps, 1));
+        let act_len = batch * c * steps;
+        let inc = |conv: &Conv2d, idx: usize, x: &[f32], y: &mut [f32], pad: &mut ScratchPad| {
+            conv.forward_batch_packed(x, batch, steps, 1, packed.panel(idx), threads, pad, y);
+            leaky_relu_slice(y, LEAK);
+        };
+        let mut br1 = pad.take_dirty(act_len);
+        inc(&self.inc1, 9, &cur, &mut br1, pad);
+        let mut mid = pad.take_dirty(act_len);
+        inc(&self.inc2a, 10, &cur, &mut mid, pad);
+        let mut br2 = pad.take_dirty(act_len);
+        inc(&self.inc2b, 11, &mid, &mut br2, pad);
+        inc(&self.inc3a, 12, &cur, &mut mid, pad);
+        let mut br3 = pad.take_dirty(act_len);
+        inc(&self.inc3b, 13, &mid, &mut br3, pad);
+        pad.give(mid);
+        pad.give(cur);
+        // Concatenate channels and flip to sequence-major [steps, 3C]
+        // per sample, exactly as the single-sample path does.
+        let mut seq = pad.take_dirty(batch * steps * 3 * c);
+        for s in 0..batch {
+            let (d1, d2, d3) = (
+                &br1[s * c * steps..(s + 1) * c * steps],
+                &br2[s * c * steps..(s + 1) * c * steps],
+                &br3[s * c * steps..(s + 1) * c * steps],
+            );
+            let sample = &mut seq[s * steps * 3 * c..(s + 1) * steps * 3 * c];
+            for st in 0..steps {
+                let row = &mut sample[st * 3 * c..(st + 1) * 3 * c];
+                for ch in 0..c {
+                    row[ch] = d1[ch * steps + st];
+                    row[c + ch] = d2[ch * steps + st];
+                    row[2 * c + ch] = d3[ch * steps + st];
+                }
+            }
+        }
+        pad.give(br1);
+        pad.give(br2);
+        pad.give(br3);
+        let h_dim = self.lstm.hidden_dim();
+        let mut hidden = pad.take_dirty(batch * h_dim);
+        self.lstm.last_hidden_batch_packed(
+            &seq,
+            batch,
+            steps,
+            packed.panel(14),
+            packed.panel(15),
+            pad,
+            &mut hidden,
+        );
+        pad.give(seq);
+        let mut logits = pad.take_dirty(batch * 3);
+        self.fc
+            .forward_batch_packed(&hidden, batch, packed.panel(16), &mut logits);
+        pad.give(hidden);
+        softmax_rows(&mut logits, batch, 3);
+        for row in logits.chunks_exact(3) {
+            out.push(Prediction::new([row[0], row[1], row[2]]));
+        }
+        pad.give(logits);
     }
 
     fn total_macs(&self) -> u64 {

@@ -6,8 +6,9 @@
 //! transformer layers (self-attention + feed-forward, both residual)
 //! precedes mean pooling and the three-way softmax head.
 
+use crate::batch::PackedWeights;
 use crate::model::{Model, ModelKind, Prediction};
-use crate::ops::activation::{relu, softmax_last_dim};
+use crate::ops::activation::{relu, relu_slice, softmax_last_dim, softmax_rows};
 use crate::ops::count::{attention_macs, conv2d_macs, ffn_macs, linear_macs, macs_to_ops};
 use crate::ops::{Conv2d, LayerNorm, Linear, MultiHeadAttention};
 use crate::scratch::ScratchPad;
@@ -331,6 +332,114 @@ impl Model for TransLob {
         let p = Prediction::new([out[0], out[1], out[2]]);
         pad.give_tensor(logits);
         p
+    }
+
+    /// Panel order: the five front-end convolutions, `proj`, `head`.
+    /// The transformer blocks run per sample on the existing scratch
+    /// path (attention is token-coupled; batching them would only
+    /// re-stage the same GEMV work).
+    fn pack_weights(&self) -> PackedWeights {
+        let mut pw = PackedWeights::empty(self.kind());
+        for conv in &self.convs {
+            pw.push(conv.pack());
+        }
+        pw.push(self.proj.pack());
+        pw.push(self.head.pack());
+        pw
+    }
+
+    fn forward_batch_scratch(
+        &self,
+        inputs: &[Tensor],
+        packed: &PackedWeights,
+        pad: &mut ScratchPad,
+        out: &mut Vec<Prediction>,
+    ) {
+        if packed.is_empty() {
+            return self.forward_batch_looped(inputs, pad, out);
+        }
+        out.clear();
+        let batch = inputs.len();
+        if batch == 0 {
+            return;
+        }
+        let (t, f) = (self.spec.window, self.spec.features);
+        let c = self.spec.conv_channels;
+        let d = self.spec.d_model;
+        let threads = packed.threads();
+        // Stage every sample channels-first [F, T, 1] (fully overwritten,
+        // so skip the zero fill), as the single-sample path does.
+        let mut cur = pad.take_dirty(batch * f * t);
+        for (s, input) in inputs.iter().enumerate() {
+            assert_eq!(input.shape(), [t, f], "input must be [window, features]");
+            let sample = &mut cur[s * f * t..(s + 1) * f * t];
+            let id = input.data();
+            for ti in 0..t {
+                for fi in 0..f {
+                    sample[fi * t + ti] = id[ti * f + fi];
+                }
+            }
+        }
+        // Same-padded convolution stack: shape stays [C, T, 1].
+        for (idx, conv) in self.convs.iter().enumerate() {
+            let mut nxt = pad.take_dirty(batch * c * t);
+            conv.forward_batch_packed(&cur, batch, t, 1, packed.panel(idx), threads, pad, &mut nxt);
+            relu_slice(&mut nxt);
+            pad.give(cur);
+            cur = nxt;
+        }
+        // Back to sequence-major [T, C] per sample.
+        let mut seq = pad.take_dirty(batch * t * c);
+        for s in 0..batch {
+            let (sd, xd) = (
+                &mut seq[s * t * c..(s + 1) * t * c],
+                &cur[s * c * t..(s + 1) * c * t],
+            );
+            for ti in 0..t {
+                for ci in 0..c {
+                    sd[ti * c + ci] = xd[ci * t + ti];
+                }
+            }
+        }
+        pad.give(cur);
+        // Project every token of every sample in one row-wise sweep.
+        let mut tokens = pad.take_dirty(batch * t * d);
+        self.proj
+            .forward_batch_packed(&seq, batch * t, packed.panel(CONV_LAYERS), &mut tokens);
+        pad.give(seq);
+        // Transformer blocks are token-coupled: run them per sample on
+        // the scratch path, pooling each sample's result as it finishes.
+        // `take` (not `take_dirty`): the pooled accumulator must start
+        // at zero, matching the single-sample path.
+        let mut pooled = pad.take(batch * d);
+        for s in 0..batch {
+            let mut tok = pad.take_tensor(&[t, d]);
+            tok.data_mut()
+                .copy_from_slice(&tokens[s * t * d..(s + 1) * t * d]);
+            for (v, p) in tok.data_mut().iter_mut().zip(self.pos.data()) {
+                *v += p;
+            }
+            for block in &self.blocks {
+                tok = block.forward_scratch(tok, pad);
+            }
+            let acc = &mut pooled[s * d..(s + 1) * d];
+            for ti in 0..t {
+                for (a, v) in acc.iter_mut().zip(tok.row(ti)) {
+                    *a += v / t as f32;
+                }
+            }
+            pad.give_tensor(tok);
+        }
+        pad.give(tokens);
+        let mut logits = pad.take_dirty(batch * 3);
+        self.head
+            .forward_batch_packed(&pooled, batch, packed.panel(CONV_LAYERS + 1), &mut logits);
+        pad.give(pooled);
+        softmax_rows(&mut logits, batch, 3);
+        for row in logits.chunks_exact(3) {
+            out.push(Prediction::new([row[0], row[1], row[2]]));
+        }
+        pad.give(logits);
     }
 
     fn total_macs(&self) -> u64 {

@@ -4,8 +4,9 @@
 //! spanning the full feature width, the next two temporal — followed by
 //! two dense layers and a three-way softmax.
 
+use crate::batch::PackedWeights;
 use crate::model::{Model, ModelKind, Prediction};
-use crate::ops::activation::{relu, softmax_last_dim};
+use crate::ops::activation::{relu, relu_slice, softmax_last_dim, softmax_rows};
 use crate::ops::count::{conv2d_macs, linear_macs, macs_to_ops};
 use crate::ops::{Conv2d, Linear};
 use crate::scratch::ScratchPad;
@@ -241,6 +242,74 @@ impl Model for VanillaCnn {
         let p = Prediction::new([d[0], d[1], d[2]]);
         pad.give_tensor(logits);
         p
+    }
+
+    /// Panel order: conv1, conv2, conv3, fc1, fc2.
+    fn pack_weights(&self) -> PackedWeights {
+        let mut pw = PackedWeights::empty(self.kind());
+        pw.push(self.conv1.pack());
+        pw.push(self.conv2.pack());
+        pw.push(self.conv3.pack());
+        pw.push(self.fc1.pack());
+        pw.push(self.fc2.pack());
+        pw
+    }
+
+    fn forward_batch_scratch(
+        &self,
+        inputs: &[Tensor],
+        packed: &PackedWeights,
+        pad: &mut ScratchPad,
+        out: &mut Vec<Prediction>,
+    ) {
+        if packed.is_empty() {
+            return self.forward_batch_looped(inputs, pad, out);
+        }
+        out.clear();
+        let batch = inputs.len();
+        if batch == 0 {
+            return;
+        }
+        let (t, f) = (self.spec.window, self.spec.features);
+        let c = self.spec.channels;
+        let threads = packed.threads();
+        // Every buffer below is fully overwritten before it is read, so
+        // all of them skip the pool's zero fill.
+        let mut x0 = pad.take_dirty(batch * t * f);
+        for (s, input) in inputs.iter().enumerate() {
+            assert_eq!(input.shape(), [t, f], "input must be [window, features]");
+            x0[s * t * f..(s + 1) * t * f].copy_from_slice(input.data());
+        }
+        let (t1, t2, t3) = (self.spec.t_out(1), self.spec.t_out(2), self.spec.t_out(3));
+        let mut a1 = pad.take_dirty(batch * c * t1);
+        self.conv1
+            .forward_batch_packed(&x0, batch, t, f, packed.panel(0), threads, pad, &mut a1);
+        pad.give(x0);
+        relu_slice(&mut a1);
+        let mut a2 = pad.take_dirty(batch * c * t2);
+        self.conv2
+            .forward_batch_packed(&a1, batch, t1, 1, packed.panel(1), threads, pad, &mut a2);
+        pad.give(a1);
+        relu_slice(&mut a2);
+        let mut a3 = pad.take_dirty(batch * c * t3);
+        self.conv3
+            .forward_batch_packed(&a2, batch, t2, 1, packed.panel(2), threads, pad, &mut a3);
+        pad.give(a2);
+        relu_slice(&mut a3);
+        let mut h = pad.take_dirty(batch * self.spec.hidden);
+        self.fc1
+            .forward_batch_packed(&a3, batch, packed.panel(3), &mut h);
+        pad.give(a3);
+        relu_slice(&mut h);
+        let mut logits = pad.take_dirty(batch * 3);
+        self.fc2
+            .forward_batch_packed(&h, batch, packed.panel(4), &mut logits);
+        pad.give(h);
+        softmax_rows(&mut logits, batch, 3);
+        for row in logits.chunks_exact(3) {
+            out.push(Prediction::new([row[0], row[1], row[2]]));
+        }
+        pad.give(logits);
     }
 
     fn total_macs(&self) -> u64 {

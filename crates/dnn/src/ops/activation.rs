@@ -5,7 +5,13 @@ use crate::tensor::Tensor;
 
 /// ReLU in place.
 pub fn relu(t: &mut Tensor) {
-    for v in t.data_mut() {
+    relu_slice(t.data_mut());
+}
+
+/// [`relu`] over a raw slice (used by the batched forward paths, which
+/// keep activations in flat sample-major buffers).
+pub fn relu_slice(data: &mut [f32]) {
+    for v in data {
         if *v < 0.0 {
             *v = 0.0;
         }
@@ -14,7 +20,12 @@ pub fn relu(t: &mut Tensor) {
 
 /// Leaky ReLU in place (DeepLOB uses `alpha = 0.01`).
 pub fn leaky_relu(t: &mut Tensor, alpha: f32) {
-    for v in t.data_mut() {
+    leaky_relu_slice(t.data_mut(), alpha);
+}
+
+/// [`leaky_relu`] over a raw slice.
+pub fn leaky_relu_slice(data: &mut [f32], alpha: f32) {
+    for v in data {
         if *v < 0.0 {
             *v *= alpha;
         }

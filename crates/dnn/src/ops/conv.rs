@@ -1,7 +1,10 @@
 //! 2-D convolution over `[C, H, W]` feature maps.
 
+use crate::batch::{scatter_samples, PackedPanels};
 use crate::bf16::bf16_round;
-use crate::kernels::{gemm_bt_bias_rows_bf16, im2col};
+use crate::kernels::{
+    conv2d_kw1_direct_bf16, gemm_bt_bias_rows_bf16, gemm_packed_bt_bias_rows_bf16, im2col,
+};
 use crate::ops::count::{conv2d_macs, conv_out_len};
 use crate::ops::expect_rank;
 use crate::scratch::ScratchPad;
@@ -146,6 +149,122 @@ impl Conv2d {
         );
         pad.give(patches);
         out
+    }
+
+    /// Packs the `[out_c, in_c * kh * kw]` kernel matrix into register
+    /// panels for the batched forward path.
+    pub fn pack(&self) -> PackedPanels {
+        let k = self.in_channels() * self.kernel.shape()[2] * self.kernel.shape()[3];
+        PackedPanels::pack(self.kernel.data(), self.out_channels(), k)
+    }
+
+    /// Batched convolution over a sample-major `[batch, in_c, h, w]`
+    /// activation block, writing `[batch, out_c, oh * ow]` into `out`.
+    ///
+    /// Unfolds the whole batch into one stacked `[batch * oh * ow, k]`
+    /// im2col patch matrix drawn from `pad`, then sweeps it with the
+    /// prepacked-panel GEMM — per sample bit-identical to
+    /// [`Self::forward_scratch`], since stacking only extends the GEMM's
+    /// output `n` dimension and packing only permutes the A layout.
+    /// `threads > 1` scatters contiguous sample chunks across scoped
+    /// threads (disjoint patch/output slices, unchanged accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer-length or packed-shape mismatches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_batch_packed(
+        &self,
+        x: &[f32],
+        batch: usize,
+        h: usize,
+        w: usize,
+        packed: &PackedPanels,
+        threads: usize,
+        pad: &mut ScratchPad,
+        out: &mut [f32],
+    ) {
+        let in_c = self.in_channels();
+        let out_c = self.out_channels();
+        let (kh, kw) = (self.kernel.shape()[2], self.kernel.shape()[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let k = in_c * kh * kw;
+        let positions = oh * ow;
+        assert_eq!(packed.m(), out_c, "packed kernel row mismatch");
+        assert_eq!(packed.k(), k, "packed kernel width mismatch");
+        assert_eq!(x.len(), batch * in_c * h * w, "batched conv input length");
+        assert_eq!(
+            out.len(),
+            batch * out_c * positions,
+            "batched conv output length"
+        );
+        // Width-1 unit-stride kernels (the dominant shape in all three
+        // networks) skip patch materialization entirely: each tap is an
+        // axpy over a shifted input slice, bit-identical to the GEMM.
+        if kw == 1 && self.stride == (1, 1) && self.padding.1 == 0 {
+            let mut work = pad.take_dirty(batch * positions);
+            scatter_samples(
+                threads,
+                batch,
+                &mut work,
+                positions,
+                out,
+                out_c * positions,
+                |s, acc, o| {
+                    conv2d_kw1_direct_bf16(
+                        self.kernel.data(),
+                        &self.bias,
+                        &x[s * in_c * h * w..(s + 1) * in_c * h * w],
+                        in_c,
+                        h,
+                        w,
+                        kh,
+                        self.padding.0,
+                        out_c,
+                        acc,
+                        o,
+                    );
+                },
+            );
+            pad.give(work);
+            return;
+        }
+        // Fully overwritten below (im2col writes every patch element,
+        // the GEMM writes every output), so both skip the zero fill.
+        let mut patches = pad.take_dirty(batch * positions * k);
+        scatter_samples(
+            threads,
+            batch,
+            &mut patches,
+            positions * k,
+            out,
+            out_c * positions,
+            |s, patch, o| {
+                im2col(
+                    &x[s * in_c * h * w..(s + 1) * in_c * h * w],
+                    in_c,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    self.stride,
+                    self.padding,
+                    oh,
+                    ow,
+                    patch,
+                );
+                gemm_packed_bt_bias_rows_bf16(
+                    packed.data(),
+                    patch,
+                    &self.bias,
+                    out_c,
+                    positions,
+                    k,
+                    o,
+                );
+            },
+        );
+        pad.give(patches);
     }
 
     /// The naive reference convolution (kept for equivalence tests and

@@ -1,7 +1,8 @@
 //! Dense (fully connected) layers in BF16 and INT8.
 
+use crate::batch::PackedPanels;
 use crate::bf16::{bf16_round, quantize_int8, quantize_int8_into};
-use crate::kernels::{matvec_bias_bf16, matvec_i8_bias};
+use crate::kernels::{matvec_bias_bf16, matvec_i8_bias, matvec_packed_bias_bf16};
 use crate::ops::count::linear_macs;
 use crate::scratch::ScratchPad;
 use crate::tensor::Tensor;
@@ -98,6 +99,44 @@ impl Linear {
             );
         }
         out
+    }
+
+    /// Packs the `[out, in]` weight matrix into register panels for the
+    /// batched forward path.
+    pub fn pack(&self) -> PackedPanels {
+        PackedPanels::pack(self.weight.data(), self.output_dim(), self.input_dim())
+    }
+
+    /// Applies the layer row-wise over a flat `[rows, in]` buffer using
+    /// prepacked weight panels, writing `[rows, out]` into `out`.
+    /// Per row bit-identical to [`Self::forward_scratch`] — packing only
+    /// permutes the weight layout, never the `k` accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer-length or packed-shape mismatches.
+    pub fn forward_batch_packed(
+        &self,
+        x: &[f32],
+        rows: usize,
+        packed: &PackedPanels,
+        out: &mut [f32],
+    ) {
+        let (input, output) = (self.input_dim(), self.output_dim());
+        assert_eq!(packed.m(), output, "packed weight row mismatch");
+        assert_eq!(packed.k(), input, "packed weight width mismatch");
+        assert_eq!(x.len(), rows * input, "batched linear input length");
+        assert_eq!(out.len(), rows * output, "batched linear output length");
+        for r in 0..rows {
+            matvec_packed_bias_bf16(
+                packed.data(),
+                &self.bias,
+                &x[r * input..(r + 1) * input],
+                output,
+                input,
+                &mut out[r * output..(r + 1) * output],
+            );
+        }
     }
 
     /// The naive reference implementation (kept for equivalence tests

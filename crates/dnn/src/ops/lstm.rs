@@ -1,7 +1,8 @@
 //! A long short-term memory layer.
 
+use crate::batch::PackedPanels;
 use crate::bf16::bf16_round;
-use crate::kernels::lstm_gates;
+use crate::kernels::{lstm_gates, lstm_gates_packed_batch};
 use crate::ops::activation::sigmoid;
 use crate::ops::count::lstm_macs;
 use crate::ops::expect_rank;
@@ -165,6 +166,91 @@ impl Lstm {
         out.data_mut().copy_from_slice(all.row(t - 1));
         pad.give_tensor(all);
         out
+    }
+
+    /// Packs the stacked `[4 * hidden, input]` input-weight matrix into
+    /// register panels for the batched forward path.
+    pub fn pack_wx(&self) -> PackedPanels {
+        PackedPanels::pack(self.wx.data(), 4 * self.hidden, self.input)
+    }
+
+    /// Packs the stacked `[4 * hidden, hidden]` recurrent-weight matrix
+    /// into register panels for the batched forward path.
+    pub fn pack_wh(&self) -> PackedPanels {
+        PackedPanels::pack(self.wh.data(), 4 * self.hidden, self.hidden)
+    }
+
+    /// Batched [`Self::last_hidden_scratch`]: runs `batch` sequences of
+    /// a sample-major `[batch, steps, input]` buffer with prepacked
+    /// weight panels, writing the final hidden states `[batch, hidden]`
+    /// into `out`.
+    ///
+    /// Each timestep computes every sample's fused gate vector in one
+    /// kernel sweep ([`lstm_gates_packed_batch`]) before the elementwise
+    /// state update; per sample the bias -> `W_x x_t` -> `W_h h` chain
+    /// and BF16 rounding points are exactly those of the serial path, so
+    /// results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer-length or packed-shape mismatches, or when
+    /// `steps == 0` (no final hidden state exists).
+    #[allow(clippy::too_many_arguments)]
+    pub fn last_hidden_batch_packed(
+        &self,
+        x: &[f32],
+        batch: usize,
+        steps: usize,
+        packed_wx: &PackedPanels,
+        packed_wh: &PackedPanels,
+        pad: &mut ScratchPad,
+        out: &mut [f32],
+    ) {
+        let h_dim = self.hidden;
+        assert!(steps > 0, "batched LSTM needs at least one timestep");
+        assert_eq!(packed_wx.m(), 4 * h_dim, "packed wx row mismatch");
+        assert_eq!(packed_wx.k(), self.input, "packed wx width mismatch");
+        assert_eq!(packed_wh.m(), 4 * h_dim, "packed wh row mismatch");
+        assert_eq!(packed_wh.k(), h_dim, "packed wh width mismatch");
+        assert_eq!(x.len(), batch * steps * self.input, "batched LSTM input");
+        assert_eq!(out.len(), batch * h_dim, "batched LSTM output");
+        // h and c must start zeroed (`take`); gates are fully
+        // overwritten every timestep so skip the zero fill.
+        let mut h = pad.take(batch * h_dim);
+        let mut c = pad.take(batch * h_dim);
+        let mut gates = pad.take_dirty(batch * 4 * h_dim);
+        for t in 0..steps {
+            lstm_gates_packed_batch(
+                packed_wx.data(),
+                packed_wh.data(),
+                &self.bias,
+                x,
+                t * self.input,
+                steps * self.input,
+                &h,
+                batch,
+                self.input,
+                h_dim,
+                &mut gates,
+            );
+            for s in 0..batch {
+                let g = &gates[s * 4 * h_dim..(s + 1) * 4 * h_dim];
+                let cs = &mut c[s * h_dim..(s + 1) * h_dim];
+                let hs = &mut h[s * h_dim..(s + 1) * h_dim];
+                for j in 0..h_dim {
+                    let i_g = sigmoid(g[j]);
+                    let f_g = sigmoid(g[h_dim + j]);
+                    let g_g = g[2 * h_dim + j].tanh();
+                    let o_g = sigmoid(g[3 * h_dim + j]);
+                    cs[j] = bf16_round(f_g * cs[j] + i_g * g_g);
+                    hs[j] = bf16_round(o_g * cs[j].tanh());
+                }
+            }
+        }
+        out.copy_from_slice(&h);
+        pad.give(h);
+        pad.give(c);
+        pad.give(gates);
     }
 
     /// MACs of a forward pass over `steps` timesteps.

@@ -14,7 +14,10 @@ pub mod lstm;
 pub mod norm;
 pub mod pool;
 
-pub use activation::{leaky_relu, relu, sigmoid, softmax_last_dim, softmax_rows, tanh_inplace};
+pub use activation::{
+    leaky_relu, leaky_relu_slice, relu, relu_slice, sigmoid, softmax_last_dim, softmax_rows,
+    tanh_inplace,
+};
 pub use attention::MultiHeadAttention;
 pub use conv::Conv2d;
 pub use linear::{Linear, LinearInt8};

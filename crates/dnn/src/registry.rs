@@ -13,6 +13,7 @@
 //! ([`ModelRegistry::max_window`]) and [`ModelRegistry::forward`] slices
 //! the trailing rows each smaller tier needs.
 
+use crate::batch::PackedWeights;
 use crate::model::{Model, ModelKind, Prediction};
 use crate::models::build_tiny;
 use crate::scratch::ScratchPad;
@@ -29,18 +30,31 @@ fn slot(kind: ModelKind) -> usize {
 struct Entry {
     model: Box<dyn Model>,
     pad: ScratchPad,
+    /// Panel-packed weights, built once at registration; every
+    /// steady-state forward multiplies against these instead of the
+    /// row-major weight tensors.
+    packed: PackedWeights,
     /// Reusable `[window, features]` staging buffer for trailing-window
     /// slices of a wider input.
     input: Tensor,
+    /// Reusable staging lanes for batched trailing-window slices, grown
+    /// to the largest batch seen and then recycled.
+    lanes: Vec<Tensor>,
+    /// Reusable prediction buffer for the single-query forward.
+    preds: Vec<Prediction>,
 }
 
 impl Entry {
     fn new(model: Box<dyn Model>) -> Self {
         let input = Tensor::zeros(&[model.window(), model.features()]);
+        let packed = model.pack_weights();
         Entry {
             model,
             pad: ScratchPad::new(),
+            packed,
             input,
+            lanes: Vec::new(),
+            preds: Vec::new(),
         }
     }
 }
@@ -147,12 +161,88 @@ impl ModelRegistry {
             rows >= window,
             "{kind} needs {window} tick rows, got {rows}"
         );
-        if rows == window {
-            entry.model.forward_scratch(input, &mut entry.pad)
+        let staged = if rows == window {
+            input
         } else {
             let src = &input.data()[(rows - window) * features..];
             entry.input.data_mut().copy_from_slice(src);
-            entry.model.forward_scratch(&entry.input, &mut entry.pad)
+            &entry.input
+        };
+        // Single queries ride the packed batch path at batch 1 — the
+        // panels are bit-identical to the row-major weights (pinned by
+        // `tests/batch_equivalence.rs`), so this only changes speed.
+        entry.model.forward_batch_scratch(
+            std::slice::from_ref(staged),
+            &entry.packed,
+            &mut entry.pad,
+            &mut entry.preds,
+        );
+        entry.preds[0]
+    }
+
+    /// Runs tier `kind` once over a whole batch of inputs, writing one
+    /// prediction per input (in order) into `out`. Each input obeys the
+    /// same contract as [`Self::forward`]: rank-2, matching feature
+    /// width, at least the tier's window of tick rows, trailing rows
+    /// most recent.
+    ///
+    /// Inputs already shaped exactly `[window, features]` are handed to
+    /// the model's batched forward directly; wider inputs are staged
+    /// through per-lane trailing-window buffers first. Either way the
+    /// whole batch runs as **one** packed batched forward per layer, and
+    /// steady-state calls (batch size at or below the largest seen)
+    /// allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kind` is not registered or any input violates the
+    /// shape contract.
+    pub fn forward_batch(&mut self, kind: ModelKind, inputs: &[Tensor], out: &mut Vec<Prediction>) {
+        let entry = self.entries[slot(kind)]
+            .as_mut()
+            .unwrap_or_else(|| panic!("{kind} is not registered"));
+        let (window, features) = (entry.model.window(), entry.model.features());
+        for input in inputs {
+            assert_eq!(input.shape().len(), 2, "input must be [rows, features]");
+            assert_eq!(
+                input.shape()[1],
+                features,
+                "feature width mismatch for {kind}"
+            );
+            assert!(
+                input.shape()[0] >= window,
+                "{kind} needs {window} tick rows, got {}",
+                input.shape()[0]
+            );
+        }
+        if inputs.iter().all(|t| t.shape() == [window, features]) {
+            entry
+                .model
+                .forward_batch_scratch(inputs, &entry.packed, &mut entry.pad, out);
+            return;
+        }
+        while entry.lanes.len() < inputs.len() {
+            entry.lanes.push(Tensor::zeros(&[window, features]));
+        }
+        for (lane, input) in entry.lanes.iter_mut().zip(inputs) {
+            let rows = input.shape()[0];
+            let src = &input.data()[(rows - window) * features..];
+            lane.data_mut().copy_from_slice(src);
+        }
+        entry.model.forward_batch_scratch(
+            &entry.lanes[..inputs.len()],
+            &entry.packed,
+            &mut entry.pad,
+            out,
+        );
+    }
+
+    /// Sets the row-block worker count used by batched forwards on every
+    /// registered tier (`0` = auto-detect, `1` = serial; see
+    /// [`PackedWeights::set_threads`]).
+    pub fn set_batch_threads(&mut self, threads: usize) {
+        for entry in self.entries.iter_mut().flatten() {
+            entry.packed.set_threads(threads);
         }
     }
 }
@@ -228,6 +318,60 @@ mod tests {
                 assert_eq!(reg.forward(kind, &input).probs, first[i]);
             }
         }
+    }
+
+    /// `forward_batch` equals repeated `forward`, both for exact-window
+    /// inputs (direct path) and wide staged inputs (lane path), bit for
+    /// bit.
+    #[test]
+    fn forward_batch_matches_repeated_forward() {
+        let mut reg = ModelRegistry::tiny(42);
+        let max_window = reg.max_window();
+        for kind in ModelKind::ALL {
+            let window = reg.model(kind).unwrap().window();
+            let features = reg.model(kind).unwrap().features();
+            for rows in [window, max_window] {
+                let inputs: Vec<Tensor> = (0..4)
+                    .map(|i| Tensor::random(&[rows, features], 1.0, 100 + i))
+                    .collect();
+                let singles: Vec<[u32; 3]> = inputs
+                    .iter()
+                    .map(|t| reg.forward(kind, t).probs.map(f32::to_bits))
+                    .collect();
+                let mut batched = Vec::new();
+                reg.forward_batch(kind, &inputs, &mut batched);
+                assert_eq!(batched.len(), inputs.len());
+                for (s, (b, l)) in batched.iter().zip(&singles).enumerate() {
+                    assert_eq!(
+                        &b.probs.map(f32::to_bits),
+                        l,
+                        "{kind} rows={rows} sample {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched forwards with row-block workers enabled stay bit-equal to
+    /// the serial batch, and empty batches clear `out`.
+    #[test]
+    fn forward_batch_threads_and_empty() {
+        let mut serial = ModelRegistry::tiny(7);
+        let mut threaded = ModelRegistry::tiny(7);
+        threaded.set_batch_threads(3);
+        let features = serial.model(ModelKind::DeepLob).unwrap().features();
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::random(&[serial.max_window(), features], 1.0, 50 + i))
+            .collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        serial.forward_batch(ModelKind::DeepLob, &inputs, &mut a);
+        threaded.forward_batch(ModelKind::DeepLob, &inputs, &mut b);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.probs.map(f32::to_bits), y.probs.map(f32::to_bits));
+        }
+        serial.forward_batch(ModelKind::DeepLob, &[], &mut a);
+        assert!(a.is_empty(), "empty batch clears out");
     }
 
     #[test]

@@ -55,6 +55,30 @@ impl ScratchPad {
         buf
     }
 
+    /// Takes an `f32` buffer of exactly `len` elements with
+    /// **unspecified contents**.
+    ///
+    /// Cheaper than [`Self::take`] on large buffers because pooled
+    /// storage is not re-zeroed (only capacity growth is zero-filled).
+    /// Only for buffers the caller fully overwrites before reading —
+    /// im2col patch matrices and GEMM outputs in the batched inference
+    /// path, where every element is written by construction.
+    pub fn take_dirty(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = match best_fit(&self.f32_pool, len) {
+            Some(i) => self.f32_pool.swap_remove(i),
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        buf
+    }
+
     /// Returns an `f32` buffer to the pool.
     pub fn give(&mut self, buf: Vec<f32>) {
         if buf.capacity() > 0 {
@@ -138,6 +162,27 @@ mod tests {
         // Reuse must re-zero.
         let b2 = pad.take(8);
         assert!(b2.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn take_dirty_reuses_without_rezeroing() {
+        let mut pad = ScratchPad::new();
+        let mut b = pad.take(16);
+        b.fill(7.0);
+        pad.give(b);
+        let b2 = pad.take_dirty(8);
+        assert_eq!(b2.len(), 8);
+        assert_eq!(pad.misses(), 1, "dirty take must hit the pool");
+        // Contents are unspecified; here the stale values survive,
+        // which is exactly the re-zeroing the dirty take avoids.
+        assert!(b2.iter().all(|&v| v == 7.0));
+        pad.give(b2);
+        // Growth within pooled capacity zero-fills only the new region.
+        let b3 = pad.take_dirty(12);
+        assert_eq!(b3.len(), 12);
+        assert_eq!(pad.misses(), 1, "capacity-16 buffer serves the take");
+        assert!(b3[..8].iter().all(|&v| v == 7.0));
+        assert!(b3[8..].iter().all(|&v| v == 0.0));
     }
 
     #[test]

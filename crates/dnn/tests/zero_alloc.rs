@@ -10,7 +10,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use lt_dnn::models::{CnnSpec, DeepLobSpec, QuantizedCnn, TransLobSpec};
-use lt_dnn::{Model, ScratchPad, Tensor};
+use lt_dnn::{Model, Prediction, ScratchPad, Tensor};
 
 thread_local! {
     // `const` init so reading the counter never allocates.
@@ -84,6 +84,39 @@ fn assert_steady_state_alloc_free(name: &str, model: &dyn Model, input: &Tensor)
     );
 }
 
+/// The batched twin: once the weight panels are packed and a warm-up
+/// batch has sized the pad's buffers and the output vector, serial
+/// (`threads = 1`) batched forwards at the same batch size allocate
+/// nothing — staging, unfold, packed GEMM, and prediction output all
+/// live in recycled storage.
+fn assert_steady_state_batch_alloc_free(name: &str, model: &dyn Model, inputs: &[Tensor]) {
+    let packed = model.pack_weights();
+    let mut pad = ScratchPad::new();
+    let mut out: Vec<Prediction> = Vec::new();
+    for _ in 0..3 {
+        model.forward_batch_scratch(inputs, &packed, &mut pad, &mut out);
+    }
+    let misses_before = pad.misses();
+    let allocs_before = allocations();
+    model.forward_batch_scratch(inputs, &packed, &mut pad, &mut out);
+    let allocs_after = allocations();
+    let misses_after = pad.misses();
+    assert_eq!(out.len(), inputs.len(), "{name}: prediction count");
+    assert!(
+        out.iter().all(|p| p.probs.iter().all(|v| v.is_finite())),
+        "{name}: non-finite output"
+    );
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "{name}: steady-state forward_batch_scratch allocated"
+    );
+    assert_eq!(
+        misses_after, misses_before,
+        "{name}: scratch pad missed in steady state"
+    );
+}
+
 #[test]
 fn steady_state_forward_is_allocation_free() {
     let vanilla = CnnSpec::tiny().build(3);
@@ -97,4 +130,13 @@ fn steady_state_forward_is_allocation_free() {
     assert_steady_state_alloc_free("QuantizedCnn", &quant, &x20);
     assert_steady_state_alloc_free("DeepLob", &deeplob, &x24);
     assert_steady_state_alloc_free("TransLob", &translob, &x16);
+
+    let batch = |rows: usize| -> Vec<Tensor> {
+        (0..8)
+            .map(|i| Tensor::random(&[rows, 40], 1.0, 60 + i))
+            .collect()
+    };
+    assert_steady_state_batch_alloc_free("VanillaCnn batch", &vanilla, &batch(20));
+    assert_steady_state_batch_alloc_free("DeepLob batch", &deeplob, &batch(24));
+    assert_steady_state_batch_alloc_free("TransLob batch", &translob, &batch(16));
 }

@@ -147,6 +147,38 @@ impl MultiOffload {
         self.shards[shard].counters
     }
 
+    /// True once `shard`'s feature ring holds a full window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_is_warm(&self, shard: usize) -> bool {
+        self.shards[shard].features.is_warm()
+    }
+
+    /// The configured window length, in ticks (identical across shards).
+    pub fn window(&self) -> usize {
+        self.shards[0].features.window()
+    }
+
+    /// Feature columns per row (`4 × depth`, identical across shards).
+    pub fn width(&self) -> usize {
+        self.shards[0].features.width()
+    }
+
+    /// Writes `shard`'s current window into `out` (`window × 4·depth`
+    /// floats, chronological) without allocating — the staging step of
+    /// the cross-symbol batched forward: each popped [`ShardTicket`]
+    /// fills one lane of a recycled batch buffer from its shard's ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, the shard is not warm yet, or
+    /// `out` has the wrong length.
+    pub fn write_shard_window_into(&self, shard: usize, out: &mut [f32]) {
+        self.shards[shard].features.write_into(out);
+    }
+
     /// Ingests one tick for `shard`, deriving `ready_at` from the
     /// pipeline's ingress budget (the staged twin of
     /// [`crate::OffloadEngine::on_tick_staged`]).

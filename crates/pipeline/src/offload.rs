@@ -97,6 +97,32 @@ impl FeatureWindow {
         self.window
     }
 
+    /// Feature columns per row (`4 × depth`).
+    pub fn width(&self) -> usize {
+        self.depth * 4
+    }
+
+    /// Writes the window into `out` as `window × 4·depth` floats, rows
+    /// in chronological order — the allocation-free staging primitive
+    /// behind [`Self::tensor`]; batched consumers use it to fill
+    /// recycled lane buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not warm yet or `out` has the wrong
+    /// length.
+    pub fn write_into(&self, out: &mut [f32]) {
+        assert!(self.is_warm(), "feature FIFO not warm yet");
+        let width = self.width();
+        assert_eq!(out.len(), self.window * width, "window buffer size");
+        // Once warm, `next_row` is the oldest row in the ring; emit rows
+        // in chronological order from there.
+        for k in 0..self.window {
+            let r = (self.next_row + k) % self.window;
+            out[k * width..(k + 1) * width].copy_from_slice(&self.ring[r * width..(r + 1) * width]);
+        }
+    }
+
     /// Materializes the window as a `[window, 4*depth]` tensor, rows in
     /// chronological order.
     ///
@@ -104,15 +130,9 @@ impl FeatureWindow {
     ///
     /// Panics if the window is not warm yet.
     pub fn tensor(&self) -> Tensor {
-        assert!(self.is_warm(), "feature FIFO not warm yet");
-        let width = self.depth * 4;
-        let mut data = Vec::with_capacity(self.window * width);
-        // Once warm, `next_row` is the oldest row in the ring; emit rows
-        // in chronological order from there.
-        for k in 0..self.window {
-            let r = (self.next_row + k) % self.window;
-            data.extend_from_slice(&self.ring[r * width..(r + 1) * width]);
-        }
+        let width = self.width();
+        let mut data = vec![0.0; self.window * width];
+        self.write_into(&mut data);
         Tensor::from_vec(data, &[self.window, width])
     }
 }
@@ -304,6 +324,18 @@ impl OffloadEngine {
     /// Panics if the FIFO is not warm yet.
     pub fn latest_tensor(&self) -> Tensor {
         self.features.tensor()
+    }
+
+    /// Writes the current window into `out` (`window × 4·depth` floats,
+    /// chronological) without allocating — the steady-state twin of
+    /// [`Self::latest_tensor`] for callers staging into a recycled
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is not warm yet or `out` has the wrong length.
+    pub fn write_window_into(&self, out: &mut [f32]) {
+        self.features.write_into(out);
     }
 }
 

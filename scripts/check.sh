@@ -33,6 +33,10 @@ echo "== hot-path book gates: ladder/reference equivalence + zero-alloc =="
 cargo test -q --release -p lt-lob --test book_equivalence
 cargo test -q --release -p lt-pipeline --test zero_alloc
 
+echo "== batched inference gates: batch/loop bit-equivalence + batched zero-alloc =="
+cargo test -q --release -p lt-dnn --test batch_equivalence
+cargo test -q --release -p lt-dnn --test zero_alloc
+
 echo "== multi-symbol gates: single-shard parity + sharded determinism =="
 cargo test -q --release -p lt-sim --test multi_symbol
 
@@ -65,6 +69,10 @@ if [[ "$fast" == "0" ]]; then
     echo "== back-test farm regression (2x farm-vs-naive floor on 216 cells) =="
     cargo run --release -p lt-bench --bin bench_sweep
     grep -q '"floor_met": true' BENCH_sweep.json
+
+    echo "== batched inference regression (2x DeepLOB per-query floor at batch 16) =="
+    cargo run --release -p lt-bench --bin bench_batch
+    grep -q '"floor_met": true' BENCH_batch.json
 
     echo "== deadline-tier regression (1.2x tiered-vs-best-fixed hit-rate floor) =="
     cargo run --release -p lt-bench --bin bench_deadline

@@ -70,6 +70,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Accepted for API compatibility; this harness reports raw
+    /// per-iteration time rather than derived throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
     /// Accepted for API compatibility.
     pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
         self
@@ -102,6 +108,17 @@ impl BenchmarkGroup<'_> {
 
     /// Ends the group.
     pub fn finish(self) {}
+}
+
+/// Units processed per iteration, declared for reporting purposes.
+/// Accepted for API compatibility; the shim reports per-iteration time
+/// only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
 }
 
 /// A benchmark identifier, optionally carrying a parameter label.
